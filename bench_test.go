@@ -1,0 +1,311 @@
+package golake
+
+// One benchmark per table and figure of the survey (see DESIGN.md's
+// per-experiment index). The paper-style rows themselves come from
+// cmd/benchreport, which shares the harness in internal/bench; the
+// benches here measure the underlying operations and attach the
+// quality metrics (precision@k, recovery) as custom benchmark metrics.
+
+import (
+	"fmt"
+	"testing"
+
+	"golake/internal/bench"
+	"golake/internal/core"
+	"golake/internal/discovery"
+	"golake/internal/explore"
+	"golake/internal/extract"
+	"golake/internal/lakehouse"
+	"golake/internal/organize"
+	"golake/internal/query"
+	"golake/internal/storage/polystore"
+	"golake/internal/table"
+	"golake/internal/workload"
+)
+
+// benchCorpus is the shared Table 3 corpus.
+func benchCorpus() *workload.Corpus {
+	return workload.GenerateCorpus(bench.DefaultCorpusSpec())
+}
+
+// BenchmarkTable1FunctionMatrix exercises every Table 1 function
+// implementation once per iteration (the classification regenerated as
+// running code).
+func BenchmarkTable1FunctionMatrix(b *testing.B) {
+	entries := core.Registry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range entries {
+			if _, err := e.Run(); err != nil {
+				b.Fatalf("%s/%s: %v", e.Tier, e.Function, err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(entries)), "functions")
+}
+
+// BenchmarkTable2DAGOrganization builds the four DAG-based
+// organization structures of Table 2 on one corpus per iteration.
+func BenchmarkTable2DAGOrganization(b *testing.B) {
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 16, JoinGroups: 4, RowsPerTable: 60,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 60, Seed: 11,
+	})
+	base, err := table.ParseCSV("base", "a,b\n1,2\n3,4\n5,6\n7,8\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var prob float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// KAYAK pipeline + task DAG.
+		prim := organize.NewPrimitive("profile")
+		for _, task := range []string{"load", "stats", "join", "report"} {
+			prim.AddTask(task, func(bool) (string, error) { return "", nil })
+		}
+		_ = prim.After("stats", "load")
+		_ = prim.After("join", "load")
+		_ = prim.After("report", "stats")
+		if _, err := prim.TaskDAG().Stages(); err != nil {
+			b.Fatal(err)
+		}
+		// Nargesian organization DAG.
+		nav := organize.NewNavDAG(4)
+		nav.Build(c.Tables)
+		prob = nav.MeanDiscoveryProbability()
+		// Juneau graphs.
+		nb := workload.GenerateNotebook(base, 5, 3)
+		wg := organize.NewWorkflowGraph()
+		if err := wg.FromNotebook(nb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(prob, "P(find)")
+}
+
+// BenchmarkTable3DiscoveryComparison measures, per system of Table 3,
+// query latency over a pre-built index, reporting precision@k.
+func BenchmarkTable3DiscoveryComparison(b *testing.B) {
+	c := benchCorpus()
+	for _, d := range bench.Discoverers() {
+		b.Run(d.Name(), func(b *testing.B) {
+			p, _, _, _, err := bench.EvalDiscoverer(d, c, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.RelatedTables(c.Tables[i%len(c.Tables)], 4)
+			}
+			b.ReportMetric(p, "P@4")
+		})
+	}
+}
+
+// BenchmarkFig2ArchitecturePipeline runs the full three-tier workflow
+// (ingest -> maintain -> explore) per iteration.
+func BenchmarkFig2ArchitecturePipeline(b *testing.B) {
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 12, JoinGroups: 3, RowsPerTable: 60,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 60, Seed: 7,
+	})
+	csvs := make(map[string][]byte, len(c.Tables))
+	for _, tbl := range c.Tables {
+		csvs[tbl.Name] = []byte(table.ToCSV(tbl))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lake, err := core.Open(b.TempDir(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lake.AddUser("dana", core.RoleDataScientist)
+		for name, data := range csvs {
+			if _, err := lake.Ingest("raw/"+name+".csv", data, "gen", "dana"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := lake.Maintain(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lake.Explore("dana", explore.Request{
+			Mode: explore.ModePopulate, Query: c.Tables[0], K: 3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscoveryScaling measures index-build time per system and
+// corpus size (Sec. 6.2.1 scalability claims).
+func BenchmarkDiscoveryScaling(b *testing.B) {
+	for _, n := range []int{20, 40, 80} {
+		spec := workload.CorpusSpec{
+			NumTables: n, JoinGroups: n / 5, RowsPerTable: 100,
+			ExtraCols: 1, KeyVocab: 300, KeySample: 100, NoiseRate: 0.02, Seed: 42,
+		}
+		c := workload.GenerateCorpus(spec)
+		for _, mk := range []func() discovery.Discoverer{
+			func() discovery.Discoverer { return discovery.NewAurum() },
+			func() discovery.Discoverer { return discovery.NewJOSIE() },
+			func() discovery.Discoverer { return discovery.NewD3L() },
+		} {
+			name := mk().Name()
+			b.Run(fmt.Sprintf("%s/tables=%d", name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d := mk()
+					if err := d.Index(c.Tables); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkD3LFeatureAblation reports precision with each feature
+// removed (Sec. 6.2.1: accuracy from combining five dimensions).
+func BenchmarkD3LFeatureAblation(b *testing.B) {
+	spec := workload.CorpusSpec{
+		NumTables: 20, JoinGroups: 4, RowsPerTable: 80,
+		ExtraCols: 2, KeyVocab: 150, KeySample: 80, NoiseRate: 0.05,
+		AnonymousNames: true, Seed: 13,
+	}
+	c := workload.GenerateCorpus(spec)
+	configs := map[string][5]float64{
+		"all":       {1, 1, 1, 1, 1},
+		"no-value":  {1, 0, 1, 1, 1},
+		"name-only": {1, 0, 0, 0, 0},
+	}
+	for name, w := range configs {
+		b.Run(name, func(b *testing.B) {
+			d := discovery.NewD3L()
+			d.Weights = w
+			p, _, _, _, err := bench.EvalDiscoverer(d, c, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.RelatedTables(c.Tables[i%len(c.Tables)], 4)
+			}
+			b.ReportMetric(p, "P@4")
+		})
+	}
+}
+
+// BenchmarkDatamaranExtraction measures unsupervised template
+// extraction, reporting recovery at 5% noise (Sec. 5.1).
+func BenchmarkDatamaranExtraction(b *testing.B) {
+	gl := workload.GenerateLog(workload.LogSpec{Templates: 5, Records: 600, NoiseRate: 0.05, Seed: 9})
+	var tpls []extract.StructureTemplate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tpls = extract.Datamaran(gl.Content, extract.DefaultDatamaranConfig())
+	}
+	b.ReportMetric(float64(len(tpls)), "templates")
+}
+
+// BenchmarkExplorationModes measures per-mode query latency
+// (Sec. 7.1).
+func BenchmarkExplorationModes(b *testing.B) {
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 16, JoinGroups: 4, RowsPerTable: 80,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 60, NoiseRate: 0.02, Seed: 29,
+	})
+	e := explore.NewExplorer()
+	if err := e.Index(c.Tables); err != nil {
+		b.Fatal(err)
+	}
+	modes := map[string]explore.Mode{
+		"join-column": explore.ModeJoinColumn,
+		"populate":    explore.ModePopulate,
+		"task":        explore.ModeTask,
+	}
+	for name, mode := range modes {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tbl := c.Tables[i%len(c.Tables)]
+				if _, err := e.Explore(explore.Request{
+					Mode: mode, Query: tbl, K: 3,
+					Column: c.KeyColumn[tbl.Name], Task: discovery.TaskAugment,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLakehouseScan measures range scans over the Sec. 8.3
+// Lakehouse extension with and without its data-skipping statistics.
+func BenchmarkLakehouseScan(b *testing.B) {
+	lh, err := lakehouse.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(base int) *table.Table {
+		s := "id,v\n"
+		for i := 0; i < 2000; i++ {
+			s += fmt.Sprintf("%d,%d\n", base+i, base+i)
+		}
+		t, _ := table.ParseCSV("metrics", s)
+		return t
+	}
+	if err := lh.Create(mk(0)); err != nil {
+		b.Fatal(err)
+	}
+	v := 1
+	for f := 1; f < 8; f++ {
+		if v, err = lh.Append("metrics", v, mk(f*10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("skipping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := lh.ScanWhere("metrics", "v", 30000, 31999); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t, _, err := lh.Read("metrics")
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = t.Filter(func(row []string) bool { return row[1] >= "30000" && row[1] <= "31999" })
+		}
+	})
+}
+
+// BenchmarkFederatedQueryPushdown measures federated query latency
+// with and without predicate pushdown (Sec. 7.2).
+func BenchmarkFederatedQueryPushdown(b *testing.B) {
+	p, err := polystore.New(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csv []byte
+	{
+		s := "id,site,v\n"
+		for i := 0; i < 20000; i++ {
+			s += fmt.Sprintf("%d,s%d,%d\n", i, i%50, i%997)
+		}
+		csv = []byte(s)
+	}
+	if _, err := p.Ingest("raw/big.csv", csv); err != nil {
+		b.Fatal(err)
+	}
+	for _, push := range []bool{true, false} {
+		b.Run(fmt.Sprintf("pushdown=%v", push), func(b *testing.B) {
+			e := query.NewEngine(p)
+			e.PushDown = push
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExecuteSQL("SELECT id FROM rel:big WHERE site = 's7'"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

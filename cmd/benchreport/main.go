@@ -1,0 +1,64 @@
+// Command benchreport regenerates the survey's tables and figures as
+// empirical reports over synthetic ground-truth corpora.
+//
+// Usage:
+//
+//	benchreport [-only table1|table2|table3|fig2|scaling|ablation|
+//	             datamaran|modes|pushdown|semantic|ekg]
+//
+// Without -only, every experiment runs in DESIGN.md order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"golake/internal/bench"
+	"golake/internal/workload"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment")
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "golake-benchreport-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if *only == "" {
+		out, err := bench.All(dir)
+		fmt.Print(out)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	gens := map[string]func() (*bench.Report, error){
+		"table1":    bench.Table1,
+		"table2":    bench.Table2,
+		"table3":    func() (*bench.Report, error) { return bench.Table3(workload.DefaultSpec(), 4) },
+		"fig2":      func() (*bench.Report, error) { return bench.Fig2(dir) },
+		"scaling":   func() (*bench.Report, error) { return bench.DiscoveryScaling([]int{20, 40, 80}, 4) },
+		"ablation":  func() (*bench.Report, error) { return bench.D3LAblation(4) },
+		"datamaran": bench.Datamaran,
+		"modes":     func() (*bench.Report, error) { return bench.ExplorationModes(3) },
+		"pushdown":  func() (*bench.Report, error) { return bench.Pushdown(dir, 20000) },
+		"semantic":  bench.JoinabilityVsSemantic,
+		"ekg":       bench.EKGSummary,
+	}
+	g, ok := gens[*only]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *only))
+	}
+	rep, err := g()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

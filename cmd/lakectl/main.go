@@ -1,0 +1,276 @@
+// Command lakectl drives a golake data lake from the shell. Each
+// invocation assembles a lake over a data directory (every regular
+// file under -data is ingested), runs the maintenance tier, then
+// executes one command:
+//
+//	lakectl -data DIR profile                 per-file extraction summary
+//	lakectl -data DIR catalog                 catalog entries
+//	lakectl -data DIR discover TABLE [K]      related tables (populate mode)
+//	lakectl -data DIR join TABLE COLUMN [K]   joinable tables on a column
+//	lakectl -data DIR query 'SQL'             federated query, CSV on stdout
+//	lakectl -data DIR swamp                   metadata-coverage audit
+//	lakectl -data DIR lineage ENTITY          upstream provenance
+//	lakectl registry                          the Table 1 function registry
+//	lakectl demo                              synthetic end-to-end walkthrough
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"golake"
+	"golake/internal/bench"
+	"golake/internal/core"
+	"golake/internal/explore"
+	"golake/internal/table"
+	"golake/internal/workload"
+)
+
+func main() {
+	dataDir := flag.String("data", "", "directory of raw files to ingest")
+	user := flag.String("user", "cli", "acting user")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cmd := args[0]
+	switch cmd {
+	case "registry":
+		printRegistry()
+		return
+	case "demo":
+		if err := demo(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *dataDir == "" {
+		fatal(fmt.Errorf("command %q needs -data DIR", cmd))
+	}
+	lake, err := loadLake(*dataDir, *user)
+	if err != nil {
+		fatal(err)
+	}
+	if err := dispatch(lake, *user, cmd, args[1:]); err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage serve registry demo")
+	os.Exit(2)
+}
+
+// loadLake ingests every regular file under dir and runs maintenance.
+func loadLake(dir, user string) (*golake.Lake, error) {
+	workdir, err := os.MkdirTemp("", "golake-lakectl-*")
+	if err != nil {
+		return nil, err
+	}
+	lake, err := golake.Open(workdir)
+	if err != nil {
+		return nil, err
+	}
+	lake.AddUser(user, golake.RoleDataScientist)
+	lake.AddUser(user+"-gov", golake.RoleGovernance)
+	err = filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		_, err = lake.Ingest(filepath.ToSlash(rel), data, "filesystem", user)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := lake.Maintain(); err != nil {
+		return nil, err
+	}
+	return lake, nil
+}
+
+func dispatch(lake *golake.Lake, user, cmd string, args []string) error {
+	switch cmd {
+	case "profile":
+		return profile(lake)
+	case "catalog":
+		return catalog(lake)
+	case "discover":
+		if len(args) < 1 {
+			return fmt.Errorf("discover needs TABLE")
+		}
+		return discover(lake, user, args[0], argK(args, 1))
+	case "join":
+		if len(args) < 2 {
+			return fmt.Errorf("join needs TABLE COLUMN")
+		}
+		return joinSearch(lake, user, args[0], args[1], argK(args, 2))
+	case "query":
+		if len(args) < 1 {
+			return fmt.Errorf("query needs SQL")
+		}
+		res, err := lake.QuerySQL(user, strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		fmt.Print(table.ToCSV(res))
+		return nil
+	case "swamp":
+		rep := lake.SwampCheck()
+		fmt.Printf("datasets=%d with-metadata=%d healthy=%v\n", rep.Datasets, rep.WithMetadata, rep.Healthy())
+		for _, s := range rep.Swamp {
+			fmt.Println("swamp:", s)
+		}
+		return nil
+	case "lineage":
+		if len(args) < 1 {
+			return fmt.Errorf("lineage needs ENTITY")
+		}
+		up, err := lake.Lineage(args[0])
+		if err != nil {
+			return err
+		}
+		for _, e := range up {
+			fmt.Println(e)
+		}
+		return nil
+	case "serve":
+		addr := ":8080"
+		if len(args) > 0 {
+			addr = args[0]
+		}
+		fmt.Printf("serving lake REST API on %s (X-Lake-User header selects the user)\n", addr)
+		return http.ListenAndServe(addr, lake.HTTPHandler())
+	default:
+		usage()
+		return nil
+	}
+}
+
+func argK(args []string, i int) int {
+	if len(args) > i {
+		if k, err := strconv.Atoi(args[i]); err == nil {
+			return k
+		}
+	}
+	return 5
+}
+
+func profile(lake *golake.Lake) error {
+	for _, id := range lake.GEMMS.IDs() {
+		obj, err := lake.GEMMS.Object(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s format=%s attrs=%d props=%d\n",
+			id, obj.Properties["format"], len(obj.Attributes), len(obj.Properties))
+	}
+	return nil
+}
+
+func catalog(lake *golake.Lake) error {
+	for _, id := range lake.Catalog.List() {
+		e, err := lake.Catalog.Entry(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s cluster=%s groups=%d\n", e.ID, e.Cluster, len(e.Groups))
+	}
+	return nil
+}
+
+func discover(lake *golake.Lake, user, tableName string, k int) error {
+	res, err := lake.RelatedTables(user, tableName, k)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		fmt.Printf("%-30s %.3f via %s\n", r.Table, r.Score, r.Via)
+	}
+	return nil
+}
+
+func joinSearch(lake *golake.Lake, user, tableName, column string, k int) error {
+	t, err := lake.Poly.Rel.Table(tableName)
+	if err != nil {
+		return err
+	}
+	res, err := lake.Explore(user, explore.Request{
+		Mode: explore.ModeJoinColumn, Query: t, Column: column, K: k,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		fmt.Printf("%-30s overlap=%.0f\n", r.Table, r.Score)
+	}
+	return nil
+}
+
+func printRegistry() {
+	for _, e := range core.Registry() {
+		fmt.Printf("%-12s %-28s %s\n", e.Tier, e.Function, strings.Join(e.Systems, ", "))
+	}
+}
+
+// demo generates a synthetic corpus, runs the full pipeline and prints
+// a compact walkthrough.
+func demo() error {
+	dir, err := os.MkdirTemp("", "golake-demo-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	lake, err := golake.Open(dir)
+	if err != nil {
+		return err
+	}
+	lake.AddUser("dana", golake.RoleDataScientist)
+	c := workload.GenerateCorpus(bench.DefaultCorpusSpec())
+	for _, tbl := range c.Tables {
+		if _, err := lake.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "demo", "dana"); err != nil {
+			return err
+		}
+	}
+	rep, err := lake.Maintain()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d tables, %d categories, %d RFDs\n",
+		rep.Tables, len(rep.Categories), len(rep.RFDs))
+	q := c.Tables[0].Name
+	res, err := lake.RelatedTables("dana", q, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("related to %s:\n", q)
+	for _, r := range res {
+		truth := ""
+		if c.Joinable[workload.NewPair(q, r.Table)] {
+			truth = " (ground truth ✓)"
+		}
+		fmt.Printf("  %-30s %.3f via %s%s\n", r.Table, r.Score, r.Via, truth)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lakectl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeDataDir lays out a small raw-file directory for loadLake.
+func writeDataDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"orders.csv":    "id,customer,total\n1,alice,10\n2,bob,20\n",
+		"customers.csv": "customer,city\nalice,berlin\nbob,paris\n",
+		"events.jsonl":  "{\"k\":\"a\"}\n{\"k\":\"b\"}\n",
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadLakeIngestsAndMaintains(t *testing.T) {
+	lake, err := loadLake(writeDataDir(t), "cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lake.Catalog.List(); len(got) != 3 {
+		t.Errorf("catalog = %v", got)
+	}
+	if !lake.Poly.Rel.Has("orders") || !lake.Poly.Rel.Has("customers") {
+		t.Error("relational tables missing")
+	}
+	// Maintenance ran: exploration is available.
+	if _, err := lake.RelatedTables("cli", "orders", 2); err != nil {
+		t.Errorf("explore after load: %v", err)
+	}
+}
+
+func TestDispatchCommands(t *testing.T) {
+	lake, err := loadLake(writeDataDir(t), "cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][]string{
+		{"profile"},
+		{"catalog"},
+		{"discover", "orders", "2"},
+		{"join", "orders", "customer", "2"},
+		{"query", "SELECT id FROM rel:orders WHERE total > 15"},
+		{"swamp"},
+		{"lineage", "orders.csv"},
+	} {
+		if err := dispatch(lake, "cli", c[0], c[1:]); err != nil {
+			t.Errorf("dispatch(%v): %v", c, err)
+		}
+	}
+	// Missing-argument errors.
+	for _, c := range [][]string{{"discover"}, {"join", "orders"}, {"query"}, {"lineage"}} {
+		if err := dispatch(lake, "cli", c[0], c[1:]); err == nil {
+			t.Errorf("dispatch(%v) should fail", c)
+		}
+	}
+}
+
+func TestArgK(t *testing.T) {
+	if got := argK([]string{"x", "7"}, 1); got != 7 {
+		t.Errorf("argK = %d", got)
+	}
+	if got := argK([]string{"x"}, 1); got != 5 {
+		t.Errorf("argK default = %d", got)
+	}
+	if got := argK([]string{"x", "notanumber"}, 1); got != 5 {
+		t.Errorf("argK bad input = %d", got)
+	}
+}
+
+func TestDemoRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := demo(); err != nil {
+		t.Fatal(err)
+	}
+}

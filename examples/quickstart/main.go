@@ -1,0 +1,95 @@
+// Quickstart: assemble a lake, ingest heterogeneous raw files, run the
+// maintenance tier, then explore — the minimal end-to-end tour of the
+// three-tier architecture.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"golake"
+)
+
+const orders = `order_id,customer,city,total
+o1,alice,berlin,120.50
+o2,bob,paris,80.00
+o3,carol,berlin,43.10
+o4,alice,rome,220.00
+`
+
+const customers = `customer,city,segment
+alice,berlin,enterprise
+bob,paris,smb
+carol,berlin,smb
+dave,lyon,enterprise
+`
+
+const clicks = `{"user":"alice","page":"/pricing","ms":312}
+{"user":"bob","page":"/docs","ms":120}
+{"user":"alice","page":"/docs","ms":98}
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "golake-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	lake, err := golake.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lake.AddUser("dana", golake.RoleDataScientist)
+
+	// Ingestion tier: raw files land in the polystore (CSV becomes a
+	// relational table, JSON-lines a document collection), metadata is
+	// extracted and modeled automatically.
+	for path, data := range map[string]string{
+		"raw/orders.csv":    orders,
+		"raw/customers.csv": customers,
+		"raw/clicks.jsonl":  clicks,
+	} {
+		res, err := lake.Ingest(path, []byte(data), "quickstart", "dana")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested %-18s -> %s store\n", path, res.Placement.Target)
+	}
+
+	// Maintenance tier: index, organize, enrich.
+	rep, err := lake.Maintain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("maintained %d tables; %d relaxed FDs discovered\n", rep.Tables, len(rep.RFDs))
+
+	// Exploration tier, part 1: query-driven discovery.
+	related, err := lake.RelatedTables("dana", "orders", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tables related to orders:")
+	for _, r := range related {
+		fmt.Printf("  %-12s score=%.2f via %s\n", r.Table, r.Score, r.Via)
+	}
+
+	// Exploration tier, part 2: federated SQL over the polystore.
+	rows, err := lake.QuerySQL("dana", "SELECT customer, total FROM rel:orders WHERE city = 'berlin'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("berlin orders:\n" + golake.ToCSV(rows))
+
+	docs, err := lake.QuerySQL("dana", "SELECT user, page FROM doc:clicks WHERE ms > 100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("slow clicks:\n" + golake.ToCSV(docs))
+
+	// Governance: is the lake turning into a swamp?
+	swamp := lake.SwampCheck()
+	fmt.Printf("swamp check: %d/%d datasets carry metadata (healthy=%v)\n",
+		swamp.WithMetadata, swamp.Datasets, swamp.Healthy())
+}

@@ -1,0 +1,104 @@
+// Package golake is a from-scratch, stdlib-only Go data lake framework
+// reproducing the function-oriented architecture of "Data Lakes: A
+// Survey of Functions and Systems" (Hai, Koutras, Quix, Jarke; ICDE
+// 2024 extended abstract / arXiv:2106.09592).
+//
+// The survey classifies a decade of data lake systems into a
+// three-tier architecture — ingestion, maintenance, exploration over a
+// polystore storage tier (its Fig. 2) — with eleven functions (its
+// Table 1). This package is the public facade over one working
+// implementation of every function, each following a representative
+// published system:
+//
+//	storage      polystore routing over file/KV/document/graph stores
+//	ingestion    metadata extraction (GEMMS, DATAMARAN, Skluma) and
+//	             modeling (GEMMS, HANDLE, data vault, Aurum EKG)
+//	maintenance  organization (GOODS, DS-kNN, KAYAK, Nargesian, Juneau),
+//	             discovery (JOSIE, Aurum, D3L, PEXESO, Juneau, DLN),
+//	             integration (Constance, ALITE), enrichment (D4,
+//	             DomainNet, RFDs, CoreDB), cleaning (CLAMS,
+//	             Auto-Validate), schema evolution (Klettke et al.),
+//	             provenance (GOODS/CoreDB/Suriarachchi)
+//	exploration  the survey's three query-driven discovery modes and
+//	             federated SQL over the polystore (Constance, CoreDB,
+//	             Ontario, Squerall)
+//
+// Quickstart:
+//
+//	lake, _ := golake.Open(dir)
+//	lake.AddUser("dana", golake.RoleDataScientist)
+//	lake.Ingest("raw/orders.csv", csvBytes, "erp", "dana")
+//	lake.Maintain()
+//	related, _ := lake.RelatedTables("dana", "orders", 5)
+//	rows, _ := lake.QuerySQL("dana", "SELECT id, total FROM rel:orders WHERE total > 10")
+package golake
+
+import (
+	"time"
+
+	"golake/internal/core"
+	"golake/internal/discovery"
+	"golake/internal/explore"
+	"golake/internal/table"
+)
+
+// Lake is an assembled data lake; see core.Lake for the full API.
+type Lake = core.Lake
+
+// Role is a lake user role (Sec. 3.3 of the survey).
+type Role = core.Role
+
+// User roles.
+const (
+	RoleDataScientist = core.RoleDataScientist
+	RoleCurator       = core.RoleCurator
+	RoleGovernance    = core.RoleGovernance
+	RoleOperations    = core.RoleOperations
+)
+
+// Zones datasets progress through.
+const (
+	ZoneRaw     = core.ZoneRaw
+	ZoneCurated = core.ZoneCurated
+	ZoneTrusted = core.ZoneTrusted
+)
+
+// Table is the tabular dataset model.
+type Table = table.Table
+
+// ExploreRequest is a query-driven discovery request.
+type ExploreRequest = explore.Request
+
+// ExploreResult is one ranked discovery answer.
+type ExploreResult = explore.Result
+
+// Exploration modes (Sec. 7.1).
+const (
+	ModeJoinColumn = explore.ModeJoinColumn
+	ModePopulate   = explore.ModePopulate
+	ModeTask       = explore.ModeTask
+)
+
+// SearchTask selects Juneau-style task-specific relatedness.
+type SearchTask = discovery.SearchTask
+
+// Data-science search tasks.
+const (
+	TaskAugment  = discovery.TaskAugment
+	TaskFeatures = discovery.TaskFeatures
+	TaskClean    = discovery.TaskClean
+)
+
+// Open assembles a data lake rooted at dir.
+func Open(dir string) (*Lake, error) { return core.Open(dir, nil) }
+
+// OpenWithClock assembles a lake with a custom clock (tests, replays).
+func OpenWithClock(dir string, clock func() time.Time) (*Lake, error) {
+	return core.Open(dir, clock)
+}
+
+// ParseCSV parses CSV text into a Table.
+func ParseCSV(name, content string) (*Table, error) { return table.ParseCSV(name, content) }
+
+// ToCSV renders a Table as CSV.
+func ToCSV(t *Table) string { return table.ToCSV(t) }

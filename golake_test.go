@@ -1,0 +1,208 @@
+package golake
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"golake/internal/table"
+	"golake/internal/workload"
+)
+
+// TestEndToEndPublicAPI drives the whole lake through the public
+// facade only: open, ingest heterogeneous files, maintain, explore,
+// query, govern.
+func TestEndToEndPublicAPI(t *testing.T) {
+	lake, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lake.AddUser("dana", RoleDataScientist)
+	lake.AddUser("greta", RoleGovernance)
+
+	orders := "order_id,customer,total\no1,alice,10\no2,bob,20\no3,alice,30\n"
+	customers := "customer,city\nalice,berlin\nbob,paris\ncarol,rome\n"
+	clicks := "{\"user\":\"alice\",\"n\":1}\n{\"user\":\"bob\",\"n\":2}\n"
+
+	for path, data := range map[string]string{
+		"raw/orders.csv":    orders,
+		"raw/customers.csv": customers,
+		"raw/clicks.jsonl":  clicks,
+	} {
+		if _, err := lake.Ingest(path, []byte(data), "test", "dana"); err != nil {
+			t.Fatalf("Ingest %s: %v", path, err)
+		}
+	}
+	rep, err := lake.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tables != 2 {
+		t.Errorf("maintained tables = %d", rep.Tables)
+	}
+
+	// Discovery: customers relates to orders via the customer column.
+	related, err := lake.RelatedTables("dana", "orders", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range related {
+		if r.Table == "customers" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("customers not found related to orders: %+v", related)
+	}
+
+	// Federated SQL across stores.
+	rows, err := lake.QuerySQL("dana", "SELECT customer FROM rel:orders WHERE total >= 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.NumRows() != 2 {
+		t.Errorf("sql rows = %d", rows.NumRows())
+	}
+	docs, err := lake.QuerySQL("dana", "SELECT user FROM doc:clicks WHERE n = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs.NumRows() != 1 || docs.Row(0)[0] != "bob" {
+		t.Errorf("doc rows:\n%s", ToCSV(docs))
+	}
+
+	// Governance: the audit trail has the ingest and the query.
+	events, err := lake.Audit("greta", "raw/orders.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range events {
+		kinds[string(ev.Kind)] = true
+	}
+	if !kinds["ingest"] || !kinds["query"] {
+		t.Errorf("audit kinds = %v, want ingest+query", kinds)
+	}
+
+	// Swamp check is healthy: all three datasets carry metadata.
+	if s := lake.SwampCheck(); !s.Healthy() {
+		t.Errorf("swamp = %+v", s)
+	}
+}
+
+// TestExploreModesThroughFacade exercises the three exploration modes
+// through the public constants.
+func TestExploreModesThroughFacade(t *testing.T) {
+	lake, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lake.AddUser("dana", RoleDataScientist)
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 8, JoinGroups: 2, RowsPerTable: 60,
+		ExtraCols: 1, KeyVocab: 80, KeySample: 50, Seed: 3,
+	})
+	for _, tbl := range c.Tables {
+		if _, err := lake.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "gen", "dana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := lake.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := lake.Poly.Rel.Table(c.Tables[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		req  ExploreRequest
+		name string
+	}{
+		{ExploreRequest{Mode: ModeJoinColumn, Query: q, Column: c.KeyColumn[q.Name], K: 3}, "join"},
+		{ExploreRequest{Mode: ModePopulate, Query: q, K: 3}, "populate"},
+		{ExploreRequest{Mode: ModeTask, Query: q, Task: TaskAugment, K: 3}, "task"},
+	} {
+		res, err := lake.Explore("dana", mode.req)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if len(res) == 0 {
+			t.Errorf("%s: no results", mode.name)
+		}
+		for _, r := range res {
+			if !c.Joinable[workload.NewPair(q.Name, r.Table)] {
+				t.Errorf("%s: non-related result %+v", mode.name, r)
+			}
+		}
+	}
+}
+
+// TestParseCSVFacade sanity-checks the helper exports.
+func TestParseCSVFacade(t *testing.T) {
+	tbl, err := ParseCSV("t", "a,b\n1,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ToCSV(tbl); !strings.HasPrefix(got, "a,b\n") {
+		t.Errorf("ToCSV = %q", got)
+	}
+}
+
+// TestScalePipeline pushes a larger corpus through the facade to catch
+// integration-scale issues the unit tests miss.
+func TestScalePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	lake, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lake.AddUser("dana", RoleDataScientist)
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 60, JoinGroups: 10, RowsPerTable: 150,
+		ExtraCols: 2, KeyVocab: 400, KeySample: 120, NoiseRate: 0.03, Seed: 99,
+	})
+	for _, tbl := range c.Tables {
+		if _, err := lake.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "gen", "dana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := lake.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tables != 60 {
+		t.Fatalf("tables = %d", rep.Tables)
+	}
+	// Spot-check discovery quality at scale.
+	hits, total := 0, 0
+	for _, q := range c.Tables[:10] {
+		res, err := lake.RelatedTables("dana", q.Name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Via != "populate" {
+				continue
+			}
+			total++
+			if c.Joinable[workload.NewPair(q.Name, r.Table)] {
+				hits++
+			}
+		}
+	}
+	if total == 0 || float64(hits)/float64(total) < 0.9 {
+		t.Errorf("discovery precision at scale = %d/%d", hits, total)
+	}
+	// Federated query across many tables.
+	name := c.Tables[0].Name
+	res, err := lake.QuerySQL("dana", fmt.Sprintf("SELECT %s FROM rel:%s LIMIT 7", c.KeyColumn[name], name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 7 {
+		t.Errorf("limit rows = %d", res.NumRows())
+	}
+}

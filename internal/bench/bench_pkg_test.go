@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"golake/internal/workload"
+)
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Title: "T", Header: []string{"a", "bb"}}
+	r.Add("1", "2")
+	r.Note("n %d", 5)
+	out := r.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "note: n 5") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 11 {
+		t.Errorf("rows = %d, want 11 functions", len(rep.Rows))
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rep, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Errorf("rows = %d, want the 4 DAG approaches", len(rep.Rows))
+	}
+}
+
+func TestTable3SmallCorpus(t *testing.T) {
+	spec := workload.CorpusSpec{
+		NumTables: 12, JoinGroups: 3, RowsPerTable: 60,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 60, NoiseRate: 0.02, Seed: 42,
+	}
+	rep, err := Table3(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 systems (7 automatic + human-in-loop)", len(rep.Rows))
+	}
+	// Every system should reach decent precision on this easy corpus.
+	for _, row := range rep.Rows {
+		if row[3] < "0.70" {
+			t.Errorf("%s P@k = %s, want >= 0.70", row[0], row[3])
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	rep, err := Fig2(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Errorf("rows = %d, want 3 tiers", len(rep.Rows))
+	}
+}
+
+func TestDatamaranReport(t *testing.T) {
+	rep, err := Datamaran()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Errorf("rows = %d", len(rep.Rows))
+	}
+	// Zero-noise recovery should be high.
+	if rep.Rows[0][3] < "0.80" {
+		t.Errorf("zero-noise recovery = %s", rep.Rows[0][3])
+	}
+}
+
+func TestExplorationModesReport(t *testing.T) {
+	rep, err := ExplorationModes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Errorf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestPushdownReport(t *testing.T) {
+	rep, err := Pushdown(t.TempDir(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Errorf("rows = %d", len(rep.Rows))
+	}
+	// Row pairs must return identical row counts (semantics preserved).
+	if rep.Rows[0][2] != rep.Rows[1][2] || rep.Rows[2][2] != rep.Rows[3][2] {
+		t.Errorf("pushdown changed results: %+v", rep.Rows)
+	}
+}
+
+func TestJoinabilityVsSemantic(t *testing.T) {
+	rep, err := JoinabilityVsSemantic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JOSIE finds the exact pair but not the semantic-only pair;
+	// PEXESO finds both.
+	var josie, pexeso []string
+	for _, row := range rep.Rows {
+		if row[0] == "JOSIE" {
+			josie = row
+		}
+		if row[0] == "PEXESO" {
+			pexeso = row
+		}
+	}
+	if josie[1] != "true" || josie[2] != "false" {
+		t.Errorf("JOSIE row = %v", josie)
+	}
+	if pexeso[1] != "true" || pexeso[2] != "true" {
+		t.Errorf("PEXESO row = %v", pexeso)
+	}
+}
+
+func TestLakehouseReport(t *testing.T) {
+	rep, err := LakehouseReport(t.TempDir(), 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+	for _, row := range rep.Rows {
+		if strings.Contains(row[1], "FAILED") {
+			t.Errorf("capability failed: %v", row)
+		}
+	}
+	// 3 of 4 files must be skipped for the single-file range.
+	if !strings.Contains(rep.Rows[3][1], "3/4 files skipped") {
+		t.Errorf("skipping row = %v", rep.Rows[3])
+	}
+}
+
+func TestLSHShapeAblation(t *testing.T) {
+	rep, err := LSHShapeAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Recall must decrease as the threshold rises (softer -> stricter).
+	if rep.Rows[0][4] < rep.Rows[2][4] {
+		t.Errorf("recall ordering wrong: soft %s vs strict %s", rep.Rows[0][4], rep.Rows[2][4])
+	}
+}
+
+func TestEKGSummary(t *testing.T) {
+	rep, err := EKGSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Errorf("rows = %d", len(rep.Rows))
+	}
+}

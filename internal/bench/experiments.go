@@ -1,0 +1,797 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"golake/internal/core"
+	"golake/internal/discovery"
+	"golake/internal/explore"
+	"golake/internal/extract"
+	"golake/internal/lakehouse"
+	"golake/internal/metamodel"
+	"golake/internal/organize"
+	"golake/internal/query"
+	"golake/internal/sketch"
+	"golake/internal/storage/polystore"
+	"golake/internal/table"
+	"golake/internal/workload"
+)
+
+// DefaultCorpusSpec is the shared benchmark corpus: 40 tables in 8
+// joinable groups, a scale every discoverer handles in seconds.
+func DefaultCorpusSpec() workload.CorpusSpec { return workload.DefaultSpec() }
+
+// Discoverers instantiates the Table 3 systems in survey order. The
+// DLN instance is returned untrained; TrainDLN completes it.
+func Discoverers() []discovery.Discoverer {
+	return []discovery.Discoverer{
+		discovery.NewAurum(),
+		discovery.NewJOSIE(),
+		discovery.NewD3L(),
+		discovery.NewJuneau(discovery.TaskAugment),
+		discovery.NewPEXESO(),
+		discovery.NewRNLIM(),
+		discovery.NewDLN(),
+	}
+}
+
+// discovererMeta carries the static Table 3 columns per system.
+var discovererMeta = map[string][2]string{
+	"Aurum":     {"value overlap, names, PK-FK", "MinHash+LSH -> EKG hypergraph"},
+	"JOSIE":     {"instance value overlap", "inverted index, exact top-k"},
+	"D3L":       {"names, values, embeddings, formats, distributions", "5-dim weighted Euclidean + LSH"},
+	"Juneau":    {"values, schema, keys, provenance, metadata", "multi-signal task weighting"},
+	"PEXESO":    {"textual instance values", "vector similarity + grid pruning"},
+	"RNLIM":     {"table+attr names, types, value domains", "relationship labeling (NLI substitute)"},
+	"DLN":       {"names, uniqueness, types, samples", "classifiers from join query logs"},
+	"D3L+human": {"algorithmic scores + human triage", "uncertainty band -> annotator (90% acc.)"},
+}
+
+// EvalDiscoverer indexes the corpus and scores top-k quality against
+// joinable ground truth, returning precision@k, recall@k, index time
+// and mean per-query latency.
+func EvalDiscoverer(d discovery.Discoverer, c *workload.Corpus, k int) (p, r float64, indexTime, queryTime time.Duration, err error) {
+	start := time.Now()
+	if err = d.Index(c.Tables); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if dln, ok := d.(*discovery.DLN); ok {
+		dln.Train(workload.JoinQueryLog(c, 0, 3))
+	}
+	indexTime = time.Since(start)
+	results := map[string][]string{}
+	var queries []string
+	qStart := time.Now()
+	for _, tbl := range c.Tables {
+		queries = append(queries, tbl.Name)
+		var names []string
+		for _, ts := range d.RelatedTables(tbl, k) {
+			names = append(names, ts.Table)
+		}
+		results[tbl.Name] = names
+	}
+	queryTime = time.Since(qStart) / time.Duration(len(c.Tables))
+	rel := func(q, cand string) bool { return c.Joinable[workload.NewPair(q, cand)] }
+	tot := func(q string) int {
+		n := 0
+		for pr := range c.Joinable {
+			if pr.A == q || pr.B == q {
+				n++
+			}
+		}
+		return n
+	}
+	p, r = workload.TopKQuality(queries, results, k, rel, tot)
+	return p, r, indexTime, queryTime, nil
+}
+
+// Table1 regenerates the survey's Table 1 — the tier/function/system
+// classification — by running every registered function implementation.
+func Table1() (*Report, error) {
+	rep := &Report{
+		Title:  "Table 1: Classification of data lake solutions based on functions",
+		Header: []string{"Tier", "Function", "Systems (reproduced families)", "Run result"},
+	}
+	for _, e := range core.Registry() {
+		out, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", e.Tier, e.Function, err)
+		}
+		rep.Add(string(e.Tier), e.Function, strings.Join(e.Systems, ", "), out)
+	}
+	rep.Note("every function executed against its implementing package; 11 functions, 3 tiers as in the survey")
+	return rep, nil
+}
+
+// Table2 regenerates the survey's Table 2 — the comparison of
+// DAG-based dataset organization approaches — building all four DAG
+// flavors on one workload and reporting their semantics plus measured
+// structure.
+func Table2() (*Report, error) {
+	rep := &Report{
+		Title:  "Table 2: Comparison of DAG-based dataset organization approaches",
+		Header: []string{"System", "Function", "Node", "Edge", "Measured"},
+	}
+	// KAYAK pipeline + task dependency, with the time-to-insight
+	// preview measured on a real profiling primitive over a large
+	// table.
+	var big strings.Builder
+	big.WriteString("v,w\n")
+	for i := 0; i < 50000; i++ {
+		fmt.Fprintf(&big, "%d,x%d\n", i, i%321)
+	}
+	bigT, err := table.ParseCSV("big", big.String())
+	if err != nil {
+		return nil, err
+	}
+	prim := organize.ProfilePrimitive(bigT, 200)
+	stages, err := prim.TaskDAG().Stages()
+	if err != nil {
+		return nil, err
+	}
+	pl := organize.NewPipeline()
+	pl.Add(prim)
+	ins := organize.NewPrimitive("insert")
+	ins.AddTask("t", func(bool) (string, error) { return "", nil })
+	pl.Add(ins)
+	_ = pl.After(prim.Name, "insert")
+	plStages, err := pl.DAG().Stages()
+	if err != nil {
+		return nil, err
+	}
+	rep.Add("KAYAK (pipeline)", "represent data preparation pipelines",
+		"primitives", "execution order",
+		fmt.Sprintf("%d primitives in %d sequential stages", len(pl.DAG().Nodes()), len(plStages)))
+	parallel := 0
+	for _, s := range stages {
+		if len(s) > 1 {
+			parallel += len(s)
+		}
+	}
+	start := time.Now()
+	if _, err := prim.Execute(true); err != nil {
+		return nil, err
+	}
+	previewTime := time.Since(start)
+	start = time.Now()
+	if _, err := prim.Execute(false); err != nil {
+		return nil, err
+	}
+	exactTime := time.Since(start)
+	rep.Add("KAYAK (task dependency)", "parallelize atomic tasks",
+		"atomic tasks", "execution order",
+		fmt.Sprintf("%d tasks, %d stages, %d parallelizable; preview %s vs exact %s (50k rows)",
+			len(prim.TaskDAG().Nodes()), len(stages), parallel,
+			previewTime.Round(time.Microsecond), exactTime.Round(time.Millisecond)))
+	// Nargesian organization.
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 16, JoinGroups: 4, RowsPerTable: 60,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 60, Seed: 11,
+	})
+	nav := organize.NewNavDAG(4)
+	start = time.Now()
+	nav.Build(c.Tables)
+	buildTime := time.Since(start)
+	rep.Add("Nargesian et al.", "semantic navigation",
+		"attribute sets", "containment",
+		fmt.Sprintf("%d leaves, mean P(find)=%.2f, built in %s",
+			len(nav.Leaves()), nav.MeanDiscoveryProbability(), buildTime.Round(time.Millisecond)))
+	// Juneau variable dependency.
+	base, err := table.ParseCSV("base", "a,b\n1,2\n3,4\n5,6\n7,8\n")
+	if err != nil {
+		return nil, err
+	}
+	nb := workload.GenerateNotebook(base, 5, 3)
+	wg := organize.NewWorkflowGraph()
+	if err := wg.FromNotebook(nb); err != nil {
+		return nil, err
+	}
+	adj := wg.ProvenanceSimilarity("base", "base_v1")
+	far := wg.ProvenanceSimilarity("base", "base_v5")
+	rep.Add("Juneau (variable dependency)", "table relatedness via workflows",
+		"notebook variables", "functions (labels)",
+		fmt.Sprintf("%d steps; sim(adjacent)=%.2f > sim(distant)=%.2f", len(nb.Steps), adj, far))
+	rep.Note("node/edge semantics match the survey's Table 2; measured column comes from running each structure")
+	return rep, nil
+}
+
+// Table3 regenerates the survey's Table 3 — the comparison of related
+// dataset discovery approaches — empirically: every system indexes the
+// same corpus and is scored against joinability ground truth.
+func Table3(spec workload.CorpusSpec, k int) (*Report, error) {
+	variant := "easy corpus"
+	if spec.AnonymousNames {
+		variant = "hard corpus: anonymous names, thin overlap"
+	}
+	rep := &Report{
+		Title: fmt.Sprintf("Table 3: Related dataset discovery (%d tables, %d groups, top-%d; %s)",
+			spec.NumTables, spec.JoinGroups, k, variant),
+		Header: []string{"System", "Relatedness criteria", "Technique", "P@k", "R@k", "Index", "Query/table"},
+	}
+	c := workload.GenerateCorpus(spec)
+	systems := Discoverers()
+	// Brackenbury et al.: human-in-the-loop triage over an algorithmic
+	// ranking; the human is a deterministic scripted annotator that
+	// answers correctly 90% of the time (DESIGN.md substitution).
+	systems = append(systems, humanInLoop(c, spec.Seed))
+	for _, d := range systems {
+		p, r, it, qt, err := EvalDiscoverer(d, c, k)
+		if err != nil {
+			return nil, err
+		}
+		meta := discovererMeta[d.Name()]
+		rep.Add(d.Name(), meta[0], meta[1],
+			fmt.Sprintf("%.2f", p), fmt.Sprintf("%.2f", r),
+			it.Round(time.Millisecond).String(), qt.Round(time.Microsecond).String())
+	}
+	rep.Note("criteria/technique columns reproduce the survey's Table 3; P/R measured on seeded ground truth")
+	if spec.AnonymousNames {
+		rep.Note("hard variant: anonymous column names + thin key overlap — threshold-free exact search (JOSIE) and multi-feature ranking (D3L) stay accurate, thresholded LSH candidacy (Aurum) degrades, matching the robustness claims of Sec. 6.2.1/6.2.5")
+	}
+	return rep, nil
+}
+
+// humanInLoop builds the Brackenbury et al. row: D3L triaged by a
+// scripted annotator that consults ground truth but errs on 10% of
+// consultations (deterministically, by hash of the pair).
+func humanInLoop(c *workload.Corpus, seed int64) discovery.Discoverer {
+	n := 0
+	oracle := func(q string, ts metamodel.TableScore) bool {
+		n++
+		correct := c.Joinable[workload.NewPair(q, ts.Table)]
+		// Deterministic 10% error rate.
+		if (int64(n)*2654435761+seed)%10 == 0 {
+			return !correct
+		}
+		return correct
+	}
+	h := discovery.NewHumanInLoop(discovery.NewD3L(), oracle)
+	h.AcceptAbove = 0.5
+	h.RejectBelow = 0.05
+	return h
+}
+
+// HardSpec is a corpus that separates the Table 3 systems: anonymous
+// column names (no name signal), thin key overlap and noise.
+func HardSpec() workload.CorpusSpec {
+	return workload.CorpusSpec{
+		NumTables: 40, JoinGroups: 8, RowsPerTable: 120,
+		ExtraCols: 2, KeyVocab: 500, KeySample: 80, NoiseRate: 0.1,
+		AnonymousNames: true, Seed: 42,
+	}
+}
+
+// Fig2 runs the end-to-end three-tier pipeline and reports per-tier
+// outcomes and timings — the architecture of the survey's Fig. 2 as an
+// executable workflow.
+func Fig2(dir string) (*Report, error) {
+	rep := &Report{
+		Title:  "Fig. 2: Function-oriented three-tier architecture, end to end",
+		Header: []string{"Tier", "Functions exercised", "Outcome", "Time"},
+	}
+	lake, err := core.Open(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	lake.AddUser("dana", core.RoleDataScientist)
+	lake.AddUser("gov", core.RoleGovernance)
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 16, JoinGroups: 4, RowsPerTable: 80,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 60, Seed: 7,
+	})
+	// Ingestion tier.
+	start := time.Now()
+	for _, tbl := range c.Tables {
+		if _, err := lake.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "generator", "dana"); err != nil {
+			return nil, err
+		}
+	}
+	ingestTime := time.Since(start)
+	swamp := lake.SwampCheck()
+	rep.Add("storage+ingestion", "polystore routing, extraction, modeling, cataloging",
+		fmt.Sprintf("%d datasets, %d with metadata", swamp.Datasets, swamp.WithMetadata),
+		ingestTime.Round(time.Millisecond).String())
+	// Maintenance tier.
+	start = time.Now()
+	mrep, err := lake.Maintain()
+	if err != nil {
+		return nil, err
+	}
+	maintainTime := time.Since(start)
+	rep.Add("maintenance", "indexing, organization, RFD enrichment, zoning",
+		fmt.Sprintf("%d tables, %d categories, %d RFDs", mrep.Tables, len(mrep.Categories), len(mrep.RFDs)),
+		maintainTime.Round(time.Millisecond).String())
+	// Exploration tier.
+	start = time.Now()
+	q := c.Tables[0]
+	res, err := lake.Explore("dana", explore.Request{Mode: explore.ModePopulate, Query: c.ByName(q.Name), K: 3})
+	if err != nil {
+		return nil, err
+	}
+	hits := 0
+	for _, r := range res {
+		if c.Joinable[workload.NewPair(q.Name, r.Table)] {
+			hits++
+		}
+	}
+	sqlRes, err := lake.QuerySQL("dana",
+		fmt.Sprintf("SELECT %s FROM rel:%s LIMIT 5", c.KeyColumn[q.Name], q.Name))
+	if err != nil {
+		return nil, err
+	}
+	exploreTime := time.Since(start)
+	rep.Add("exploration", "query-driven discovery, federated SQL",
+		fmt.Sprintf("%d/%d related hits, %d SQL rows", hits, len(res), sqlRes.NumRows()),
+		exploreTime.Round(time.Millisecond).String())
+	return rep, nil
+}
+
+// DiscoveryScaling sweeps corpus size and reports index/query time per
+// system — the survey's Sec. 6.2.1 claims: Aurum's linear profiling,
+// JOSIE's scalability.
+func DiscoveryScaling(sizes []int, k int) (*Report, error) {
+	rep := &Report{
+		Title:  "Sec. 6.2.1: discovery scalability sweep",
+		Header: []string{"Tables", "System", "P@k", "Index", "Query/table"},
+	}
+	for _, n := range sizes {
+		spec := workload.CorpusSpec{
+			NumTables: n, JoinGroups: n / 5, RowsPerTable: 100,
+			ExtraCols: 1, KeyVocab: 300, KeySample: 100, NoiseRate: 0.02, Seed: 42,
+		}
+		c := workload.GenerateCorpus(spec)
+		for _, d := range []discovery.Discoverer{discovery.NewAurum(), discovery.NewJOSIE(), discovery.NewD3L()} {
+			p, _, it, qt, err := EvalDiscoverer(d, c, k)
+			if err != nil {
+				return nil, err
+			}
+			rep.Add(fmt.Sprintf("%d", n), d.Name(), fmt.Sprintf("%.2f", p),
+				it.Round(time.Millisecond).String(), qt.Round(time.Microsecond).String())
+		}
+	}
+	rep.Note("index time should grow near-linearly with table count for LSH-based systems")
+	return rep, nil
+}
+
+// D3LAblation removes one feature at a time from D3L and reports
+// quality — the survey's claim that D3L's accuracy comes from
+// combining five signal dimensions.
+func D3LAblation(k int) (*Report, error) {
+	rep := &Report{
+		Title:  "Sec. 6.2.1: D3L feature ablation",
+		Header: []string{"Configuration", "P@k", "R@k"},
+	}
+	// Anonymous column names: every table exposes c0..cN, so the name
+	// feature is uninformative (even misleading) and the ablation shows
+	// which data-driven features carry the signal.
+	spec := workload.CorpusSpec{
+		NumTables: 20, JoinGroups: 4, RowsPerTable: 80,
+		ExtraCols: 2, KeyVocab: 150, KeySample: 80, NoiseRate: 0.05,
+		AnonymousNames: true, Seed: 13,
+	}
+	c := workload.GenerateCorpus(spec)
+	names := []string{"name", "value", "embedding", "format", "distribution"}
+	run := func(label string, weights [5]float64) error {
+		d := discovery.NewD3L()
+		d.Weights = weights
+		p, r, _, _, err := EvalDiscoverer(d, c, k)
+		if err != nil {
+			return err
+		}
+		rep.Add(label, fmt.Sprintf("%.2f", p), fmt.Sprintf("%.2f", r))
+		return nil
+	}
+	if err := run("all five features", [5]float64{1, 1, 1, 1, 1}); err != nil {
+		return nil, err
+	}
+	for i, n := range names {
+		w := [5]float64{1, 1, 1, 1, 1}
+		w[i] = 0
+		if err := run("without "+n, w); err != nil {
+			return nil, err
+		}
+	}
+	for i, n := range names {
+		var w [5]float64
+		w[i] = 1
+		if err := run("only "+n, w); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// Datamaran sweeps noise rate and reports template recovery — the
+// survey's Sec. 5.1 claim of high unsupervised extraction accuracy on
+// log corpora.
+func Datamaran() (*Report, error) {
+	rep := &Report{
+		Title:  "Sec. 5.1: DATAMARAN structure extraction accuracy",
+		Header: []string{"Templates", "Records", "Noise", "Recovered", "Extracted", "Time"},
+	}
+	for _, noise := range []float64{0, 0.05, 0.15, 0.3} {
+		spec := workload.LogSpec{Templates: 5, Records: 600, NoiseRate: noise, Seed: 9}
+		gl := workload.GenerateLog(spec)
+		start := time.Now()
+		tpls := extract.Datamaran(gl.Content, extract.DefaultDatamaranConfig())
+		dur := time.Since(start)
+		truth := truthPatterns(gl)
+		rec := extract.TemplateRecovery(tpls, truth)
+		rep.Add(fmt.Sprintf("%d", spec.Templates), fmt.Sprintf("%d", spec.Records),
+			fmt.Sprintf("%.0f%%", noise*100), fmt.Sprintf("%.2f", rec),
+			fmt.Sprintf("%d", len(tpls)), dur.Round(time.Millisecond).String())
+	}
+	rep.Note("recovery = fraction of ground-truth record structures matched exactly, no supervision")
+	return rep, nil
+}
+
+// truthPatterns regenerates the expected generalized pattern sequences
+// from the ground-truth record layout of a generated log.
+func truthPatterns(gl *workload.GeneratedLog) [][]string {
+	lines := strings.Split(strings.TrimRight(gl.Content, "\n"), "\n")
+	var truth [][]string
+	seen := map[int]bool{}
+	li := 0
+	for _, tid := range gl.RecordTemplates {
+		tpl := gl.Templates[tid]
+		if !seen[tid] {
+			var pats []string
+			for j := range tpl.Lines {
+				pats = append(pats, sketch.RegexPattern(lines[li+j]))
+			}
+			truth = append(truth, pats)
+			seen[tid] = true
+		}
+		li += len(tpl.Lines)
+		for li < len(lines) && strings.HasPrefix(lines[li], "# noise") {
+			li++
+		}
+	}
+	return truth
+}
+
+// ExplorationModes scores the three Sec. 7.1 exploration modes on one
+// corpus.
+func ExplorationModes(k int) (*Report, error) {
+	rep := &Report{
+		Title:  "Sec. 7.1: exploration input/output modes",
+		Header: []string{"Mode", "Input", "Mean hits@k", "Query/table"},
+	}
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 16, JoinGroups: 4, RowsPerTable: 80,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 60, NoiseRate: 0.02, Seed: 29,
+	})
+	e := explore.NewExplorer()
+	if err := e.Index(c.Tables); err != nil {
+		return nil, err
+	}
+	modes := []struct {
+		mode  explore.Mode
+		label string
+		input string
+	}{
+		{explore.ModeJoinColumn, "1: joinable on column (JOSIE)", "table + column"},
+		{explore.ModePopulate, "2: populate table (D3L)", "table"},
+		{explore.ModeTask, "3: task-specific (Juneau)", "table + task"},
+	}
+	for _, m := range modes {
+		var hits, total int
+		start := time.Now()
+		for _, tbl := range c.Tables {
+			req := explore.Request{Mode: m.mode, Query: tbl, K: k, Column: c.KeyColumn[tbl.Name], Task: discovery.TaskAugment}
+			res, err := e.Explore(req)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range res {
+				total++
+				if c.Joinable[workload.NewPair(tbl.Name, r.Table)] {
+					hits++
+				}
+			}
+		}
+		dur := time.Since(start) / time.Duration(len(c.Tables))
+		frac := 0.0
+		if total > 0 {
+			frac = float64(hits) / float64(total)
+		}
+		rep.Add(m.label, m.input, fmt.Sprintf("%.2f", frac), dur.Round(time.Microsecond).String())
+	}
+	return rep, nil
+}
+
+// Pushdown measures federated query latency with and without predicate
+// pushdown — the optimization Constance and Ontario describe in
+// Sec. 7.2.
+func Pushdown(dir string, rows int) (*Report, error) {
+	rep := &Report{
+		Title:  "Sec. 7.2: federated querying with/without predicate pushdown",
+		Header: []string{"Query", "Pushdown", "Rows", "Latency"},
+	}
+	p, err := polystore.New(dir)
+	if err != nil {
+		return nil, err
+	}
+	var csv strings.Builder
+	csv.WriteString("id,site,v\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&csv, "%d,s%d,%d\n", i, i%50, i%997)
+	}
+	if _, err := p.Ingest("raw/big.csv", []byte(csv.String())); err != nil {
+		return nil, err
+	}
+	var jsonl strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&jsonl, "{\"site\":\"s%d\",\"v\":%d}\n", i%50, i%997)
+	}
+	if _, err := p.Ingest("raw/events.jsonl", []byte(jsonl.String())); err != nil {
+		return nil, err
+	}
+	queries := []string{
+		"SELECT id FROM rel:big WHERE site = 's7'",
+		"SELECT site FROM doc:events WHERE v > 900",
+	}
+	for _, sql := range queries {
+		for _, push := range []bool{true, false} {
+			e := query.NewEngine(p)
+			e.PushDown = push
+			start := time.Now()
+			var got *table.Table
+			for i := 0; i < 5; i++ {
+				got, err = e.ExecuteSQL(sql)
+				if err != nil {
+					return nil, err
+				}
+			}
+			dur := time.Since(start) / 5
+			rep.Add(sql, fmt.Sprintf("%v", push), fmt.Sprintf("%d", got.NumRows()),
+				dur.Round(time.Microsecond).String())
+		}
+	}
+	rep.Note("pushdown evaluates predicates inside member stores; identical results, lower central cost")
+	return rep, nil
+}
+
+// JoinabilityVsSemantic contrasts JOSIE's exact-overlap search with
+// PEXESO's semantic matching on disjoint-but-related vocabularies —
+// the Sec. 6.2.3 motivation for semantic joinability.
+func JoinabilityVsSemantic() (*Report, error) {
+	rep := &Report{
+		Title:  "Sec. 6.2.3: exact vs semantic joinability",
+		Header: []string{"System", "Exact-overlap pair found", "Semantic-only pair found"},
+	}
+	// Exact pair: a/b share values. Semantic pair: c/d share vocabulary
+	// context but no values.
+	a, _ := table.ParseCSV("a", "color\nred\ngreen\nblue\nyellow\n")
+	b, _ := table.ParseCSV("b", "colour\nred\ngreen\nblue\npurple\n")
+	cTbl, _ := table.ParseCSV("c", "shade\ncrimson\nscarlet\nruby\nmaroon\n")
+	d, _ := table.ParseCSV("d", "tone\ncrimson avec\nscarlet avec\nruby avec\nmaroon avec\n")
+	corpus := []*table.Table{a, b, cTbl, d}
+	find := func(disc discovery.Discoverer, q *table.Table, want string) bool {
+		for _, ts := range disc.RelatedTables(q, 2) {
+			if ts.Table == want {
+				return true
+			}
+		}
+		return false
+	}
+	j := discovery.NewJOSIE()
+	if err := j.Index(corpus); err != nil {
+		return nil, err
+	}
+	px := discovery.NewPEXESO()
+	px.Tau = 0.65
+	px.JoinabilityThreshold = 0.4
+	if err := px.Index(corpus); err != nil {
+		return nil, err
+	}
+	rep.Add("JOSIE", fmt.Sprintf("%v", find(j, a, "b")), fmt.Sprintf("%v", find(j, cTbl, "d")))
+	rep.Add("PEXESO", fmt.Sprintf("%v", find(px, a, "b")), fmt.Sprintf("%v", find(px, cTbl, "d")))
+	rep.Note("semantic-only pair shares tokens through multi-token values, not whole cell values")
+	return rep, nil
+}
+
+// EKGSummary reports the knowledge-graph shape Aurum builds on the
+// default corpus (Sec. 5.2.3).
+func EKGSummary() (*Report, error) {
+	rep := &Report{
+		Title:  "Sec. 5.2.3: Aurum enterprise knowledge graph",
+		Header: []string{"Metric", "Value"},
+	}
+	c := workload.GenerateCorpus(DefaultCorpusSpec())
+	a := discovery.NewAurum()
+	start := time.Now()
+	if err := a.Index(c.Tables); err != nil {
+		return nil, err
+	}
+	dur := time.Since(start)
+	g := a.EKG()
+	rep.Add("columns (nodes)", fmt.Sprintf("%d", g.NumColumns()))
+	rep.Add("edges", fmt.Sprintf("%d", g.NumEdges()))
+	rep.Add("hyperedges (tables)", fmt.Sprintf("%d", len(g.Hyperedges())))
+	rep.Add("build time", dur.Round(time.Millisecond).String())
+	// Path primitive between two related key columns.
+	names := c.TableNames()
+	var pathLen int
+	for p := range c.Joinable {
+		from := metamodel.ColumnRef{Table: p.A, Column: c.KeyColumn[p.A]}
+		to := metamodel.ColumnRef{Table: p.B, Column: c.KeyColumn[p.B]}
+		if path := g.PathBetween(from, to, 0.3); path != nil {
+			pathLen = len(path)
+			break
+		}
+	}
+	rep.Add("sample discovery path length", fmt.Sprintf("%d", pathLen))
+	_ = names
+	return rep, nil
+}
+
+// LakehouseReport exercises the Sec. 8.3 future direction — ACID table
+// storage with time travel and data skipping over the lake's file
+// store — and reports transactional behaviour plus the skipping win.
+func LakehouseReport(dir string, filesN, rowsPer int) (*Report, error) {
+	rep := &Report{
+		Title:  "Sec. 8.3: Lakehouse — transactions, time travel, data skipping",
+		Header: []string{"Capability", "Result"},
+	}
+	lh, err := lakehouse.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Build a table of filesN files with disjoint value ranges.
+	mk := func(base int) *table.Table {
+		var sb strings.Builder
+		sb.WriteString("id,v\n")
+		for i := 0; i < rowsPer; i++ {
+			fmt.Fprintf(&sb, "%d,%d\n", base+i, base+i)
+		}
+		t, _ := table.ParseCSV("metrics", sb.String())
+		return t
+	}
+	if err := lh.Create(mk(0)); err != nil {
+		return nil, err
+	}
+	v := 1
+	for f := 1; f < filesN; f++ {
+		v, err = lh.Append("metrics", v, mk(f*10000))
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Add("commits", fmt.Sprintf("%d versions, head v%d", v, v))
+	// Optimistic concurrency: a stale writer conflicts.
+	if _, err := lh.Append("metrics", 1, mk(999999)); err != nil {
+		rep.Add("optimistic concurrency", "stale commit rejected: "+firstLine(err.Error()))
+	} else {
+		rep.Add("optimistic concurrency", "FAILED: stale commit accepted")
+	}
+	// Time travel.
+	old, err := lh.ReadAt("metrics", 1)
+	if err != nil {
+		return nil, err
+	}
+	now, _, err := lh.Read("metrics")
+	if err != nil {
+		return nil, err
+	}
+	rep.Add("time travel", fmt.Sprintf("v1=%d rows, head=%d rows", old.NumRows(), now.NumRows()))
+	// Data skipping: range query touching one file.
+	start := time.Now()
+	got, skipped, err := lh.ScanWhere("metrics", "v", 10000, 10000+float64(rowsPer)-1)
+	if err != nil {
+		return nil, err
+	}
+	skipDur := time.Since(start)
+	rep.Add("data skipping", fmt.Sprintf("%d/%d files skipped, %d rows in %s",
+		skipped, filesN, got.NumRows(), skipDur.Round(time.Microsecond)))
+	return rep, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// LSHShapeAblation sweeps the LSH banding shape (bands x rows at fixed
+// signature length) and reports discovery quality and candidate
+// counts — the precision/recall knob behind Aurum and D3L that
+// DESIGN.md calls out as a design choice.
+func LSHShapeAblation() (*Report, error) {
+	rep := &Report{
+		Title:  "Design ablation: LSH banding shape (128-bit signatures)",
+		Header: []string{"Bands x Rows", "approx threshold", "Mean candidates", "P@4", "R@4"},
+	}
+	// Key overlap tuned so pairwise Jaccard lands around 0.33 — between
+	// the soft and strict shape thresholds.
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 24, JoinGroups: 6, RowsPerTable: 160,
+		ExtraCols: 1, KeyVocab: 300, KeySample: 150, NoiseRate: 0.05, Seed: 51,
+	})
+	shapes := [][2]int{{64, 2}, {32, 4}, {16, 8}}
+	for _, shape := range shapes {
+		bands, rows := shape[0], shape[1]
+		idx := sketch.NewLSHIndex(bands, rows)
+		sigs := map[string]*sketch.MinHash{}
+		for _, t := range c.Tables {
+			col, err := t.Column(c.KeyColumn[t.Name])
+			if err != nil {
+				return nil, err
+			}
+			sig := sketch.NewMinHash(idx.SignatureLen(), col.DistinctSlice())
+			sigs[t.Name] = sig
+			if err := idx.Add(t.Name, sig); err != nil {
+				return nil, err
+			}
+		}
+		var totalCands int
+		results := map[string][]string{}
+		var queries []string
+		for _, t := range c.Tables {
+			queries = append(queries, t.Name)
+			cands := idx.Query(sigs[t.Name], 0, t.Name)
+			totalCands += len(cands)
+			var names []string
+			for _, cd := range cands {
+				names = append(names, cd.Key)
+			}
+			if len(names) > 4 {
+				names = names[:4]
+			}
+			results[t.Name] = names
+		}
+		rel := func(q, cand string) bool { return c.Joinable[workload.NewPair(q, cand)] }
+		tot := func(q string) int {
+			n := 0
+			for pr := range c.Joinable {
+				if pr.A == q || pr.B == q {
+					n++
+				}
+			}
+			return n
+		}
+		p, r := workload.TopKQuality(queries, results, 4, rel, tot)
+		thresh := math.Pow(1/float64(bands), 1/float64(rows))
+		rep.Add(fmt.Sprintf("%dx%d", bands, rows), fmt.Sprintf("%.2f", thresh),
+			fmt.Sprintf("%.1f", float64(totalCands)/float64(len(c.Tables))),
+			fmt.Sprintf("%.2f", p), fmt.Sprintf("%.2f", r))
+	}
+	rep.Note("more bands -> lower collision threshold -> more candidates (recall) at more comparisons (cost)")
+	return rep, nil
+}
+
+// All runs every experiment and concatenates the reports — what
+// cmd/benchreport prints.
+func All(dir string) (string, error) {
+	var sb strings.Builder
+	type gen func() (*Report, error)
+	gens := []gen{
+		Table1,
+		Table2,
+		func() (*Report, error) { return Table3(DefaultCorpusSpec(), 4) },
+		func() (*Report, error) { return Table3(HardSpec(), 4) },
+		func() (*Report, error) { return Fig2(dir + "/fig2") },
+		func() (*Report, error) { return DiscoveryScaling([]int{20, 40, 80}, 4) },
+		func() (*Report, error) { return D3LAblation(4) },
+		Datamaran,
+		func() (*Report, error) { return ExplorationModes(3) },
+		func() (*Report, error) { return Pushdown(dir+"/pushdown", 20000) },
+		JoinabilityVsSemantic,
+		EKGSummary,
+		func() (*Report, error) { return LakehouseReport(dir+"/lakehouse", 8, 2000) },
+		LSHShapeAblation,
+	}
+	for _, g := range gens {
+		rep, err := g()
+		if err != nil {
+			return sb.String(), err
+		}
+		sb.WriteString(rep.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,71 @@
+// Package bench is the shared experiment harness behind the root
+// bench_test.go and cmd/benchreport: for every table and figure of the
+// survey it regenerates the content empirically on synthetic corpora
+// with ground truth, producing the same rows the paper reports plus
+// the measured quality/performance numbers the survey's prose claims
+// (who wins, by roughly what factor).
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table/figure: a title, column header, and
+// rows of cells, rendered as aligned text.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row.
+func (r *Report) Add(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a free-text note printed under the table.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report with aligned columns.
+func (r *Report) String() string {
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("== " + r.Title + " ==\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package clean
+
+import (
+	"sort"
+
+	"golake/internal/sketch"
+)
+
+// Auto-Validate (Song & He, Sec. 6.5.2) infers data-validation rules
+// from machine-generated string columns without supervision: the rule
+// is a small set of generalization patterns that covers (almost) all
+// historically observed values; a future batch whose violation rate
+// exceeds what the rule allows signals a significant data change. Rule
+// inference balances false-positive-rate minimization (the rule must
+// accept legitimate future values) against quality-issue preservation
+// (it must stay tight enough to catch drift).
+
+// ValidationRule is a learned set of accepted value patterns.
+type ValidationRule struct {
+	// Patterns are accepted character-class generalizations.
+	Patterns map[string]struct{}
+	// TrainCoverage is the fraction of training values the rule
+	// accepts.
+	TrainCoverage float64
+	// ExpectedFPR is the estimated false-positive rate on clean data
+	// (the training residual mass).
+	ExpectedFPR float64
+}
+
+// InferRule learns a validation rule from training values: patterns
+// are ranked by support and greedily added until at least
+// 1-targetFPR of the training mass is covered — the optimization
+// trade-off of the paper in its greedy form. Rare patterns stay
+// outside the rule so genuine drift remains detectable.
+func InferRule(values []string, targetFPR float64) ValidationRule {
+	rule := ValidationRule{Patterns: map[string]struct{}{}}
+	if len(values) == 0 {
+		return rule
+	}
+	support := map[string]int{}
+	for _, v := range values {
+		support[sketch.RegexPattern(v)]++
+	}
+	type ps struct {
+		pattern string
+		count   int
+	}
+	ranked := make([]ps, 0, len(support))
+	for p, c := range support {
+		ranked = append(ranked, ps{p, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].pattern < ranked[j].pattern
+	})
+	covered := 0
+	total := len(values)
+	for _, e := range ranked {
+		if float64(covered)/float64(total) >= 1-targetFPR {
+			break
+		}
+		rule.Patterns[e.pattern] = struct{}{}
+		covered += e.count
+	}
+	rule.TrainCoverage = float64(covered) / float64(total)
+	rule.ExpectedFPR = 1 - rule.TrainCoverage
+	return rule
+}
+
+// Accepts reports whether a single value matches the rule.
+func (r ValidationRule) Accepts(v string) bool {
+	_, ok := r.Patterns[sketch.RegexPattern(v)]
+	return ok
+}
+
+// ValidateBatch returns the violation rate of a new batch under the
+// rule and whether the batch should be flagged: flagged when the
+// violation rate exceeds the rule's expected false-positive rate by
+// slack (drift detection for downstream pipelines).
+func (r ValidationRule) ValidateBatch(values []string, slack float64) (violationRate float64, flagged bool) {
+	if len(values) == 0 {
+		return 0, false
+	}
+	bad := 0
+	for _, v := range values {
+		if !r.Accepts(v) {
+			bad++
+		}
+	}
+	violationRate = float64(bad) / float64(len(values))
+	return violationRate, violationRate > r.ExpectedFPR+slack
+}

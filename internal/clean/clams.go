@@ -1,0 +1,174 @@
+// Package clean implements the data-cleaning function of the
+// maintenance tier (Sec. 6.5): CLAMS-style constraint-based error
+// detection with hypergraph ranking and user validation, Constance's
+// RFD-violation cleaning, and Auto-Validate's unsupervised inference of
+// pattern-based validation rules for machine-generated data.
+package clean
+
+import (
+	"fmt"
+	"sort"
+
+	"golake/internal/enrich"
+	"golake/internal/table"
+)
+
+// Triple is one RDF-style fact; CLAMS operates on triples extracted
+// from the heterogeneous lake data.
+type Triple struct {
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// String renders "(s, p, o)".
+func (t Triple) String() string { return fmt.Sprintf("(%s, %s, %s)", t.Subject, t.Predicate, t.Object) }
+
+// TablesToTriples flattens a table into triples: (rowID, column,
+// value), the extraction step CLAMS applies before constraint
+// discovery.
+func TablesToTriples(t *table.Table) []Triple {
+	var out []Triple
+	for i := 0; i < t.NumRows(); i++ {
+		subj := fmt.Sprintf("%s/%d", t.Name, i)
+		for _, c := range t.Columns {
+			out = append(out, Triple{Subject: subj, Predicate: c.Name, Object: c.Cells[i]})
+		}
+	}
+	return out
+}
+
+// DiscoveredConstraint is a functional denial constraint discovered
+// from the data itself: determinant predicate -> dependent predicate
+// with the observed confidence.
+type DiscoveredConstraint struct {
+	Determinant string
+	Dependent   string
+	Confidence  float64
+}
+
+// DiscoverConstraints finds functional denial constraints from triples
+// by reconstructing the implied relation and running relaxed FD
+// discovery — CLAMS "automatically detects such constraints by
+// discovering possible schemata from the data and corresponding
+// constraints".
+func DiscoverConstraints(t *table.Table, minConfidence float64) []DiscoveredConstraint {
+	var out []DiscoveredConstraint
+	for _, rfd := range enrich.DiscoverRFDs(t, minConfidence) {
+		out = append(out, DiscoveredConstraint{
+			Determinant: rfd.Lhs,
+			Dependent:   rfd.Rhs,
+			Confidence:  rfd.Confidence,
+		})
+	}
+	return out
+}
+
+// Violation is one triple with its violation count from the CLAMS
+// hypergraph: each violated constraint instance is a hyperedge over
+// the participating triples; the triple's score is the number of
+// hyperedges covering it.
+type Violation struct {
+	Triple     Triple
+	Violations int
+}
+
+// RankViolations builds the violation hypergraph for the discovered
+// functional constraints and ranks triples by how many constraint
+// instances they participate in — the candidates CLAMS presents to the
+// user, dirtiest first.
+func RankViolations(t *table.Table, constraints []DiscoveredConstraint) []Violation {
+	counts := map[Triple]int{}
+	for _, dc := range constraints {
+		lhs, err := t.Column(dc.Determinant)
+		if err != nil {
+			continue
+		}
+		rhs, err := t.Column(dc.Dependent)
+		if err != nil {
+			continue
+		}
+		groups := map[string][]int{}
+		for i, v := range lhs.Cells {
+			groups[v] = append(groups[v], i)
+		}
+		for gv, rows := range groups {
+			freq := map[string]int{}
+			for _, ri := range rows {
+				freq[rhs.Cells[ri]]++
+			}
+			var majority string
+			best := -1
+			var vals []string
+			for v := range freq {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				if freq[v] > best {
+					majority, best = v, freq[v]
+				}
+			}
+			for _, ri := range rows {
+				if rhs.Cells[ri] != majority {
+					// The violating hyperedge covers both cells of the
+					// row involved in the constraint.
+					subj := fmt.Sprintf("%s/%d", t.Name, ri)
+					counts[Triple{Subject: subj, Predicate: dc.Dependent, Object: rhs.Cells[ri]}]++
+					counts[Triple{Subject: subj, Predicate: dc.Determinant, Object: gv}]++
+				}
+			}
+		}
+	}
+	out := make([]Violation, 0, len(counts))
+	for tr, n := range counts {
+		out = append(out, Violation{Triple: tr, Violations: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Violations != out[j].Violations {
+			return out[i].Violations > out[j].Violations
+		}
+		return out[i].Triple.String() < out[j].Triple.String()
+	})
+	return out
+}
+
+// Oracle answers CLAMS's user-validation question: should this
+// candidate dirty triple be removed? Scripted oracles replace the
+// human-in-the-loop in tests and benches.
+type Oracle func(t Triple) bool
+
+// CleanWithOracle removes the cells whose violating triples the oracle
+// confirms, blanking them in a copy of the table. Returns the cleaned
+// table and how many cells were blanked.
+func CleanWithOracle(t *table.Table, ranked []Violation, oracle Oracle) (*table.Table, int) {
+	out := t.Clone()
+	removed := 0
+	for _, v := range ranked {
+		if !oracle(v.Triple) {
+			continue
+		}
+		var row int
+		if n, err := fmt.Sscanf(lastSegment(v.Triple.Subject), "%d", &row); n != 1 || err != nil {
+			continue
+		}
+		col, err := out.Column(v.Triple.Predicate)
+		if err != nil || row >= col.Len() {
+			continue
+		}
+		if col.Cells[row] == v.Triple.Object {
+			col.Cells[row] = ""
+			removed++
+		}
+	}
+	return out, removed
+}
+
+func lastSegment(s string) string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return s[i+1:]
+		}
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"golake/internal/explore"
+	"golake/internal/table"
+)
+
+// HTTPHandler exposes the lake over REST, the external-application
+// interface Constance and CoreDB provide (Sec. 7.2): dataset listing,
+// metadata retrieval, related-dataset search, federated queries,
+// provenance and the swamp report. The acting user comes from the
+// X-Lake-User header; role checks apply as in the Go API.
+//
+//	GET  /datasets                     list catalog entries
+//	GET  /metadata?id=PATH             one GEMMS metadata object
+//	GET  /related?table=NAME&k=5       query-driven discovery
+//	POST /query                        body: SQL; result: JSON rows
+//	GET  /lineage?entity=NAME          upstream provenance
+//	GET  /audit?entity=NAME            access log (governance role)
+//	GET  /swamp                        metadata-coverage report
+func (l *Lake) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /datasets", l.handleDatasets)
+	mux.HandleFunc("GET /metadata", l.handleMetadata)
+	mux.HandleFunc("GET /related", l.handleRelated)
+	mux.HandleFunc("POST /query", l.handleQuery)
+	mux.HandleFunc("GET /lineage", l.handleLineage)
+	mux.HandleFunc("GET /audit", l.handleAudit)
+	mux.HandleFunc("GET /swamp", l.handleSwamp)
+	return mux
+}
+
+func userOf(r *http.Request) string {
+	if u := r.Header.Get("X-Lake-User"); u != "" {
+		return u
+	}
+	return "anonymous"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unknown user"), strings.Contains(msg, "not authorized"):
+		status = http.StatusForbidden
+	case strings.Contains(msg, "no such"), strings.Contains(msg, "unknown"):
+		status = http.StatusNotFound
+	case strings.Contains(msg, "query:"):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (l *Lake) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID      string `json:"id"`
+		Cluster string `json:"cluster"`
+	}
+	var out []entry
+	for _, id := range l.Catalog.List() {
+		e, err := l.Catalog.Entry(id)
+		if err != nil {
+			continue
+		}
+		out = append(out, entry{ID: e.ID, Cluster: e.Cluster})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (l *Lake) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	obj, err := l.GEMMS.Object(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         obj.ID,
+		"properties": obj.Properties,
+		"attributes": obj.Attributes,
+		"semantics":  obj.Semantics,
+	})
+}
+
+func (l *Lake) handleRelated(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("table")
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	if k <= 0 {
+		k = 5
+	}
+	res, err := l.RelatedTables(userOf(r), name, k)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if res == nil {
+		res = []explore.Result{}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		SQL string `json:"sql"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.SQL == "" {
+		writeErr(w, fmt.Errorf("query: bad request body"))
+		return
+	}
+	res, err := l.QuerySQL(userOf(r), body.SQL)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tableJSON(res))
+}
+
+// tableJSON renders a table as {columns: [...], rows: [[...], ...]}.
+func tableJSON(t *table.Table) map[string]any {
+	rows := make([][]string, 0, t.NumRows())
+	for i := 0; i < t.NumRows(); i++ {
+		rows = append(rows, t.Row(i))
+	}
+	return map[string]any{"columns": t.ColumnNames(), "rows": rows}
+}
+
+func (l *Lake) handleLineage(w http.ResponseWriter, r *http.Request) {
+	up, err := l.Lineage(r.URL.Query().Get("entity"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if up == nil {
+		up = []string{}
+	}
+	writeJSON(w, http.StatusOK, up)
+}
+
+func (l *Lake) handleAudit(w http.ResponseWriter, r *http.Request) {
+	events, err := l.Audit(userOf(r), r.URL.Query().Get("entity"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, events)
+}
+
+func (l *Lake) handleSwamp(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, l.SwampCheck())
+}

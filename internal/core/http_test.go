@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func apiLake(t *testing.T) *httptest.Server {
+	t.Helper()
+	l := testLake(t)
+	if _, err := l.Ingest("raw/orders.csv", []byte("id,total\n1,10\n2,20\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Ingest("raw/payments.csv", []byte("id,amount\n1,10\n2,20\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(l.HTTPHandler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, srv *httptest.Server, path, user string) (*http.Response, []byte) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+	if user != "" {
+		req.Header.Set("X-Lake-User", user)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, []byte(sb.String())
+}
+
+func TestHTTPDatasetsAndMetadata(t *testing.T) {
+	srv := apiLake(t)
+	resp, body := get(t, srv, "/datasets", "dana")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var entries []map[string]string
+	if err := json.Unmarshal(body, &entries); err != nil || len(entries) != 2 {
+		t.Fatalf("datasets = %s (%v)", body, err)
+	}
+	resp, body = get(t, srv, "/metadata?id=raw/orders.csv", "dana")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metadata status = %d", resp.StatusCode)
+	}
+	var md map[string]any
+	if err := json.Unmarshal(body, &md); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := md["attributes"].(map[string]any)
+	if attrs["total"] != "int" {
+		t.Errorf("attributes = %v", attrs)
+	}
+	if resp, _ := get(t, srv, "/metadata?id=ghost", "dana"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing metadata status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRelatedAndQuery(t *testing.T) {
+	srv := apiLake(t)
+	resp, body := get(t, srv, "/related?table=orders&k=2", "dana")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("related status = %d: %s", resp.StatusCode, body)
+	}
+	var res []map[string]any
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r["Table"] == "payments" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("payments not related: %s", body)
+	}
+	// POST /query.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/query",
+		strings.NewReader(`{"sql":"SELECT id FROM rel:orders WHERE total > 15"}`))
+	req.Header.Set("X-Lake-User", "dana")
+	qresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	var qr struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(qresp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 || qr.Rows[0][0] != "2" {
+		t.Errorf("query result = %+v", qr)
+	}
+}
+
+func TestHTTPAccessControl(t *testing.T) {
+	srv := apiLake(t)
+	// Unknown user cannot search.
+	if resp, _ := get(t, srv, "/related?table=orders", "mallory"); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("unknown user status = %d", resp.StatusCode)
+	}
+	// Audit requires the governance role.
+	if resp, _ := get(t, srv, "/audit?entity=raw/orders.csv", "dana"); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("non-governance audit status = %d", resp.StatusCode)
+	}
+	resp, body := get(t, srv, "/audit?entity=raw/orders.csv", "gov")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("governance audit status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPLineageAndSwamp(t *testing.T) {
+	srv := apiLake(t)
+	resp, body := get(t, srv, "/lineage?entity=raw/orders.csv", "dana")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lineage status = %d", resp.StatusCode)
+	}
+	var up []string
+	if err := json.Unmarshal(body, &up); err != nil || len(up) != 0 {
+		t.Errorf("lineage = %s", body)
+	}
+	resp, body = get(t, srv, "/swamp", "dana")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swamp status = %d", resp.StatusCode)
+	}
+	var rep SwampReport
+	if err := json.Unmarshal(body, &rep); err != nil || rep.Datasets != 2 {
+		t.Errorf("swamp = %s", body)
+	}
+	if resp, _ := get(t, srv, "/lineage?entity=ghost", "dana"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing lineage status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadQuery(t *testing.T) {
+	srv := apiLake(t)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/query", strings.NewReader(`not json`))
+	req.Header.Set("X-Lake-User", "dana")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,67 @@
+package discovery
+
+import (
+	"golake/internal/metamodel"
+	"golake/internal/table"
+)
+
+// HumanInLoop wraps a Discoverer with the similarity-based triage of
+// Brackenbury et al. (Sec. 6.2.1): when the algorithmic score alone is
+// not decisive — inside a configurable uncertainty band — a human is
+// asked to confirm or reject the candidate; clear accepts and clear
+// rejects never reach the human. Scripted oracles replace the human in
+// tests and benches.
+type HumanInLoop struct {
+	// Inner produces the algorithmic ranking.
+	Inner Discoverer
+	// AcceptAbove auto-accepts candidates scoring at or above this.
+	AcceptAbove float64
+	// RejectBelow auto-rejects candidates scoring below this.
+	RejectBelow float64
+	// Oracle answers the uncertain cases; nil keeps uncertain
+	// candidates (algorithm-only fallback).
+	Oracle func(query string, candidate metamodel.TableScore) bool
+
+	// Asked counts oracle consultations (the human-effort metric).
+	Asked int
+}
+
+// NewHumanInLoop wraps a discoverer with default thresholds.
+func NewHumanInLoop(inner Discoverer, oracle func(string, metamodel.TableScore) bool) *HumanInLoop {
+	return &HumanInLoop{Inner: inner, AcceptAbove: 0.6, RejectBelow: 0.1, Oracle: oracle}
+}
+
+// Name implements Discoverer.
+func (h *HumanInLoop) Name() string { return h.Inner.Name() + "+human" }
+
+// Index implements Discoverer.
+func (h *HumanInLoop) Index(tables []*table.Table) error { return h.Inner.Index(tables) }
+
+// RelatedTables implements Discoverer: the inner ranking filtered
+// through the accept/ask/reject triage.
+func (h *HumanInLoop) RelatedTables(query *table.Table, k int) []metamodel.TableScore {
+	// Over-fetch so that rejects don't starve the result.
+	raw := h.Inner.RelatedTables(query, 3*k)
+	var out []metamodel.TableScore
+	for _, ts := range raw {
+		switch {
+		case ts.Score >= h.AcceptAbove:
+			out = append(out, ts)
+		case ts.Score < h.RejectBelow:
+			continue
+		default:
+			if h.Oracle == nil {
+				out = append(out, ts)
+				continue
+			}
+			h.Asked++
+			if h.Oracle(query.Name, ts) {
+				out = append(out, ts)
+			}
+		}
+		if k > 0 && len(out) == k {
+			break
+		}
+	}
+	return out
+}

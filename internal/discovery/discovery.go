@@ -1,0 +1,61 @@
+// Package discovery implements the related-dataset-discovery function
+// of the maintenance tier (Sec. 6.2 of the survey) with one
+// implementation per system family of Table 3:
+//
+//   - JOSIE: exact top-k overlap set similarity over an inverted index
+//   - Aurum: LSH-signature profiling into an enterprise knowledge graph
+//   - D3L: five relatedness features combined in a weighted Euclidean
+//     space, with weights trainable from labeled pairs
+//   - PEXESO: semantic joinability of textual columns via
+//     high-dimensional vectors with grid pruning
+//   - Juneau: multi-signal task-specific relatedness for data science
+//   - DLN: scalable feature classifiers trained from join query logs
+//
+// All implementations satisfy the Discoverer interface, which is what
+// the Table 3 benchmark sweeps over.
+package discovery
+
+import (
+	"golake/internal/metamodel"
+	"golake/internal/table"
+)
+
+// Discoverer is the common contract of related-dataset-discovery
+// systems: build an index over a corpus once, answer ranked
+// related-table queries many times.
+type Discoverer interface {
+	// Name identifies the system (for reports).
+	Name() string
+	// Index builds the discovery index over the corpus.
+	Index(tables []*table.Table) error
+	// RelatedTables returns the top-k tables most related to the query
+	// table, excluding the query itself, ranked by descending score.
+	RelatedTables(query *table.Table, k int) []metamodel.TableScore
+}
+
+// ColumnMatch is a ranked joinable-column result.
+type ColumnMatch struct {
+	Ref   metamodel.ColumnRef
+	Score float64
+}
+
+// JoinSearcher is implemented by systems that answer column-level
+// joinability queries (exploration mode 1 of Sec. 7.1).
+type JoinSearcher interface {
+	// JoinableColumns returns the top-k columns joinable with the given
+	// column of the query table.
+	JoinableColumns(query *table.Table, column string, k int) ([]ColumnMatch, error)
+}
+
+// columnKey renders the canonical "table.column" identifier.
+func columnKey(t, c string) string { return t + "." + c }
+
+// textualValues returns the distinct non-null values of a column,
+// capped at limit to bound index cost (0 = no cap).
+func textualValues(c *table.Column, limit int) []string {
+	vals := c.DistinctSlice()
+	if limit > 0 && len(vals) > limit {
+		vals = vals[:limit]
+	}
+	return vals
+}

@@ -1,0 +1,190 @@
+package discovery
+
+import (
+	"math"
+
+	"golake/internal/metamodel"
+	"golake/internal/sketch"
+	"golake/internal/table"
+)
+
+// SearchTask selects which relatedness signals Juneau combines — the
+// paper keys the feature subset to the data-science task of the search
+// (Sec. 6.2.2/7.1).
+type SearchTask int
+
+// The data-science search tasks Juneau supports.
+const (
+	// TaskAugment finds additional training/validation data: rewards
+	// schema overlap plus new rows.
+	TaskAugment SearchTask = iota
+	// TaskFeatures finds tables contributing new attributes for
+	// feature engineering: rewards key overlap plus new columns.
+	TaskFeatures
+	// TaskClean finds cleaner versions of the same data: rewards
+	// instance/schema/provenance overlap and fewer nulls.
+	TaskClean
+)
+
+// Juneau implements multi-signal task-aware relatedness (Zhang & Ives):
+// instance overlap, schema overlap, candidate-key match, new-attribute
+// and new-instance rates, descriptive-metadata similarity, null-count
+// difference, and an optional provenance similarity supplied by the
+// workflow-graph layer.
+type Juneau struct {
+	// Task selects the signal weighting.
+	Task SearchTask
+	// ProvenanceSim, when non-nil, returns the workflow-graph
+	// similarity of two tables in [0,1] (variable-dependency subgraph
+	// similarity in the paper).
+	ProvenanceSim func(a, b string) float64
+
+	indexed map[string]*juneauProfile
+	order   []string
+}
+
+type juneauProfile struct {
+	name     string
+	colNames map[string]struct{}
+	colSets  map[string]map[string]struct{}
+	keys     map[string]struct{} // candidate key columns
+	rows     int
+	nullFrac float64
+	metaToks map[string]struct{}
+}
+
+// NewJuneau creates an instance for the given task.
+func NewJuneau(task SearchTask) *Juneau {
+	return &Juneau{Task: task, indexed: map[string]*juneauProfile{}}
+}
+
+// Name implements Discoverer.
+func (j *Juneau) Name() string { return "Juneau" }
+
+// Index implements Discoverer.
+func (j *Juneau) Index(tables []*table.Table) error {
+	for _, t := range tables {
+		p := juneauProfileOf(t)
+		j.indexed[t.Name] = p
+		j.order = append(j.order, t.Name)
+	}
+	return nil
+}
+
+func juneauProfileOf(t *table.Table) *juneauProfile {
+	p := &juneauProfile{
+		name:     t.Name,
+		colNames: map[string]struct{}{},
+		colSets:  map[string]map[string]struct{}{},
+		keys:     map[string]struct{}{},
+		rows:     t.NumRows(),
+		metaToks: map[string]struct{}{},
+	}
+	totalCells, nullCells := 0, 0
+	for _, c := range t.Columns {
+		p.colNames[c.Name] = struct{}{}
+		p.colSets[c.Name] = c.Distinct()
+		if c.IsCandidateKey(0.9) {
+			p.keys[c.Name] = struct{}{}
+		}
+		totalCells += c.Len()
+		nullCells += c.NullCount()
+	}
+	if totalCells > 0 {
+		p.nullFrac = float64(nullCells) / float64(totalCells)
+	}
+	for _, v := range t.Meta {
+		for _, tok := range sketch.Tokenize(v) {
+			p.metaToks[tok] = struct{}{}
+		}
+	}
+	return p
+}
+
+// signals computes the raw relatedness signals between query and
+// candidate profiles.
+type juneauSignals struct {
+	instanceOverlap float64 // best column-pair Jaccard
+	schemaOverlap   float64 // column-name Jaccard
+	keyMatch        float64 // 1 if a candidate key pair overlaps
+	newAttrRate     float64 // candidate attrs absent from query
+	newInstanceRate float64 // candidate rows beyond matched values
+	metaSim         float64 // descriptive metadata Jaccard
+	nullImprovement float64 // positive when candidate has fewer nulls
+	provenanceSim   float64
+}
+
+func (j *Juneau) signalsFor(q, c *juneauProfile) juneauSignals {
+	var s juneauSignals
+	s.schemaOverlap = sketch.ExactJaccard(q.colNames, c.colNames)
+	// Best instance overlap across shared or all column pairs.
+	for _, qs := range q.colSets {
+		for _, cs := range c.colSets {
+			if sim := sketch.ExactJaccard(qs, cs); sim > s.instanceOverlap {
+				s.instanceOverlap = sim
+			}
+		}
+	}
+	for qk := range q.keys {
+		for ck := range c.keys {
+			if sketch.Containment(q.colSets[qk], c.colSets[ck]) >= 0.3 {
+				s.keyMatch = 1
+			}
+		}
+	}
+	newAttrs := 0
+	for name := range c.colNames {
+		if _, ok := q.colNames[name]; !ok {
+			newAttrs++
+		}
+	}
+	if len(c.colNames) > 0 {
+		s.newAttrRate = float64(newAttrs) / float64(len(c.colNames))
+	}
+	if c.rows > q.rows {
+		s.newInstanceRate = math.Min(1, float64(c.rows-q.rows)/float64(q.rows+1))
+	}
+	s.metaSim = sketch.ExactJaccard(q.metaToks, c.metaToks)
+	s.nullImprovement = math.Max(0, q.nullFrac-c.nullFrac)
+	if j.ProvenanceSim != nil {
+		s.provenanceSim = j.ProvenanceSim(q.name, c.name)
+	}
+	return s
+}
+
+// Score combines signals per the selected task.
+func (j *Juneau) score(s juneauSignals) float64 {
+	switch j.Task {
+	case TaskAugment:
+		// Same schema, overlapping domain, more rows.
+		return 0.35*s.schemaOverlap + 0.25*s.instanceOverlap +
+			0.2*s.newInstanceRate + 0.1*s.metaSim + 0.1*s.provenanceSim
+	case TaskFeatures:
+		// Joinable keys bringing new attributes.
+		return 0.35*s.keyMatch + 0.25*s.newAttrRate +
+			0.2*s.instanceOverlap + 0.1*s.schemaOverlap + 0.1*s.provenanceSim
+	default: // TaskClean
+		// Same data, fewer nulls, shared lineage.
+		return 0.3*s.instanceOverlap + 0.25*s.schemaOverlap +
+			0.2*s.nullImprovement + 0.15*s.provenanceSim + 0.1*s.metaSim
+	}
+}
+
+// RelatedTables implements Discoverer.
+func (j *Juneau) RelatedTables(query *table.Table, k int) []metamodel.TableScore {
+	qp, ok := j.indexed[query.Name]
+	if !ok {
+		qp = juneauProfileOf(query)
+	}
+	scores := map[string]float64{}
+	for _, name := range j.order {
+		if name == query.Name {
+			continue
+		}
+		s := j.score(j.signalsFor(qp, j.indexed[name]))
+		if s > 0 {
+			scores[name] = s
+		}
+	}
+	return rankTables(scores, k)
+}

@@ -1,0 +1,166 @@
+package enrich
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"golake/internal/sketch"
+)
+
+// CoreDB-style semantic enrichment (Sec. 6.4.1): extract features —
+// keywords and named entities — from raw text, expand them with
+// synonyms/stems, and link them to a knowledge base. The external
+// knowledge bases (Google KG, Wikidata) are substituted by a pluggable
+// KnowledgeBase interface with an in-memory implementation.
+
+// Features is the extraction result for one document or dataset.
+type Features struct {
+	Keywords      []string
+	NamedEntities []string
+	// Expanded adds synonyms and stems of the keywords.
+	Expanded []string
+	// Links maps an entity to its knowledge-base identifier.
+	Links map[string]string
+}
+
+// KnowledgeBase resolves an entity mention to an identifier, or
+// returns false.
+type KnowledgeBase interface {
+	Resolve(entity string) (string, bool)
+}
+
+// MapKB is a static in-memory knowledge base.
+type MapKB map[string]string
+
+// Resolve implements KnowledgeBase.
+func (m MapKB) Resolve(entity string) (string, bool) {
+	id, ok := m[strings.ToLower(entity)]
+	return id, ok
+}
+
+// synonyms is a small built-in thesaurus standing in for the synonym
+// service CoreDB calls.
+var synonyms = map[string][]string{
+	"car": {"automobile", "vehicle"}, "city": {"town", "municipality"},
+	"price": {"cost", "amount"}, "client": {"customer"},
+	"customer": {"client"}, "purchase": {"order", "sale"},
+	"illness": {"disease"}, "disease": {"illness"},
+}
+
+// ExtractFeatures pulls keywords (frequent informative tokens) and
+// named entities (capitalized multi-word spans) from text, expands the
+// keywords, and links entities through the knowledge base (nil KB
+// skips linking).
+func ExtractFeatures(text string, kb KnowledgeBase) Features {
+	f := Features{Links: map[string]string{}}
+	// Keywords: frequency-ranked informative tokens.
+	tf := map[string]int{}
+	for _, tok := range sketch.Tokenize(text) {
+		if len(tok) >= 3 && !coreStop[tok] {
+			tf[tok]++
+		}
+	}
+	var kws []string
+	for t := range tf {
+		kws = append(kws, t)
+	}
+	sort.Slice(kws, func(i, j int) bool {
+		if tf[kws[i]] != tf[kws[j]] {
+			return tf[kws[i]] > tf[kws[j]]
+		}
+		return kws[i] < kws[j]
+	})
+	if len(kws) > 10 {
+		kws = kws[:10]
+	}
+	f.Keywords = kws
+	// Named entities: consecutive capitalized words.
+	f.NamedEntities = namedEntities(text)
+	// Expansion: synonyms plus naive stems.
+	seen := map[string]struct{}{}
+	for _, k := range kws {
+		for _, s := range synonyms[k] {
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				f.Expanded = append(f.Expanded, s)
+			}
+		}
+		if st := stem(k); st != k {
+			if _, ok := seen[st]; !ok {
+				seen[st] = struct{}{}
+				f.Expanded = append(f.Expanded, st)
+			}
+		}
+	}
+	sort.Strings(f.Expanded)
+	if kb != nil {
+		for _, e := range f.NamedEntities {
+			if id, ok := kb.Resolve(e); ok {
+				f.Links[e] = id
+			}
+		}
+	}
+	return f
+}
+
+// namedEntities finds runs of two or more capitalized words — the
+// shallow multi-word extraction CoreDB applies. Runs end at lowercase
+// words and at sentence punctuation; single capitalized words are
+// dropped (they are usually sentence-initial).
+func namedEntities(text string) []string {
+	words := strings.Fields(text)
+	var out []string
+	var run []string
+	flush := func() {
+		if len(run) >= 2 {
+			out = append(out, strings.Join(run, " "))
+		}
+		run = nil
+	}
+	for _, w := range words {
+		trimmed := strings.TrimFunc(w, func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+		})
+		if trimmed == "" {
+			flush()
+			continue
+		}
+		r := []rune(trimmed)
+		if unicode.IsUpper(r[0]) && len(trimmed) > 1 {
+			run = append(run, trimmed)
+		} else {
+			flush()
+			continue
+		}
+		// Sentence punctuation terminates the run even after a
+		// capitalized word ("... Berlin Center. The ...").
+		if last := w[len(w)-1]; last == '.' || last == ',' || last == ';' || last == '!' || last == '?' {
+			flush()
+		}
+	}
+	flush()
+	return dedupeStrings(out)
+}
+
+// stem applies a tiny suffix-stripping stemmer (enough for plural and
+// gerund forms).
+func stem(w string) string {
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		return w[:len(w)-3]
+	case strings.HasSuffix(w, "es") && len(w) > 4:
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && len(w) > 3 && !strings.HasSuffix(w, "ss"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+var coreStop = map[string]bool{
+	"the": true, "and": true, "for": true, "with": true, "that": true,
+	"this": true, "from": true, "are": true, "was": true, "were": true,
+	"has": true, "have": true, "had": true, "its": true, "their": true,
+}

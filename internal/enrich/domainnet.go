@@ -1,0 +1,162 @@
+package enrich
+
+import (
+	"sort"
+
+	"golake/internal/table"
+)
+
+// DomainNet (Leventidis et al., Sec. 6.4.1) detects homographs — data
+// values like "Apple" that carry different meanings in different
+// tables — by building a bipartite network of values and attributes
+// and examining its community structure: a value attached to attributes
+// from multiple communities is a homograph candidate.
+//
+// Communities are found with synchronous label propagation over the
+// bipartite graph (deterministic: ties break on smaller label).
+
+// Homograph is one detected ambiguous value.
+type Homograph struct {
+	Value string
+	// Communities is the number of distinct attribute communities the
+	// value touches.
+	Communities int
+	// Attributes lists the attributes ("table.column") containing it.
+	Attributes []string
+}
+
+// DomainNetConfig tunes detection.
+type DomainNetConfig struct {
+	// Iterations bounds label propagation rounds.
+	Iterations int
+	// MaxValuesPerColumn caps graph size.
+	MaxValuesPerColumn int
+}
+
+// DefaultDomainNetConfig returns sane defaults.
+func DefaultDomainNetConfig() DomainNetConfig {
+	return DomainNetConfig{Iterations: 12, MaxValuesPerColumn: 2000}
+}
+
+// DomainNet returns the homographs found in the corpus, sorted by
+// descending community count then value.
+func DomainNet(tables []*table.Table, cfg DomainNetConfig) []Homograph {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 12
+	}
+	// Bipartite adjacency: value node <-> attribute node.
+	valueAttrs := map[string][]string{}
+	attrValues := map[string][]string{}
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			if c.Kind.Numeric() || c.Kind == table.KindTime {
+				continue
+			}
+			attr := t.Name + "." + c.Name
+			vals := c.DistinctSlice()
+			if cfg.MaxValuesPerColumn > 0 && len(vals) > cfg.MaxValuesPerColumn {
+				vals = vals[:cfg.MaxValuesPerColumn]
+			}
+			for _, v := range vals {
+				valueAttrs[v] = append(valueAttrs[v], attr)
+				attrValues[attr] = append(attrValues[attr], v)
+			}
+		}
+	}
+	// Label propagation: every node starts with its own label; each
+	// round adopts the most frequent neighbor label.
+	labels := map[string]string{}
+	var nodes []string
+	for v := range valueAttrs {
+		n := "v:" + v
+		labels[n] = n
+		nodes = append(nodes, n)
+	}
+	for a := range attrValues {
+		n := "a:" + a
+		labels[n] = n
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	neighbors := func(n string) []string {
+		if len(n) > 2 && n[:2] == "v:" {
+			attrs := valueAttrs[n[2:]]
+			out := make([]string, len(attrs))
+			for i, a := range attrs {
+				out[i] = "a:" + a
+			}
+			return out
+		}
+		vals := attrValues[n[2:]]
+		out := make([]string, len(vals))
+		for i, v := range vals {
+			out[i] = "v:" + v
+		}
+		return out
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		next := make(map[string]string, len(labels))
+		changed := false
+		for _, n := range nodes {
+			freq := map[string]int{}
+			for _, nb := range neighbors(n) {
+				freq[labels[nb]]++
+			}
+			best := labels[n]
+			bestCount := 0
+			var cand []string
+			for l := range freq {
+				cand = append(cand, l)
+			}
+			sort.Strings(cand)
+			for _, l := range cand {
+				if freq[l] > bestCount {
+					best, bestCount = l, freq[l]
+				}
+			}
+			next[n] = best
+			if best != labels[n] {
+				changed = true
+			}
+		}
+		labels = next
+		if !changed {
+			break
+		}
+	}
+	// A value whose attribute neighbors span several communities is a
+	// homograph.
+	var out []Homograph
+	for v, attrs := range valueAttrs {
+		comm := map[string]struct{}{}
+		for _, a := range attrs {
+			comm[labels["a:"+a]] = struct{}{}
+		}
+		if len(comm) < 2 {
+			continue
+		}
+		uniq := dedupeStrings(attrs)
+		out = append(out, Homograph{Value: v, Communities: len(comm), Attributes: uniq})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Communities != out[j].Communities {
+			return out[i].Communities > out[j].Communities
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+func dedupeStrings(in []string) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, s := range in {
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

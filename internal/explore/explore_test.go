@@ -1,0 +1,129 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+
+	"golake/internal/discovery"
+	"golake/internal/table"
+	"golake/internal/workload"
+)
+
+func indexedExplorer(t *testing.T) (*Explorer, *workload.Corpus) {
+	t.Helper()
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 12, JoinGroups: 3, RowsPerTable: 80,
+		ExtraCols: 1, KeyVocab: 120, KeySample: 70, NoiseRate: 0.01, Seed: 23,
+	})
+	e := NewExplorer()
+	if err := e.Index(c.Tables); err != nil {
+		t.Fatal(err)
+	}
+	return e, c
+}
+
+func TestModeJoinColumn(t *testing.T) {
+	e, c := indexedExplorer(t)
+	q := c.Tables[0]
+	res, err := e.Explore(Request{Mode: ModeJoinColumn, Query: q, Column: c.KeyColumn[q.Name], K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %+v", res)
+	}
+	for _, r := range res {
+		if !c.Joinable[workload.NewPair(q.Name, r.Table)] {
+			t.Errorf("non-joinable result %+v", r)
+		}
+		if r.Via != "overlap" {
+			t.Errorf("via = %q", r.Via)
+		}
+	}
+	// Unknown column errors.
+	if _, err := e.Explore(Request{Mode: ModeJoinColumn, Query: q, Column: "ghost", K: 3}); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestModePopulate(t *testing.T) {
+	e, c := indexedExplorer(t)
+	q := c.Tables[1]
+	res, err := e.Explore(Request{Mode: ModePopulate, Query: q, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no populate results")
+	}
+	hits := 0
+	for _, r := range res {
+		if r.Via == "populate" && c.Joinable[workload.NewPair(q.Name, r.Table)] {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Errorf("populate quality too low: %+v", res)
+	}
+}
+
+func TestModeTask(t *testing.T) {
+	e, c := indexedExplorer(t)
+	q := c.Tables[2]
+	res, err := e.Explore(Request{Mode: ModeTask, Query: q, Task: discovery.TaskAugment, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %+v", res)
+	}
+	for _, r := range res {
+		if !c.Unionable[workload.NewPair(q.Name, r.Table)] {
+			t.Errorf("augment result not unionable: %+v", r)
+		}
+		if r.Via != "augment" {
+			t.Errorf("via = %q", r.Via)
+		}
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	e := NewExplorer()
+	tbl, _ := table.ParseCSV("q", "a\n1\n")
+	if _, err := e.Explore(Request{Mode: ModePopulate, Query: tbl}); !errors.Is(err, ErrNotIndexed) {
+		t.Errorf("unindexed explore = %v", err)
+	}
+	_ = e.Index([]*table.Table{tbl})
+	if _, err := e.Explore(Request{Mode: ModePopulate, Query: nil}); err == nil {
+		t.Error("nil query should error")
+	}
+	if _, err := e.Explore(Request{Mode: Mode(99), Query: tbl}); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestPopulateCoverageExtension(t *testing.T) {
+	// Build a tiny corpus where a coverage table exists: q relates to a
+	// (shared key values); b joins with a on another column and brings
+	// new attributes, but b shares nothing with q.
+	q, _ := table.ParseCSV("q", "k,v\nk1,1\nk2,2\nk3,3\n")
+	a, _ := table.ParseCSV("a", "k,link\nk1,x1\nk2,x2\nk3,x3\n")
+	b, _ := table.ParseCSV("b", "link,extra\nx1,e1\nx2,e2\nx3,e3\n")
+	e := NewExplorer()
+	if err := e.Index([]*table.Table{q, a, b}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Explore(Request{Mode: ModePopulate, Query: q, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCoverage := false
+	for _, r := range res {
+		if r.Table == "b" && r.Via == "coverage" {
+			foundCoverage = true
+		}
+	}
+	if !foundCoverage {
+		t.Errorf("coverage extension missing: %+v", res)
+	}
+}

@@ -1,0 +1,210 @@
+package integrate
+
+import (
+	"sort"
+
+	"golake/internal/metamodel"
+	"golake/internal/table"
+)
+
+// ALITE (Khatiwada et al., Sec. 6.3) integrates the tables returned by
+// dataset discovery: columns are aligned holistically (here: the
+// connected-component clusters of Cluster, standing in for the
+// embedding-based hierarchical clustering over TURL vectors), renamed
+// to one attribute per cluster, and combined by Full Disjunction — the
+// associative generalization of the natural outer join that preserves
+// every tuple and maximally connects tuples agreeing on shared
+// attributes.
+
+// FullDisjunction computes the full disjunction of the given tables
+// under the attribute alignment induced by clusters. The result has
+// one column per cluster that covers any input column, named after the
+// cluster representative (most frequent source column name).
+func FullDisjunction(tables []*table.Table, clusters [][]metamodel.ColumnRef) *table.Table {
+	attrOf, attrNames := alignment(clusters)
+	// Convert every input tuple into a sparse record over integrated
+	// attributes.
+	var records []map[string]string
+	for _, t := range tables {
+		names := t.ColumnNames()
+		for i := 0; i < t.NumRows(); i++ {
+			rec := map[string]string{}
+			row := t.Row(i)
+			for j, col := range names {
+				attr, ok := attrOf[metamodel.ColumnRef{Table: t.Name, Column: col}]
+				if !ok {
+					continue
+				}
+				if row[j] != "" {
+					rec[attr] = row[j]
+				}
+			}
+			if len(rec) > 0 {
+				records = append(records, rec)
+			}
+		}
+	}
+	// Iteratively merge records that join: they share at least one
+	// attribute with equal values and conflict on none. Repeat until a
+	// fixpoint — the naive but exact FD computation (ALITE optimizes
+	// this; the result set is the same).
+	merged := fdFixpoint(records)
+	// Render as a table.
+	out := table.New("full_disjunction")
+	for _, a := range attrNames {
+		out.Columns = append(out.Columns, &table.Column{Name: a})
+	}
+	sort.Slice(merged, func(i, j int) bool { return recKey(merged[i], attrNames) < recKey(merged[j], attrNames) })
+	for _, rec := range merged {
+		row := make([]string, len(attrNames))
+		for i, a := range attrNames {
+			row[i] = rec[a]
+		}
+		_ = out.AppendRow(row)
+	}
+	out.InferTypes()
+	return out
+}
+
+// alignment maps every clustered column to its integrated attribute
+// name and returns the ordered attribute list.
+func alignment(clusters [][]metamodel.ColumnRef) (map[metamodel.ColumnRef]string, []string) {
+	attrOf := map[metamodel.ColumnRef]string{}
+	var attrNames []string
+	for _, cluster := range clusters {
+		freq := map[string]int{}
+		for _, ref := range cluster {
+			freq[ref.Column]++
+		}
+		var names []string
+		for n := range freq {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if freq[names[i]] != freq[names[j]] {
+				return freq[names[i]] > freq[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		rep := names[0]
+		// Disambiguate duplicate representatives across clusters.
+		base, n := rep, 1
+		for contains(attrNames, rep) {
+			n++
+			rep = base + "_" + string(rune('0'+n))
+		}
+		attrNames = append(attrNames, rep)
+		for _, ref := range cluster {
+			attrOf[ref] = rep
+		}
+	}
+	sort.Strings(attrNames)
+	return attrOf, attrNames
+}
+
+// fdFixpoint merges joinable records until no merge applies.
+func fdFixpoint(records []map[string]string) []map[string]string {
+	work := append([]map[string]string(nil), records...)
+	for {
+		mergedAny := false
+		var next []map[string]string
+		used := make([]bool, len(work))
+		for i := 0; i < len(work); i++ {
+			if used[i] {
+				continue
+			}
+			cur := cloneRec(work[i])
+			for j := i + 1; j < len(work); j++ {
+				if used[j] {
+					continue
+				}
+				if joinable(cur, work[j]) {
+					for k, v := range work[j] {
+						cur[k] = v
+					}
+					used[j] = true
+					mergedAny = true
+				}
+			}
+			next = append(next, cur)
+		}
+		work = next
+		if !mergedAny {
+			return dedupe(work)
+		}
+	}
+}
+
+// joinable reports whether two sparse records share at least one equal
+// attribute value and disagree on none.
+func joinable(a, b map[string]string) bool {
+	shared := false
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if va != vb {
+				return false
+			}
+			shared = true
+		}
+	}
+	return shared
+}
+
+func cloneRec(r map[string]string) map[string]string {
+	out := make(map[string]string, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// dedupe drops records subsumed by (equal to or contained in) another.
+func dedupe(recs []map[string]string) []map[string]string {
+	var out []map[string]string
+	for i, r := range recs {
+		sub := false
+		for j, o := range recs {
+			if i == j {
+				continue
+			}
+			if subsumes(o, r) && (!subsumes(r, o) || j < i) {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// subsumes reports whether a contains every key-value of b.
+func subsumes(a, b map[string]string) bool {
+	if len(b) > len(a) {
+		return false
+	}
+	for k, v := range b {
+		if av, ok := a[k]; !ok || av != v {
+			return false
+		}
+	}
+	return true
+}
+
+func recKey(r map[string]string, attrs []string) string {
+	key := ""
+	for _, a := range attrs {
+		key += r[a] + "\x00"
+	}
+	return key
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

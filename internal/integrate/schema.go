@@ -1,0 +1,208 @@
+package integrate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"golake/internal/metamodel"
+	"golake/internal/table"
+)
+
+// IntegratedAttribute is one attribute of the integrated schema, with
+// its per-table source columns — the schema mapping Constance
+// generates after matching (Sec. 6.3).
+type IntegratedAttribute struct {
+	// Name is the chosen representative name.
+	Name string
+	// Sources maps table name -> source column name.
+	Sources map[string]string
+}
+
+// IntegratedSchema is the partial integration result over a selected
+// subset of tables.
+type IntegratedSchema struct {
+	Tables     []string
+	Attributes []IntegratedAttribute
+}
+
+// BuildIntegratedSchema derives an integrated schema from the column
+// clusters: each cluster spanning at least minTables distinct tables
+// becomes one integrated attribute named after the most frequent source
+// column name (ties broken lexicographically).
+func BuildIntegratedSchema(tables []*table.Table, clusters [][]metamodel.ColumnRef, minTables int) *IntegratedSchema {
+	if minTables < 1 {
+		minTables = 1
+	}
+	s := &IntegratedSchema{}
+	for _, t := range tables {
+		s.Tables = append(s.Tables, t.Name)
+	}
+	sort.Strings(s.Tables)
+	inSelection := map[string]bool{}
+	for _, n := range s.Tables {
+		inSelection[n] = true
+	}
+	for _, cluster := range clusters {
+		srcs := map[string]string{}
+		nameFreq := map[string]int{}
+		for _, ref := range cluster {
+			if !inSelection[ref.Table] {
+				continue
+			}
+			if _, dup := srcs[ref.Table]; !dup {
+				srcs[ref.Table] = ref.Column
+			}
+			nameFreq[ref.Column]++
+		}
+		if len(srcs) < minTables {
+			continue
+		}
+		var names []string
+		for n := range nameFreq {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if nameFreq[names[i]] != nameFreq[names[j]] {
+				return nameFreq[names[i]] > nameFreq[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		s.Attributes = append(s.Attributes, IntegratedAttribute{Name: names[0], Sources: srcs})
+	}
+	sort.Slice(s.Attributes, func(i, j int) bool { return s.Attributes[i].Name < s.Attributes[j].Name })
+	return s
+}
+
+// Attribute returns the integrated attribute with the given name.
+func (s *IntegratedSchema) Attribute(name string) (IntegratedAttribute, bool) {
+	for _, a := range s.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return IntegratedAttribute{}, false
+}
+
+// AttributeNames lists integrated attribute names in order.
+func (s *IntegratedSchema) AttributeNames() []string {
+	out := make([]string, len(s.Attributes))
+	for i, a := range s.Attributes {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// SubQuery is one rewritten per-source query: the source table, the
+// source columns to project (aligned with the integrated attributes
+// requested), and a pushed-down predicate.
+type SubQuery struct {
+	Table string
+	// Columns maps integrated attribute -> source column ("" when the
+	// source lacks the attribute; the result column is null-padded).
+	Columns map[string]string
+	// Predicate filters source rows (nil = all); it receives the
+	// source row keyed by source column names.
+	Predicate func(row map[string]string) bool
+}
+
+// Rewrite translates a query against the integrated schema (requested
+// attributes + optional predicate on one integrated attribute) into one
+// subquery per source table — Constance's query rewriting step. Tables
+// lacking every requested attribute are skipped.
+func (s *IntegratedSchema) Rewrite(attrs []string, predAttr, predValue string) ([]SubQuery, error) {
+	for _, a := range attrs {
+		if _, ok := s.Attribute(a); !ok {
+			return nil, fmt.Errorf("integrate: unknown integrated attribute %q", a)
+		}
+	}
+	var out []SubQuery
+	for _, tbl := range s.Tables {
+		cols := map[string]string{}
+		covered := 0
+		for _, a := range attrs {
+			ia, _ := s.Attribute(a)
+			src, ok := ia.Sources[tbl]
+			if ok {
+				covered++
+				cols[a] = src
+			} else {
+				cols[a] = ""
+			}
+		}
+		if covered == 0 {
+			continue
+		}
+		sq := SubQuery{Table: tbl, Columns: cols}
+		if predAttr != "" {
+			ia, ok := s.Attribute(predAttr)
+			if !ok {
+				return nil, fmt.Errorf("integrate: unknown predicate attribute %q", predAttr)
+			}
+			src, hasPred := ia.Sources[tbl]
+			if hasPred {
+				want := predValue
+				sq.Predicate = func(row map[string]string) bool { return row[src] == want }
+			} else {
+				// Source cannot evaluate the predicate: it contributes
+				// no certain answers under the integrated semantics.
+				continue
+			}
+		}
+		out = append(out, sq)
+	}
+	return out, nil
+}
+
+// Execute runs the subqueries over in-memory tables and merges results
+// into one integrated table, resolving per-attribute conflicts by
+// keeping the first non-null value — Constance's merge step.
+func Execute(subqueries []SubQuery, lookup func(name string) (*table.Table, error), attrs []string) (*table.Table, error) {
+	out := table.New("integrated")
+	for _, a := range attrs {
+		out.Columns = append(out.Columns, &table.Column{Name: a})
+	}
+	for _, sq := range subqueries {
+		src, err := lookup(sq.Table)
+		if err != nil {
+			return nil, fmt.Errorf("integrate: source %s: %w", sq.Table, err)
+		}
+		names := src.ColumnNames()
+		for i := 0; i < src.NumRows(); i++ {
+			row := src.Row(i)
+			m := make(map[string]string, len(names))
+			for j, n := range names {
+				m[n] = row[j]
+			}
+			if sq.Predicate != nil && !sq.Predicate(m) {
+				continue
+			}
+			rec := make([]string, len(attrs))
+			for j, a := range attrs {
+				if srcCol := sq.Columns[a]; srcCol != "" {
+					rec[j] = m[srcCol]
+				}
+			}
+			if err := out.AppendRow(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.InferTypes()
+	return out, nil
+}
+
+// String renders the integrated schema compactly, e.g.
+// "city<-{a.city,b.town} price<-{a.price}".
+func (s *IntegratedSchema) String() string {
+	var parts []string
+	for _, a := range s.Attributes {
+		var srcs []string
+		for t, c := range a.Sources {
+			srcs = append(srcs, t+"."+c)
+		}
+		sort.Strings(srcs)
+		parts = append(parts, fmt.Sprintf("%s<-{%s}", a.Name, strings.Join(srcs, ",")))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,577 @@
+// Package lakehouse implements the survey's Sec. 8.3 future direction:
+// the Lakehouse paradigm (Delta Lake / Hudi / Iceberg) layered over the
+// lake's raw file storage — ACID table storage over immutable data
+// files coordinated by a transaction log, in the manner of Delta Lake:
+//
+//   - every table is a directory of immutable data files plus an
+//     ordered log of JSON commit records (add/remove file actions);
+//   - writers commit with optimistic concurrency — a commit names the
+//     log version it read, and conflicting concurrent commits are
+//     rejected for retry;
+//   - readers get snapshot isolation and time travel (read any past
+//     version);
+//   - per-file column statistics (min/max) recorded at commit time
+//     drive data skipping, the indexing capability the survey lists as
+//     a Lakehouse ingredient ("transaction management, indexing,
+//     caching, and metadata management").
+package lakehouse
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"golake/internal/storage/filestore"
+	"golake/internal/table"
+)
+
+// Errors returned by lakehouse tables.
+var (
+	// ErrConflict signals a concurrent commit at the same version;
+	// callers re-read and retry (optimistic concurrency control).
+	ErrConflict = errors.New("lakehouse: concurrent commit conflict")
+	// ErrNoTable is returned for unknown tables.
+	ErrNoTable = errors.New("lakehouse: no such table")
+	// ErrNoVersion is returned by time travel past the log.
+	ErrNoVersion = errors.New("lakehouse: no such version")
+	// ErrSchemaMismatch is returned when appended data does not match
+	// the table schema (schema enforcement).
+	ErrSchemaMismatch = errors.New("lakehouse: schema mismatch")
+)
+
+// ColumnStats are the per-file statistics recorded in the log and used
+// for data skipping.
+type ColumnStats struct {
+	Min string `json:"min"`
+	Max string `json:"max"`
+	// NumericMin/Max are set when the column parsed numerically.
+	NumericMin float64 `json:"nmin"`
+	NumericMax float64 `json:"nmax"`
+	Numeric    bool    `json:"numeric"`
+}
+
+// fileAction is one log entry action.
+type fileAction struct {
+	// Add names a data file joining the table, with stats.
+	Add   string                 `json:"add,omitempty"`
+	Stats map[string]ColumnStats `json:"stats,omitempty"`
+	Rows  int                    `json:"rows,omitempty"`
+	// Remove names a data file leaving the table.
+	Remove string `json:"remove,omitempty"`
+}
+
+// commit is one atomic log record.
+type commit struct {
+	Version int          `json:"version"`
+	Actions []fileAction `json:"actions"`
+	// Schema pins the column names (enforced on append).
+	Schema []string `json:"schema,omitempty"`
+	// Operation describes the commit for the history view.
+	Operation string `json:"operation"`
+}
+
+// Lakehouse manages versioned tables over a file store.
+type Lakehouse struct {
+	fs *filestore.Store
+
+	mu sync.Mutex
+	// heads caches the latest version per table.
+	heads map[string]int
+	// checkpoints holds the earliest replayable version per table
+	// (raised above 1 by Vacuum).
+	checkpoints map[string]int
+}
+
+// Open creates a lakehouse over a directory.
+func Open(dir string) (*Lakehouse, error) {
+	fs, err := filestore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	lh := &Lakehouse{fs: fs, heads: map[string]int{}, checkpoints: map[string]int{}}
+	// Recover heads and checkpoints (lowest surviving log version)
+	// from existing logs.
+	for _, info := range fs.List("") {
+		parts := strings.Split(info.Path, "/")
+		if len(parts) == 3 && parts[1] == "_log" {
+			var v int
+			if _, err := fmt.Sscanf(parts[2], "%08d.json", &v); err == nil {
+				name := parts[0]
+				if v > lh.heads[name] {
+					lh.heads[name] = v
+				}
+				if cp, ok := lh.checkpoints[name]; !ok || v < cp {
+					lh.checkpoints[name] = v
+				}
+			}
+		}
+	}
+	return lh, nil
+}
+
+// Create creates a table at version 1 with the given initial data.
+func (lh *Lakehouse) Create(t *table.Table) error {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	if _, ok := lh.heads[t.Name]; ok {
+		return fmt.Errorf("lakehouse: table %s exists", t.Name)
+	}
+	lh.checkpoints[t.Name] = 1
+	c := commit{Version: 1, Schema: t.ColumnNames(), Operation: "CREATE"}
+	if t.NumRows() > 0 {
+		action, err := lh.writeDataFile(t.Name, 1, t)
+		if err != nil {
+			return err
+		}
+		c.Actions = append(c.Actions, action)
+	}
+	if err := lh.writeCommit(t.Name, c); err != nil {
+		return err
+	}
+	lh.heads[t.Name] = 1
+	return nil
+}
+
+// Version returns the current (latest) version of a table.
+func (lh *Lakehouse) Version(name string) (int, error) {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	v, ok := lh.heads[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return v, nil
+}
+
+// Tables lists table names, sorted.
+func (lh *Lakehouse) Tables() []string {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	out := make([]string, 0, len(lh.heads))
+	for n := range lh.heads {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Append commits new rows on top of readVersion. If another writer
+// committed since readVersion, ErrConflict is returned and the caller
+// should re-read and retry — Delta Lake's optimistic protocol.
+func (lh *Lakehouse) Append(name string, readVersion int, rows *table.Table) (int, error) {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	head, ok := lh.heads[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	if head != readVersion {
+		return 0, fmt.Errorf("%w: read v%d, head is v%d", ErrConflict, readVersion, head)
+	}
+	schema, err := lh.schemaAt(name, head)
+	if err != nil {
+		return 0, err
+	}
+	if !sameSchema(schema, rows.ColumnNames()) {
+		return 0, fmt.Errorf("%w: table %v vs append %v", ErrSchemaMismatch, schema, rows.ColumnNames())
+	}
+	next := head + 1
+	action, err := lh.writeDataFile(name, next, rows)
+	if err != nil {
+		return 0, err
+	}
+	c := commit{Version: next, Actions: []fileAction{action}, Operation: "APPEND"}
+	if err := lh.writeCommit(name, c); err != nil {
+		return 0, err
+	}
+	lh.heads[name] = next
+	return next, nil
+}
+
+// Delete commits a logical delete: rows matching pred are removed by
+// rewriting the files that contain them (copy-on-write, as Delta does).
+func (lh *Lakehouse) Delete(name string, readVersion int, pred func(row map[string]string) bool) (int, error) {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	head, ok := lh.heads[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	if head != readVersion {
+		return 0, fmt.Errorf("%w: read v%d, head is v%d", ErrConflict, readVersion, head)
+	}
+	files, schema, err := lh.filesAt(name, head)
+	if err != nil {
+		return 0, err
+	}
+	next := head + 1
+	var actions []fileAction
+	for _, f := range files {
+		t, err := lh.readDataFile(f.Add)
+		if err != nil {
+			return 0, err
+		}
+		names := t.ColumnNames()
+		kept := t.Filter(func(row []string) bool {
+			m := make(map[string]string, len(names))
+			for i, n := range names {
+				m[n] = row[i]
+			}
+			return !pred(m)
+		})
+		if kept.NumRows() == t.NumRows() {
+			continue // file untouched
+		}
+		actions = append(actions, fileAction{Remove: f.Add})
+		if kept.NumRows() > 0 {
+			kept.Name = name
+			a, err := lh.writeDataFile(name, next, kept)
+			if err != nil {
+				return 0, err
+			}
+			actions = append(actions, a)
+		}
+	}
+	_ = schema
+	c := commit{Version: next, Actions: actions, Operation: "DELETE"}
+	if err := lh.writeCommit(name, c); err != nil {
+		return 0, err
+	}
+	lh.heads[name] = next
+	return next, nil
+}
+
+// Read returns the table contents at its latest version plus that
+// version number (snapshot isolation: concurrent commits do not affect
+// the returned data).
+func (lh *Lakehouse) Read(name string) (*table.Table, int, error) {
+	v, err := lh.Version(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := lh.ReadAt(name, v)
+	return t, v, err
+}
+
+// ReadAt time-travels: it materializes the table as of the given
+// version.
+func (lh *Lakehouse) ReadAt(name string, version int) (*table.Table, error) {
+	lh.mu.Lock()
+	files, schema, err := lh.filesAt(name, version)
+	lh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := table.New(name)
+	for _, col := range schema {
+		out.Columns = append(out.Columns, &table.Column{Name: col})
+	}
+	for _, f := range files {
+		t, err := lh.readDataFile(f.Add)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < t.NumRows(); i++ {
+			if err := out.AppendRow(t.Row(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.InferTypes()
+	return out, nil
+}
+
+// ScanWhere reads the table at head, skipping every data file whose
+// recorded column statistics prove it cannot contain matching rows —
+// the Lakehouse data-skipping index. Returns the matching rows and how
+// many files were skipped (for observability and benches).
+func (lh *Lakehouse) ScanWhere(name, column string, min, max float64) (*table.Table, int, error) {
+	lh.mu.Lock()
+	head, ok := lh.heads[name]
+	if !ok {
+		lh.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	files, schema, err := lh.filesAt(name, head)
+	lh.mu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	out := table.New(name)
+	for _, col := range schema {
+		out.Columns = append(out.Columns, &table.Column{Name: col})
+	}
+	skipped := 0
+	colIdx := -1
+	for i, c := range schema {
+		if c == column {
+			colIdx = i
+		}
+	}
+	if colIdx < 0 {
+		return nil, 0, fmt.Errorf("lakehouse: column %q not in schema %v", column, schema)
+	}
+	for _, f := range files {
+		if st, ok := f.Stats[column]; ok && st.Numeric {
+			if st.NumericMax < min || st.NumericMin > max {
+				skipped++
+				continue
+			}
+		}
+		t, err := lh.readDataFile(f.Add)
+		if err != nil {
+			return nil, 0, err
+		}
+		c, err := t.Column(column)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < t.NumRows(); i++ {
+			if v, ok := parseF(c.Cells[i]); ok && v >= min && v <= max {
+				if err := out.AppendRow(t.Row(i)); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	out.InferTypes()
+	return out, skipped, nil
+}
+
+// Vacuum permanently deletes data files no longer referenced by any
+// version >= keepFrom, and truncates time travel below that version —
+// Delta Lake's VACUUM retention trade-off: reclaimed storage versus
+// lost history. Returns the number of files removed.
+func (lh *Lakehouse) Vacuum(name string, keepFrom int) (int, error) {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	head, ok := lh.heads[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	if keepFrom < 1 || keepFrom > head {
+		return 0, fmt.Errorf("%w: %s v%d (head v%d)", ErrNoVersion, name, keepFrom, head)
+	}
+	// Files referenced by any retained version stay.
+	retained := map[string]bool{}
+	for v := keepFrom; v <= head; v++ {
+		files, _, err := lh.filesAt(name, v)
+		if err != nil {
+			return 0, err
+		}
+		for _, f := range files {
+			retained[f.Add] = true
+		}
+	}
+	removed := 0
+	for _, info := range lh.fs.List(name + "/data/") {
+		if retained[info.Path] {
+			continue
+		}
+		if err := lh.fs.Delete(info.Path); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	// Rewrite commit keepFrom as a checkpoint holding the full retained
+	// state, then drop older log entries, so ReadAt(v < keepFrom) is
+	// gone but everything from keepFrom on replays as before.
+	files, schema, err := lh.filesAt(name, keepFrom)
+	if err != nil {
+		return removed, err
+	}
+	cp := commit{Version: keepFrom, Actions: files, Schema: schema, Operation: "VACUUM-CHECKPOINT"}
+	if err := lh.writeCommit(name, cp); err != nil {
+		return removed, err
+	}
+	for v := 1; v < keepFrom; v++ {
+		_ = lh.fs.Delete(fmt.Sprintf("%s/_log/%08d.json", name, v))
+	}
+	lh.checkpoints[name] = keepFrom
+	return removed, nil
+}
+
+// HistoryEntry is one commit in a table's history.
+type HistoryEntry struct {
+	Version   int
+	Operation string
+	Files     int
+	Rows      int
+}
+
+// History lists the commits of a table, oldest first.
+func (lh *Lakehouse) History(name string) ([]HistoryEntry, error) {
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	head, ok := lh.heads[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	from := lh.checkpoints[name]
+	if from < 1 {
+		from = 1
+	}
+	var out []HistoryEntry
+	for v := from; v <= head; v++ {
+		c, err := lh.readCommit(name, v)
+		if err != nil {
+			return nil, err
+		}
+		e := HistoryEntry{Version: v, Operation: c.Operation}
+		for _, a := range c.Actions {
+			if a.Add != "" {
+				e.Files++
+				e.Rows += a.Rows
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// --- log and file plumbing ---
+
+func (lh *Lakehouse) writeCommit(name string, c commit) error {
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("lakehouse: encode commit: %w", err)
+	}
+	_, err = lh.fs.Put(fmt.Sprintf("%s/_log/%08d.json", name, c.Version), raw)
+	return err
+}
+
+func (lh *Lakehouse) readCommit(name string, version int) (commit, error) {
+	raw, err := lh.fs.Get(fmt.Sprintf("%s/_log/%08d.json", name, version))
+	if err != nil {
+		return commit{}, fmt.Errorf("%w: %s v%d", ErrNoVersion, name, version)
+	}
+	var c commit
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return commit{}, fmt.Errorf("lakehouse: decode commit: %w", err)
+	}
+	return c, nil
+}
+
+// filesAt replays the log up to version and returns live add actions
+// and the schema.
+func (lh *Lakehouse) filesAt(name string, version int) ([]fileAction, []string, error) {
+	head, ok := lh.heads[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	from := lh.checkpoints[name]
+	if from < 1 {
+		from = 1
+	}
+	if version < from || version > head {
+		return nil, nil, fmt.Errorf("%w: %s v%d (replayable v%d..v%d)", ErrNoVersion, name, version, from, head)
+	}
+	live := map[string]fileAction{}
+	var schema []string
+	var order []string
+	for v := from; v <= version; v++ {
+		c, err := lh.readCommit(name, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(c.Schema) > 0 {
+			schema = c.Schema
+		}
+		for _, a := range c.Actions {
+			if a.Add != "" {
+				live[a.Add] = a
+				order = append(order, a.Add)
+			}
+			if a.Remove != "" {
+				delete(live, a.Remove)
+			}
+		}
+	}
+	var out []fileAction
+	for _, path := range order {
+		if a, ok := live[path]; ok {
+			out = append(out, a)
+			delete(live, path)
+		}
+	}
+	return out, schema, nil
+}
+
+func (lh *Lakehouse) schemaAt(name string, version int) ([]string, error) {
+	_, schema, err := lh.filesAt(name, version)
+	return schema, err
+}
+
+// writeDataFile stores rows as an immutable CSV data file and returns
+// its add action with column statistics.
+func (lh *Lakehouse) writeDataFile(name string, version int, t *table.Table) (fileAction, error) {
+	path := fmt.Sprintf("%s/data/v%08d-%d.csv", name, version, len(lh.fs.List(name+"/data/")))
+	if _, err := lh.fs.Put(path, []byte(table.ToCSV(t))); err != nil {
+		return fileAction{}, err
+	}
+	stats := map[string]ColumnStats{}
+	for _, c := range t.Columns {
+		st := ColumnStats{}
+		first := true
+		numFirst := true
+		allNumeric := true
+		for _, v := range c.Cells {
+			if v == "" {
+				continue
+			}
+			if first || v < st.Min {
+				st.Min = v
+			}
+			if first || v > st.Max {
+				st.Max = v
+			}
+			first = false
+			f, ok := parseF(v)
+			if !ok {
+				allNumeric = false
+				continue
+			}
+			if numFirst || f < st.NumericMin {
+				st.NumericMin = f
+			}
+			if numFirst || f > st.NumericMax {
+				st.NumericMax = f
+			}
+			numFirst = false
+		}
+		// Numeric skipping bounds are sound only when every non-null
+		// value parsed; otherwise a non-numeric cell could be missed.
+		st.Numeric = allNumeric && !numFirst
+		stats[c.Name] = st
+	}
+	return fileAction{Add: path, Stats: stats, Rows: t.NumRows()}, nil
+}
+
+func (lh *Lakehouse) readDataFile(path string) (*table.Table, error) {
+	raw, err := lh.fs.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	return table.ParseCSV(path, string(raw))
+}
+
+func sameSchema(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseF(s string) (float64, bool) {
+	var f float64
+	_, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &f)
+	return f, err == nil
+}

@@ -1,0 +1,377 @@
+package lakehouse
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"golake/internal/table"
+)
+
+func mustCSV(t *testing.T, name, csv string) *table.Table {
+	t.Helper()
+	tbl, err := table.ParseCSV(name, csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func newLH(t *testing.T) *Lakehouse {
+	t.Helper()
+	lh, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lh
+}
+
+func TestCreateReadAppend(t *testing.T) {
+	lh := newLH(t)
+	orders := mustCSV(t, "orders", "id,total\n1,10\n2,20\n")
+	if err := lh.Create(orders); err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.Create(orders); err == nil {
+		t.Error("double create should fail")
+	}
+	got, v, err := lh.Read("orders")
+	if err != nil || v != 1 || got.NumRows() != 2 {
+		t.Fatalf("Read = %v rows, v%d, %v", got.NumRows(), v, err)
+	}
+	more := mustCSV(t, "orders", "id,total\n3,30\n")
+	v2, err := lh.Append("orders", v, more)
+	if err != nil || v2 != 2 {
+		t.Fatalf("Append = v%d, %v", v2, err)
+	}
+	got, _, _ = lh.Read("orders")
+	if got.NumRows() != 3 {
+		t.Errorf("rows after append = %d", got.NumRows())
+	}
+	if _, _, err := lh.Read("ghost"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("Read ghost = %v", err)
+	}
+}
+
+func TestOptimisticConcurrencyConflict(t *testing.T) {
+	lh := newLH(t)
+	_ = lh.Create(mustCSV(t, "t", "a\n1\n"))
+	// Two writers both read v1.
+	rows := mustCSV(t, "t", "a\n2\n")
+	if _, err := lh.Append("t", 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	// Second writer's commit on stale v1 must conflict.
+	if _, err := lh.Append("t", 1, rows); !errors.Is(err, ErrConflict) {
+		t.Errorf("stale append = %v, want ErrConflict", err)
+	}
+	// After re-reading the new head, the retry succeeds.
+	_, v, _ := lh.Read("t")
+	if _, err := lh.Append("t", v, rows); err != nil {
+		t.Errorf("retry after re-read: %v", err)
+	}
+}
+
+func TestSchemaEnforcement(t *testing.T) {
+	lh := newLH(t)
+	_ = lh.Create(mustCSV(t, "t", "a,b\n1,2\n"))
+	bad := mustCSV(t, "t", "a,c\n3,4\n")
+	if _, err := lh.Append("t", 1, bad); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("schema mismatch = %v", err)
+	}
+}
+
+func TestTimeTravel(t *testing.T) {
+	lh := newLH(t)
+	_ = lh.Create(mustCSV(t, "t", "a\n1\n"))
+	v := 1
+	for i := 2; i <= 4; i++ {
+		var err error
+		v, err = lh.Append("t", v, mustCSV(t, "t", fmt.Sprintf("a\n%d\n", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for version := 1; version <= 4; version++ {
+		got, err := lh.ReadAt("t", version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != version {
+			t.Errorf("v%d rows = %d, want %d", version, got.NumRows(), version)
+		}
+	}
+	if _, err := lh.ReadAt("t", 99); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("future version = %v", err)
+	}
+	if _, err := lh.ReadAt("t", 0); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("version 0 = %v", err)
+	}
+}
+
+func TestDeleteCopyOnWrite(t *testing.T) {
+	lh := newLH(t)
+	_ = lh.Create(mustCSV(t, "t", "id,city\n1,berlin\n2,paris\n3,berlin\n"))
+	v, err := lh.Delete("t", 1, func(row map[string]string) bool { return row["city"] == "berlin" })
+	if err != nil || v != 2 {
+		t.Fatalf("Delete = v%d, %v", v, err)
+	}
+	got, _, _ := lh.Read("t")
+	if got.NumRows() != 1 || got.Row(0)[1] != "paris" {
+		t.Errorf("after delete:\n%s", table.ToCSV(got))
+	}
+	// Time travel still sees the deleted rows.
+	old, err := lh.ReadAt("t", 1)
+	if err != nil || old.NumRows() != 3 {
+		t.Errorf("v1 rows = %d, %v", old.NumRows(), err)
+	}
+	// Stale delete conflicts.
+	if _, err := lh.Delete("t", 1, func(map[string]string) bool { return true }); !errors.Is(err, ErrConflict) {
+		t.Errorf("stale delete = %v", err)
+	}
+}
+
+func TestDataSkipping(t *testing.T) {
+	lh := newLH(t)
+	_ = lh.Create(mustCSV(t, "m", "v\n1\n2\n3\n"))
+	v := 1
+	// Files with disjoint ranges: [1-3], [100-102], [200-202].
+	for _, base := range []int{100, 200} {
+		csv := fmt.Sprintf("v\n%d\n%d\n%d\n", base, base+1, base+2)
+		var err error
+		v, err = lh.Append("m", v, mustCSV(t, "m", csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, skipped, err := lh.ScanWhere("m", "v", 100, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Errorf("matched rows = %d, want 3\n%s", got.NumRows(), table.ToCSV(got))
+	}
+	if skipped != 2 {
+		t.Errorf("skipped files = %d, want 2 (the [1-3] and [200-202] files)", skipped)
+	}
+	if _, _, err := lh.ScanWhere("m", "ghost", 0, 1); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestDataSkippingUnsoundColumnNotSkipped(t *testing.T) {
+	lh := newLH(t)
+	// Mixed column: numeric stats must be disabled, so no skipping.
+	_ = lh.Create(mustCSV(t, "m", "v\n1\nabc\n3\n"))
+	_, skipped, err := lh.ScanWhere("m", "v", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("mixed column skipped %d files; stats are unsound", skipped)
+	}
+}
+
+func TestHistory(t *testing.T) {
+	lh := newLH(t)
+	_ = lh.Create(mustCSV(t, "t", "a\n1\n"))
+	_, _ = lh.Append("t", 1, mustCSV(t, "t", "a\n2\n"))
+	_, _ = lh.Delete("t", 2, func(row map[string]string) bool { return row["a"] == "1" })
+	hist, err := lh.History("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history = %+v", hist)
+	}
+	ops := []string{hist[0].Operation, hist[1].Operation, hist[2].Operation}
+	if ops[0] != "CREATE" || ops[1] != "APPEND" || ops[2] != "DELETE" {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestRecoverAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	lh1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lh1.Create(mustCSV(t, "t", "a\n1\n"))
+	if _, err := lh1.Append("t", 1, mustCSV(t, "t", "a\n2\n")); err != nil {
+		t.Fatal(err)
+	}
+	lh2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := lh2.Version("t")
+	if err != nil || v != 2 {
+		t.Fatalf("recovered version = %d, %v", v, err)
+	}
+	got, _, err := lh2.Read("t")
+	if err != nil || got.NumRows() != 2 {
+		t.Errorf("recovered rows = %d, %v", got.NumRows(), err)
+	}
+	if names := lh2.Tables(); len(names) != 1 || names[0] != "t" {
+		t.Errorf("Tables = %v", names)
+	}
+}
+
+// Property: after N appends of one row each, version = N+1 and every
+// historical version v holds exactly v rows; ScanWhere over the full
+// range returns every numeric row.
+func TestVersioningProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) > 10 {
+			vals = vals[:10]
+		}
+		lh, err := Open(t.TempDir())
+		if err != nil {
+			return false
+		}
+		first, _ := table.ParseCSV("p", "v\n0\n")
+		if err := lh.Create(first); err != nil {
+			return false
+		}
+		v := 1
+		for _, x := range vals {
+			rows, _ := table.ParseCSV("p", fmt.Sprintf("v\n%d\n", x))
+			v, err = lh.Append("p", v, rows)
+			if err != nil {
+				return false
+			}
+		}
+		if v != len(vals)+1 {
+			return false
+		}
+		for ver := 1; ver <= v; ver++ {
+			got, err := lh.ReadAt("p", ver)
+			if err != nil || got.NumRows() != ver {
+				return false
+			}
+		}
+		all, skipped, err := lh.ScanWhere("p", "v", 0, 255)
+		return err == nil && skipped == 0 && all.NumRows() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent writers race on the same base version: exactly one commit
+// per version wins, nothing is lost, and retries eventually land every
+// append.
+func TestConcurrentWritersRetry(t *testing.T) {
+	lh := newLH(t)
+	if err := lh.Create(mustCSV(t, "t", "a\nseed\n")); err != nil {
+		t.Fatal(err)
+	}
+	const writers = 6
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			rows, _ := table.ParseCSV("t", fmt.Sprintf("a\nw%d\n", w))
+			for attempt := 0; attempt < 50; attempt++ {
+				_, v, err := lh.Read("t")
+				if err != nil {
+					done <- err
+					return
+				}
+				if _, err := lh.Append("t", v, rows); err == nil {
+					done <- nil
+					return
+				} else if !errors.Is(err, ErrConflict) {
+					done <- err
+					return
+				}
+			}
+			done <- errors.New("starved")
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, v, err := lh.Read("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != writers+1 {
+		t.Errorf("head = v%d, want v%d", v, writers+1)
+	}
+	if got.NumRows() != writers+1 {
+		t.Errorf("rows = %d, want %d", got.NumRows(), writers+1)
+	}
+}
+
+func TestVacuumReclaimsAndTruncatesHistory(t *testing.T) {
+	lh := newLH(t)
+	_ = lh.Create(mustCSV(t, "t", "id,v\n1,10\n2,20\n3,30\n"))
+	// Delete rewrites the file: the v1 file becomes orphaned once v1 is
+	// outside the retention window.
+	v, err := lh.Delete("t", 1, func(row map[string]string) bool { return row["id"] == "2" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lh.ReadAt("t", 1); err != nil {
+		t.Fatalf("pre-vacuum time travel: %v", err)
+	}
+	removed, err := lh.Vacuum("t", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1 orphaned file", removed)
+	}
+	// Current reads unaffected.
+	got, _, err := lh.Read("t")
+	if err != nil || got.NumRows() != 2 {
+		t.Fatalf("post-vacuum read = %d rows, %v", got.NumRows(), err)
+	}
+	// Time travel below the checkpoint is gone.
+	if _, err := lh.ReadAt("t", 1); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("vacuumed version readable: %v", err)
+	}
+	// History starts at the checkpoint.
+	hist, err := lh.History("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].Version != v {
+		t.Errorf("history = %+v", hist)
+	}
+	// Appends continue normally after vacuum.
+	if _, err := lh.Append("t", v, mustCSV(t, "t", "id,v\n9,90\n")); err != nil {
+		t.Errorf("append after vacuum: %v", err)
+	}
+	// Bad retention bounds.
+	if _, err := lh.Vacuum("t", 0); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("vacuum v0 = %v", err)
+	}
+	if _, err := lh.Vacuum("ghost", 1); !errors.Is(err, ErrNoTable) {
+		t.Errorf("vacuum ghost = %v", err)
+	}
+}
+
+func TestVacuumSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	lh1, _ := Open(dir)
+	_ = lh1.Create(mustCSV(t, "t", "a\n1\n"))
+	v, _ := lh1.Append("t", 1, mustCSV(t, "t", "a\n2\n"))
+	if _, err := lh1.Vacuum("t", v); err != nil {
+		t.Fatal(err)
+	}
+	lh2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := lh2.Read("t")
+	if err != nil || got.NumRows() != 2 {
+		t.Fatalf("reopened read = %v rows, %v", got.NumRows(), err)
+	}
+	if _, err := lh2.ReadAt("t", 1); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("reopened vacuumed version readable: %v", err)
+	}
+}

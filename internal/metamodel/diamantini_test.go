@@ -1,0 +1,106 @@
+package metamodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildNetwork(t *testing.T) *NetworkModel {
+	t.Helper()
+	m := NewNetworkModel()
+	if err := m.AddSource("crm", map[string]string{
+		"customer_name": "full name of the customer",
+		"city":          "customer city of residence",
+		"revenue":       "yearly revenue from this customer",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSource("erp", map[string]string{
+		"customer_nam": "name of the customer",
+		"plant":        "manufacturing plant location",
+		"turnover":     "yearly revenue from this customer",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNetworkMergeSimilar(t *testing.T) {
+	m := buildNetwork(t)
+	before := len(m.Representatives())
+	if before != 6 {
+		t.Fatalf("representatives before merge = %d", before)
+	}
+	merges, err := m.MergeSimilar(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges < 2 {
+		t.Fatalf("merges = %d, want >= 2 (customer_name~customer_nam, revenue~turnover by description)", merges)
+	}
+	after := len(m.Representatives())
+	if after != before-merges {
+		t.Errorf("representatives after merge = %d, want %d", after, before-merges)
+	}
+}
+
+func TestNetworkSameSourceNotMerged(t *testing.T) {
+	m := NewNetworkModel()
+	_ = m.AddSource("s", map[string]string{
+		"name":  "the name",
+		"names": "the name",
+	})
+	merges, err := m.MergeSimilar(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges != 0 {
+		t.Errorf("same-source fields merged: %d", merges)
+	}
+}
+
+func TestThematicView(t *testing.T) {
+	m := buildNetwork(t)
+	if _, err := m.MergeSimilar(0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LinkSemantic("crm", "city", "dbpedia.org/City"); err != nil {
+		t.Fatal(err)
+	}
+	view := m.ExtractView("customer revenue")
+	if len(view.Fields) == 0 {
+		t.Fatal("empty thematic view")
+	}
+	// The revenue representative is in the view, and both sources
+	// contribute (turnover merged into revenue).
+	hasRevenue := false
+	for _, f := range view.Fields {
+		if strings.Contains(f, "revenue") || strings.Contains(f, "turnover") {
+			hasRevenue = true
+		}
+	}
+	if !hasRevenue {
+		t.Errorf("view fields = %v", view.Fields)
+	}
+	if len(view.Sources) != 2 {
+		t.Errorf("view sources = %v, want both crm and erp", view.Sources)
+	}
+	// An unrelated topic yields an empty or small view.
+	empty := m.ExtractView("zebra astronomy")
+	if len(empty.Fields) != 0 {
+		t.Errorf("unrelated view = %+v", empty)
+	}
+}
+
+func TestLinkSemanticFollowsMerges(t *testing.T) {
+	m := buildNetwork(t)
+	_, _ = m.MergeSimilar(0.75)
+	// Linking through the absorbed field must land on the representative.
+	if err := m.LinkSemantic("erp", "customer_nam", "dbpedia.org/Person"); err != nil {
+		t.Fatal(err)
+	}
+	view := m.ExtractView("person")
+	if len(view.Fields) != 1 {
+		t.Errorf("semantic-linked view = %+v", view)
+	}
+}

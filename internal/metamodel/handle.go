@@ -1,0 +1,200 @@
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+
+	"golake/internal/storage/graphstore"
+)
+
+// HANDLE implements the HANDLE generic metadata model (Eichler et al.):
+// three abstract entities — data, metadata, property — realized as a
+// labeled property graph, with zone assignment (HANDLE adapts the zone
+// architecture) and metadata at arbitrary granularity (whole dataset or
+// single attribute).
+type HANDLE struct {
+	g *graphstore.Graph
+}
+
+// Node labels and edge labels of the HANDLE graph realization.
+const (
+	handleData     = "data"
+	handleMetadata = "metadata"
+	handleProperty = "property"
+
+	edgeDescribes   = "describes"
+	edgeHasProperty = "hasProperty"
+	edgePartOf      = "partOf"
+)
+
+// NewHANDLE creates an empty HANDLE model on a fresh graph.
+func NewHANDLE() *HANDLE { return &HANDLE{g: graphstore.New()} }
+
+// Graph exposes the underlying property graph (HANDLE is "implemented
+// in Neo4j" in the paper; ours lives on graphstore).
+func (h *HANDLE) Graph() *graphstore.Graph { return h.g }
+
+// AddData registers a data entity (dataset) in a zone.
+func (h *HANDLE) AddData(id, zone string) error {
+	return h.g.AddNode(dataID(id), handleData, graphstore.Props{"zone": zone})
+}
+
+// AddDataElement registers a finer-grained data entity (e.g. one
+// attribute) belonging to a parent dataset — HANDLE's granularity
+// feature.
+func (h *HANDLE) AddDataElement(parentID, elementID string) error {
+	id := dataID(parentID + "#" + elementID)
+	if err := h.g.AddNode(id, handleData, graphstore.Props{"element": elementID}); err != nil {
+		return err
+	}
+	_, err := h.g.AddEdge(id, dataID(parentID), edgePartOf, nil)
+	return err
+}
+
+// AttachMetadata creates a metadata entity describing a data entity
+// (dataset or element) and returns the metadata node ID. Category is
+// free-form ("schema", "provenance", ...), matching HANDLE's
+// categorization flexibility.
+func (h *HANDLE) AttachMetadata(dataNodeID, category string) (string, error) {
+	target := dataID(dataNodeID)
+	if !h.g.HasNode(target) {
+		return "", fmt.Errorf("%w: %s", graphstore.ErrNodeNotFound, dataNodeID)
+	}
+	mid := fmt.Sprintf("md:%s:%s:%d", dataNodeID, category, h.g.NumNodes())
+	if err := h.g.AddNode(mid, handleMetadata, graphstore.Props{"category": category}); err != nil {
+		return "", err
+	}
+	if _, err := h.g.AddEdge(mid, target, edgeDescribes, nil); err != nil {
+		return "", err
+	}
+	return mid, nil
+}
+
+// SetProperty attaches a property (key-value) entity to a metadata
+// entity.
+func (h *HANDLE) SetProperty(metadataID, key string, value any) error {
+	pid := fmt.Sprintf("prop:%s:%s", metadataID, key)
+	h.g.UpsertNode(pid, handleProperty, graphstore.Props{"key": key, "value": value})
+	if _, err := h.g.AddEdge(metadataID, pid, edgeHasProperty, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Zone returns the zone of a dataset.
+func (h *HANDLE) Zone(id string) (string, error) {
+	n, err := h.g.Node(dataID(id))
+	if err != nil {
+		return "", err
+	}
+	z, _ := n.Props["zone"].(string)
+	return z, nil
+}
+
+// MoveZone reassigns a dataset's zone (datasets progress through zones
+// as they are cleaned and validated).
+func (h *HANDLE) MoveZone(id, zone string) error {
+	return h.g.SetProp(dataID(id), "zone", zone)
+}
+
+// DataInZone lists dataset IDs in a zone, sorted.
+func (h *HANDLE) DataInZone(zone string) []string {
+	var out []string
+	for _, n := range h.g.NodesByLabel(handleData) {
+		if z, _ := n.Props["zone"].(string); z == zone {
+			out = append(out, n.ID[len("data:"):])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetadataEntry is one resolved metadata record with its properties.
+type MetadataEntry struct {
+	ID       string
+	Category string
+	Props    map[string]any
+}
+
+// MetadataOf returns all metadata entities describing a data entity,
+// with their properties resolved, sorted by ID.
+func (h *HANDLE) MetadataOf(dataNodeID string) []MetadataEntry {
+	var out []MetadataEntry
+	for _, e := range h.g.InEdges(dataID(dataNodeID)) {
+		if e.Label != edgeDescribes {
+			continue
+		}
+		mn, err := h.g.Node(e.From)
+		if err != nil {
+			continue
+		}
+		entry := MetadataEntry{ID: mn.ID, Props: map[string]any{}}
+		entry.Category, _ = mn.Props["category"].(string)
+		for _, pe := range h.g.OutEdges(mn.ID) {
+			if pe.Label != edgeHasProperty {
+				continue
+			}
+			pn, err := h.g.Node(pe.To)
+			if err != nil {
+				continue
+			}
+			key, _ := pn.Props["key"].(string)
+			entry.Props[key] = pn.Props["value"]
+		}
+		out = append(out, entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ImportGEMMS maps a GEMMS metadata object onto HANDLE entities — the
+// paper notes the GEMMS model elements can be mapped to HANDLE.
+func (h *HANDLE) ImportGEMMS(obj *MetadataObject, zone string) error {
+	if err := h.AddData(obj.ID, zone); err != nil {
+		return err
+	}
+	mid, err := h.AttachMetadata(obj.ID, "properties")
+	if err != nil {
+		return err
+	}
+	for k, v := range obj.Properties {
+		if err := h.SetProperty(mid, k, v); err != nil {
+			return err
+		}
+	}
+	for attr, typ := range obj.Attributes {
+		if err := h.AddDataElement(obj.ID, attr); err != nil {
+			return err
+		}
+		amid, err := h.AttachMetadata(obj.ID+"#"+attr, "schema")
+		if err != nil {
+			return err
+		}
+		if err := h.SetProperty(amid, "type", typ); err != nil {
+			return err
+		}
+	}
+	for element, terms := range obj.Semantics {
+		target := obj.ID
+		if element != "" {
+			target = obj.ID + "#" + element
+		}
+		smid, err := h.AttachMetadata(target, "semantics")
+		if err != nil {
+			return err
+		}
+		for i, term := range terms {
+			if err := h.SetProperty(smid, fmt.Sprintf("term%d", i), term); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func dataID(id string) string {
+	if len(id) >= 5 && id[:5] == "data:" {
+		return id
+	}
+	return "data:" + id
+}

@@ -1,0 +1,167 @@
+package metamodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"golake/internal/storage/graphstore"
+)
+
+// PersonalLake implements the personal data lake of Walker & Alrehamy
+// (Sec. 4.2): heterogeneous personal data fragments produced by
+// user-web interaction are serialized to JSON, flattened into the
+// property graph, and categorized into the paper's four kinds — raw
+// data, metadata, additional semantics, and fragment identifiers. The
+// graph store stands in for Neo4j.
+type PersonalLake struct {
+	g    *graphstore.Graph
+	next int
+}
+
+// NewPersonalLake creates an empty personal lake.
+func NewPersonalLake() *PersonalLake { return &PersonalLake{g: graphstore.New()} }
+
+// Graph exposes the underlying property graph.
+func (p *PersonalLake) Graph() *graphstore.Graph { return p.g }
+
+// StoreFragment ingests one JSON data fragment from a source
+// application and returns the fragment identifier. The JSON object is
+// flattened: every scalar leaf becomes a raw-data node attached to the
+// fragment node; source and size become metadata nodes.
+func (p *PersonalLake) StoreFragment(source string, raw []byte) (string, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return "", fmt.Errorf("metamodel: personal fragment: %w", err)
+	}
+	p.next++
+	fid := fmt.Sprintf("frag:%d", p.next)
+	if err := p.g.AddNode(fid, "fragment", graphstore.Props{"source": source}); err != nil {
+		return "", err
+	}
+	// Metadata category.
+	mid := fid + ":meta"
+	if err := p.g.AddNode(mid, "metadata", graphstore.Props{"source": source, "bytes": len(raw)}); err != nil {
+		return "", err
+	}
+	if _, err := p.g.AddEdge(fid, mid, "hasMetadata", nil); err != nil {
+		return "", err
+	}
+	// Raw-data category: flattened leaves.
+	if err := p.flatten(fid, "$", v); err != nil {
+		return "", err
+	}
+	return fid, nil
+}
+
+func (p *PersonalLake) flatten(fid, path string, v any) error {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := p.flatten(fid, path+"."+k, x[k]); err != nil {
+				return err
+			}
+		}
+	case []any:
+		for i, el := range x {
+			if err := p.flatten(fid, fmt.Sprintf("%s[%d]", path, i), el); err != nil {
+				return err
+			}
+		}
+	default:
+		nid := fmt.Sprintf("%s:%s", fid, path)
+		if err := p.g.AddNode(nid, "rawdata", graphstore.Props{
+			"path":  path,
+			"value": fmt.Sprintf("%v", x),
+		}); err != nil {
+			return err
+		}
+		if _, err := p.g.AddEdge(fid, nid, "hasData", nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddSemantics attaches an additional-semantics node to a fragment
+// (user tags, inferred context).
+func (p *PersonalLake) AddSemantics(fragmentID, term string) error {
+	if !p.g.HasNode(fragmentID) {
+		return fmt.Errorf("%w: %s", graphstore.ErrNodeNotFound, fragmentID)
+	}
+	sid := fragmentID + ":sem:" + term
+	p.g.UpsertNode(sid, "semantics", graphstore.Props{"term": term})
+	_, err := p.g.AddEdge(fragmentID, sid, "hasSemantics", nil)
+	return err
+}
+
+// Fragments lists fragment IDs, optionally filtered by source, sorted.
+func (p *PersonalLake) Fragments(source string) []string {
+	var out []string
+	for _, n := range p.g.NodesByLabel("fragment") {
+		if source != "" {
+			if s, _ := n.Props["source"].(string); s != source {
+				continue
+			}
+		}
+		out = append(out, n.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindByValue returns the fragments containing a raw-data leaf with
+// the given value — the schema-less lookup a personal lake serves
+// ("which apps have my email address?").
+func (p *PersonalLake) FindByValue(value string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range p.g.NodesByLabel("rawdata") {
+		if v, _ := n.Props["value"].(string); v != value {
+			continue
+		}
+		for _, frag := range p.g.Neighbors(n.ID, graphstore.In, "hasData") {
+			if !seen[frag] {
+				seen[frag] = true
+				out = append(out, frag)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindBySemanticTerm returns fragments annotated with the term.
+func (p *PersonalLake) FindBySemanticTerm(term string) []string {
+	var out []string
+	for _, n := range p.g.NodesByLabel("semantics") {
+		if tv, _ := n.Props["term"].(string); tv != term {
+			continue
+		}
+		out = append(out, p.g.Neighbors(n.ID, graphstore.In, "hasSemantics")...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leaves returns the flattened (path, value) pairs of a fragment,
+// sorted by path.
+func (p *PersonalLake) Leaves(fragmentID string) [][2]string {
+	var out [][2]string
+	for _, nid := range p.g.Neighbors(fragmentID, graphstore.Out, "hasData") {
+		n, err := p.g.Node(nid)
+		if err != nil {
+			continue
+		}
+		path, _ := n.Props["path"].(string)
+		value, _ := n.Props["value"].(string)
+		out = append(out, [2]string{path, value})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

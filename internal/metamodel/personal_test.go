@@ -1,0 +1,67 @@
+package metamodel
+
+import (
+	"testing"
+)
+
+func TestPersonalLakeStoreAndFlatten(t *testing.T) {
+	p := NewPersonalLake()
+	fid, err := p.StoreFragment("mailapp", []byte(`{
+		"from": "alice@example.org",
+		"subject": "hello",
+		"attachments": [{"name": "a.pdf"}, {"name": "b.png"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := p.Leaves(fid)
+	if len(leaves) != 4 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if leaves[0][0] != "$.attachments[0].name" || leaves[0][1] != "a.pdf" {
+		t.Errorf("first leaf = %v", leaves[0])
+	}
+	if _, err := p.StoreFragment("x", []byte("{bad")); err == nil {
+		t.Error("invalid fragment should fail")
+	}
+}
+
+func TestPersonalLakeFindByValue(t *testing.T) {
+	p := NewPersonalLake()
+	f1, _ := p.StoreFragment("mailapp", []byte(`{"from":"alice@example.org"}`))
+	f2, _ := p.StoreFragment("shop", []byte(`{"account":{"email":"alice@example.org"}}`))
+	_, _ = p.StoreFragment("fitness", []byte(`{"steps":9000}`))
+	got := p.FindByValue("alice@example.org")
+	if len(got) != 2 || got[0] != f1 || got[1] != f2 {
+		t.Errorf("FindByValue = %v", got)
+	}
+	if got := p.FindByValue("nobody"); len(got) != 0 {
+		t.Errorf("miss = %v", got)
+	}
+}
+
+func TestPersonalLakeSemanticsAndSources(t *testing.T) {
+	p := NewPersonalLake()
+	f1, _ := p.StoreFragment("mailapp", []byte(`{"subject":"invoice 42"}`))
+	_, _ = p.StoreFragment("shop", []byte(`{"order":"42"}`))
+	if err := p.AddSemantics(f1, "finance"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSemantics("ghost", "x"); err == nil {
+		t.Error("semantics on missing fragment should fail")
+	}
+	if got := p.FindBySemanticTerm("finance"); len(got) != 1 || got[0] != f1 {
+		t.Errorf("FindBySemanticTerm = %v", got)
+	}
+	if got := p.Fragments("mailapp"); len(got) != 1 {
+		t.Errorf("Fragments(mailapp) = %v", got)
+	}
+	if got := p.Fragments(""); len(got) != 2 {
+		t.Errorf("Fragments(all) = %v", got)
+	}
+	// Metadata category exists per fragment.
+	md := p.Graph().Neighbors(f1, 0 /* Out */, "hasMetadata")
+	if len(md) != 1 {
+		t.Errorf("metadata nodes = %v", md)
+	}
+}

@@ -1,0 +1,176 @@
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"golake/internal/storage/graphstore"
+)
+
+// Goldmd implements the evolution-oriented metadata model of Sawadogo
+// et al. (Sec. 5.2.3): an attributed graph covering their six metadata
+// management features — semantic enrichment (tags), data indexing
+// (term index), link generation (similarity/parent-child edges), data
+// polymorphism (multiple transformed representations of one dataset),
+// data versioning, and usage tracking (logs).
+type Goldmd struct {
+	g *graphstore.Graph
+	// termIndex maps an index term to dataset IDs.
+	termIndex map[string][]string
+	clock     func() time.Time
+}
+
+// NewGoldmd creates an empty model. clock may be nil (wall clock).
+func NewGoldmd(clock func() time.Time) *Goldmd {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Goldmd{g: graphstore.New(), termIndex: map[string][]string{}, clock: clock}
+}
+
+// AddDataset registers a dataset node.
+func (m *Goldmd) AddDataset(id string) error {
+	return m.g.AddNode("ds:"+id, "dataset", graphstore.Props{"created": m.clock()})
+}
+
+// Enrich attaches a semantic tag to a dataset (feature: semantic
+// enrichment).
+func (m *Goldmd) Enrich(id, tag string) error {
+	tid := "tag:" + tag
+	if !m.g.HasNode(tid) {
+		_ = m.g.AddNode(tid, "tag", nil)
+	}
+	_, err := m.g.AddEdge("ds:"+id, tid, "taggedWith", nil)
+	return err
+}
+
+// Tags returns the semantic tags of a dataset, sorted.
+func (m *Goldmd) Tags(id string) []string {
+	var out []string
+	for _, nb := range m.g.Neighbors("ds:"+id, graphstore.Out, "taggedWith") {
+		out = append(out, nb[len("tag:"):])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Index adds a term to the keyword index for a dataset (feature: data
+// indexing).
+func (m *Goldmd) Index(id string, terms ...string) {
+	for _, t := range terms {
+		m.termIndex[t] = append(m.termIndex[t], id)
+	}
+}
+
+// Search returns dataset IDs indexed under the term, sorted and
+// deduplicated.
+func (m *Goldmd) Search(term string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range m.termIndex[term] {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinkSimilar records a similarity link between two datasets (feature:
+// link generation and conservation).
+func (m *Goldmd) LinkSimilar(a, b string, similarity float64) error {
+	_, err := m.g.AddEdge("ds:"+a, "ds:"+b, "similarTo", graphstore.Props{"sim": similarity})
+	return err
+}
+
+// SimilarTo returns datasets linked as similar to id (either
+// direction), sorted.
+func (m *Goldmd) SimilarTo(id string) []string {
+	nbs := m.g.Neighbors("ds:"+id, graphstore.Both, "similarTo")
+	out := make([]string, 0, len(nbs))
+	for _, nb := range nbs {
+		out = append(out, nb[len("ds:"):])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddRepresentation records a transformed form of a dataset (feature:
+// data polymorphism), e.g. a cleaned or aggregated copy.
+func (m *Goldmd) AddRepresentation(id, repID, kind string) error {
+	rid := "rep:" + repID
+	if err := m.g.AddNode(rid, "representation", graphstore.Props{"kind": kind}); err != nil {
+		return err
+	}
+	_, err := m.g.AddEdge(rid, "ds:"+id, "representationOf", nil)
+	return err
+}
+
+// Representations lists the representation IDs of a dataset, sorted.
+func (m *Goldmd) Representations(id string) []string {
+	nbs := m.g.Neighbors("ds:"+id, graphstore.In, "representationOf")
+	out := make([]string, 0, len(nbs))
+	for _, nb := range nbs {
+		out = append(out, nb[len("rep:"):])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddVersion appends a new version node to a dataset's version chain
+// (feature: data versioning) and returns the version number.
+func (m *Goldmd) AddVersion(id string) (int, error) {
+	versions := m.Versions(id)
+	n := len(versions) + 1
+	vid := fmt.Sprintf("ver:%s:%d", id, n)
+	if err := m.g.AddNode(vid, "version", graphstore.Props{"n": n, "at": m.clock()}); err != nil {
+		return 0, err
+	}
+	if _, err := m.g.AddEdge(vid, "ds:"+id, "versionOf", nil); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Versions returns the version numbers of a dataset in order.
+func (m *Goldmd) Versions(id string) []int {
+	var out []int
+	for _, e := range m.g.InEdges("ds:" + id) {
+		if e.Label != "versionOf" {
+			continue
+		}
+		n, err := m.g.Node(e.From)
+		if err != nil {
+			continue
+		}
+		if v, ok := n.Props["n"].(int); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LogUsage appends a usage event for a dataset (feature: usage
+// tracking).
+func (m *Goldmd) LogUsage(id, user, action string) error {
+	lid := fmt.Sprintf("log:%s:%d", id, m.g.NumNodes())
+	if err := m.g.AddNode(lid, "log", graphstore.Props{"user": user, "action": action, "at": m.clock()}); err != nil {
+		return err
+	}
+	_, err := m.g.AddEdge(lid, "ds:"+id, "usageOf", nil)
+	return err
+}
+
+// UsageCount returns the number of logged usage events for a dataset.
+func (m *Goldmd) UsageCount(id string) int {
+	n := 0
+	for _, e := range m.g.InEdges("ds:" + id) {
+		if e.Label == "usageOf" {
+			n++
+		}
+	}
+	return n
+}

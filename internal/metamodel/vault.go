@@ -1,0 +1,194 @@
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+
+	"golake/internal/table"
+)
+
+// The data vault conceptual model (Sec. 5.2.2): hubs carry business
+// keys, links carry many-to-many relationships between hubs, and
+// satellites carry descriptive attributes of hubs or links. Nogueira et
+// al. show the conceptual model transforms into relational and
+// document-oriented logical models; ToRelational implements the
+// relational transformation.
+
+// Hub represents a business concept identified by a business key.
+type Hub struct {
+	Name string
+	// BusinessKey is the attribute holding the concept's identifier.
+	BusinessKey string
+	// Keys are the distinct business key values loaded so far.
+	Keys []string
+}
+
+// Link is a many-to-many relationship among hubs.
+type Link struct {
+	Name string
+	Hubs []string
+	// Rows are tuples of business keys, one per linked hub.
+	Rows [][]string
+}
+
+// Satellite holds descriptive attributes for a hub.
+type Satellite struct {
+	Name string
+	Hub  string
+	// Attributes are the descriptive column names.
+	Attributes []string
+	// Rows map: business key -> attribute values (latest load wins).
+	Rows map[string][]string
+}
+
+// Vault is a data vault model instance.
+type Vault struct {
+	hubs       map[string]*Hub
+	links      map[string]*Link
+	satellites map[string]*Satellite
+}
+
+// NewVault creates an empty vault.
+func NewVault() *Vault {
+	return &Vault{
+		hubs:       map[string]*Hub{},
+		links:      map[string]*Link{},
+		satellites: map[string]*Satellite{},
+	}
+}
+
+// LoadTable models one table into the vault: a hub on keyCol, plus a
+// satellite with the remaining columns. Re-loading appends new keys
+// (idempotent for existing ones) — the incremental loading pattern
+// Giebler et al. describe for manufacturing data.
+func (v *Vault) LoadTable(t *table.Table, keyCol string) error {
+	kc, err := t.Column(keyCol)
+	if err != nil {
+		return err
+	}
+	hub, ok := v.hubs[t.Name]
+	if !ok {
+		hub = &Hub{Name: t.Name, BusinessKey: keyCol}
+		v.hubs[t.Name] = hub
+	}
+	if hub.BusinessKey != keyCol {
+		return fmt.Errorf("metamodel: hub %s keyed on %s, not %s", t.Name, hub.BusinessKey, keyCol)
+	}
+	known := map[string]bool{}
+	for _, k := range hub.Keys {
+		known[k] = true
+	}
+	satName := t.Name + "_sat"
+	sat, ok := v.satellites[satName]
+	if !ok {
+		var attrs []string
+		for _, c := range t.Columns {
+			if c.Name != keyCol {
+				attrs = append(attrs, c.Name)
+			}
+		}
+		sat = &Satellite{Name: satName, Hub: t.Name, Attributes: attrs, Rows: map[string][]string{}}
+		v.satellites[satName] = sat
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		key := kc.Cells[i]
+		if key == "" {
+			continue
+		}
+		if !known[key] {
+			hub.Keys = append(hub.Keys, key)
+			known[key] = true
+		}
+		var vals []string
+		for _, attr := range sat.Attributes {
+			c, err := t.Column(attr)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, c.Cells[i])
+		}
+		sat.Rows[key] = vals
+	}
+	return nil
+}
+
+// LinkHubs records a relationship tuple between two hubs.
+func (v *Vault) LinkHubs(name, hubA, keyA, hubB, keyB string) error {
+	if _, ok := v.hubs[hubA]; !ok {
+		return fmt.Errorf("metamodel: unknown hub %s", hubA)
+	}
+	if _, ok := v.hubs[hubB]; !ok {
+		return fmt.Errorf("metamodel: unknown hub %s", hubB)
+	}
+	l, ok := v.links[name]
+	if !ok {
+		l = &Link{Name: name, Hubs: []string{hubA, hubB}}
+		v.links[name] = l
+	}
+	l.Rows = append(l.Rows, []string{keyA, keyB})
+	return nil
+}
+
+// Hub returns a hub by name.
+func (v *Vault) Hub(name string) (*Hub, bool) {
+	h, ok := v.hubs[name]
+	return h, ok
+}
+
+// Satellite returns a satellite by name.
+func (v *Vault) Satellite(name string) (*Satellite, bool) {
+	s, ok := v.satellites[name]
+	return s, ok
+}
+
+// Link returns a link by name.
+func (v *Vault) Link(name string) (*Link, bool) {
+	l, ok := v.links[name]
+	return l, ok
+}
+
+// ToRelational renders the vault as relational tables: one table per
+// hub (key column), per link (one column per hub), and per satellite
+// (key + attributes) — the physical-model transformation of Nogueira
+// et al.
+func (v *Vault) ToRelational() []*table.Table {
+	var out []*table.Table
+	hubNames := sortedKeys(v.hubs)
+	for _, hn := range hubNames {
+		h := v.hubs[hn]
+		rows := make([][]string, len(h.Keys))
+		for i, k := range h.Keys {
+			rows[i] = []string{k}
+		}
+		t, _ := table.FromRows("hub_"+h.Name, []string{h.BusinessKey}, rows)
+		out = append(out, t)
+	}
+	for _, ln := range sortedKeys(v.links) {
+		l := v.links[ln]
+		t, _ := table.FromRows("link_"+l.Name, l.Hubs, l.Rows)
+		out = append(out, t)
+	}
+	for _, sn := range sortedKeys(v.satellites) {
+		s := v.satellites[sn]
+		hub := v.hubs[s.Hub]
+		header := append([]string{hub.BusinessKey}, s.Attributes...)
+		var rows [][]string
+		for _, k := range hub.Keys {
+			if vals, ok := s.Rows[k]; ok {
+				rows = append(rows, append([]string{k}, vals...))
+			}
+		}
+		t, _ := table.FromRows("sat_"+s.Name, header, rows)
+		out = append(out, t)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

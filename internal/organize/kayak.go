@@ -1,0 +1,289 @@
+package organize
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"golake/internal/table"
+)
+
+// KAYAK (Maccioni & Torlone, Sec. 6.1.3) organizes data-preparation
+// work in a lake as two kinds of DAGs (Table 2): a *pipeline* DAG whose
+// nodes are primitives (user-facing preparation operations) ordered by
+// execution dependencies, and a *task-dependency* DAG whose nodes are
+// the atomic tasks composing one primitive, used to run independent
+// tasks in parallel. Tasks may return quick approximate previews before
+// exact results — KAYAK's time-to-insight trade-off.
+var (
+	// ErrCycle is returned when an added dependency would create a
+	// cycle (the structures must stay acyclic).
+	ErrCycle = errors.New("organize: dependency cycle")
+	// ErrUnknownNode is returned for dependencies on missing nodes.
+	ErrUnknownNode = errors.New("organize: unknown node")
+)
+
+// TaskFunc is one atomic task body; approximate selects the preview
+// mode.
+type TaskFunc func(approximate bool) (string, error)
+
+// DAG is a generic labeled dependency DAG shared by both KAYAK usages.
+type DAG struct {
+	nodes map[string]bool
+	deps  map[string][]string // node -> prerequisites
+}
+
+// NewDAG creates an empty DAG.
+func NewDAG() *DAG {
+	return &DAG{nodes: map[string]bool{}, deps: map[string][]string{}}
+}
+
+// AddNode registers a node (idempotent).
+func (d *DAG) AddNode(id string) { d.nodes[id] = true }
+
+// AddDep declares that node depends on prereq; both must exist and the
+// edge must not create a cycle (i.e. prereq must not already require
+// node, directly or transitively).
+func (d *DAG) AddDep(node, prereq string) error {
+	if !d.nodes[node] || !d.nodes[prereq] {
+		return fmt.Errorf("%w: %s or %s", ErrUnknownNode, node, prereq)
+	}
+	if d.reaches(prereq, node) {
+		return fmt.Errorf("%w: %s -> %s", ErrCycle, node, prereq)
+	}
+	d.deps[node] = append(d.deps[node], prereq)
+	return nil
+}
+
+// reaches reports whether "to" is reachable from "from" following
+// dependency edges (prereq direction).
+func (d *DAG) reaches(from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{}
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, dep := range d.deps[cur] {
+			if dep == to {
+				return true
+			}
+			if !seen[dep] {
+				seen[dep] = true
+				stack = append(stack, dep)
+			}
+		}
+	}
+	return false
+}
+
+// Stages returns the nodes grouped into parallelizable stages: stage i
+// contains every node whose prerequisites are all in stages < i — how
+// KAYAK schedules independent atomic tasks concurrently.
+func (d *DAG) Stages() ([][]string, error) {
+	done := map[string]bool{}
+	var stages [][]string
+	remaining := len(d.nodes)
+	for remaining > 0 {
+		var stage []string
+		for id := range d.nodes {
+			if done[id] {
+				continue
+			}
+			ready := true
+			for _, dep := range d.deps[id] {
+				if !done[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				stage = append(stage, id)
+			}
+		}
+		if len(stage) == 0 {
+			return nil, fmt.Errorf("%w: unsatisfiable dependencies", ErrCycle)
+		}
+		sort.Strings(stage)
+		for _, id := range stage {
+			done[id] = true
+		}
+		remaining -= len(stage)
+		stages = append(stages, stage)
+	}
+	return stages, nil
+}
+
+// Nodes returns all node IDs, sorted.
+func (d *DAG) Nodes() []string {
+	out := make([]string, 0, len(d.nodes))
+	for id := range d.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deps returns the prerequisites of a node.
+func (d *DAG) Deps(node string) []string {
+	out := append([]string(nil), d.deps[node]...)
+	sort.Strings(out)
+	return out
+}
+
+// Primitive is one KAYAK data-preparation operation composed of atomic
+// tasks.
+type Primitive struct {
+	Name  string
+	tasks map[string]TaskFunc
+	dag   *DAG
+}
+
+// NewPrimitive creates an empty primitive.
+func NewPrimitive(name string) *Primitive {
+	return &Primitive{Name: name, tasks: map[string]TaskFunc{}, dag: NewDAG()}
+}
+
+// AddTask registers an atomic task.
+func (p *Primitive) AddTask(id string, fn TaskFunc) {
+	p.tasks[id] = fn
+	p.dag.AddNode(id)
+}
+
+// After declares task to run after prereq.
+func (p *Primitive) After(task, prereq string) error {
+	return p.dag.AddDep(task, prereq)
+}
+
+// TaskDAG exposes the primitive's task-dependency DAG.
+func (p *Primitive) TaskDAG() *DAG { return p.dag }
+
+// Execute runs all tasks stage by stage (tasks inside one stage are
+// independent). With approximate=true, tasks produce previews — the
+// KAYAK mode that returns an early answer while the exact computation
+// would still be running. Returns task results by ID.
+func (p *Primitive) Execute(approximate bool) (map[string]string, error) {
+	stages, err := p.dag.Stages()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, stage := range stages {
+		for _, id := range stage {
+			res, err := p.tasks[id](approximate)
+			if err != nil {
+				return nil, fmt.Errorf("organize: task %s: %w", id, err)
+			}
+			out[id] = res
+		}
+	}
+	return out, nil
+}
+
+// ProfilePrimitive builds KAYAK's canonical "basic profiling"
+// primitive over a concrete table: per-column statistics and distinct
+// counts, each task supporting the approximate preview mode (a fixed
+// row sample) that gives KAYAK its time-to-insight trade-off — the
+// preview answers quickly while the exact computation would still be
+// scanning.
+func ProfilePrimitive(t *table.Table, sampleRows int) *Primitive {
+	if sampleRows <= 0 {
+		sampleRows = 100
+	}
+	p := NewPrimitive("profile:" + t.Name)
+	sampled := func() *table.Table {
+		n := 0
+		return t.Filter(func([]string) bool {
+			n++
+			return n <= sampleRows
+		})
+	}
+	p.AddTask("stats", func(approx bool) (string, error) {
+		src := t
+		if approx && t.NumRows() > sampleRows {
+			src = sampled()
+		}
+		prof := table.ProfileTable(src)
+		numeric := 0
+		for _, c := range prof.Columns {
+			if c.Kind.Numeric() {
+				numeric++
+			}
+		}
+		return fmt.Sprintf("rows=%d cols=%d numeric=%d", prof.Rows, len(prof.Columns), numeric), nil
+	})
+	p.AddTask("distinct", func(approx bool) (string, error) {
+		src := t
+		if approx && t.NumRows() > sampleRows {
+			src = sampled()
+		}
+		total := 0
+		for _, c := range src.Columns {
+			total += len(c.Distinct())
+		}
+		suffix := ""
+		if approx && t.NumRows() > sampleRows {
+			// Scale the sampled distinct count to the full table — the
+			// estimator a preview reports.
+			total = total * t.NumRows() / src.NumRows()
+			suffix = " (estimated)"
+		}
+		return fmt.Sprintf("distinct~%d%s", total, suffix), nil
+	})
+	p.AddTask("report", func(bool) (string, error) {
+		return "profile of " + t.Name, nil
+	})
+	_ = p.After("report", "stats")
+	_ = p.After("report", "distinct")
+	return p
+}
+
+// Pipeline is the KAYAK primitive-level DAG: primitives ordered by
+// dependencies.
+type Pipeline struct {
+	primitives map[string]*Primitive
+	dag        *DAG
+}
+
+// NewPipeline creates an empty pipeline.
+func NewPipeline() *Pipeline {
+	return &Pipeline{primitives: map[string]*Primitive{}, dag: NewDAG()}
+}
+
+// Add registers a primitive.
+func (pl *Pipeline) Add(p *Primitive) {
+	pl.primitives[p.Name] = p
+	pl.dag.AddNode(p.Name)
+}
+
+// After declares that primitive runs after prereq.
+func (pl *Pipeline) After(name, prereq string) error {
+	return pl.dag.AddDep(name, prereq)
+}
+
+// DAG exposes the pipeline DAG.
+func (pl *Pipeline) DAG() *DAG { return pl.dag }
+
+// Run executes every primitive in dependency order; results are keyed
+// "primitive/task".
+func (pl *Pipeline) Run(approximate bool) (map[string]string, error) {
+	stages, err := pl.dag.Stages()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, stage := range stages {
+		for _, name := range stage {
+			res, err := pl.primitives[name].Execute(approximate)
+			if err != nil {
+				return nil, err
+			}
+			for tid, r := range res {
+				out[name+"/"+tid] = r
+			}
+		}
+	}
+	return out, nil
+}

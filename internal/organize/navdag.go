@@ -1,0 +1,262 @@
+package organize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"golake/internal/embed"
+	"golake/internal/sketch"
+	"golake/internal/table"
+)
+
+// NavDAG is the data lake organization of Nargesian et al.
+// (Sec. 6.1.3): a DAG whose leaf nodes are table attributes, whose
+// internal nodes carry topic vectors summarizing their children, and
+// whose edges represent containment. Navigation is a Markov process —
+// from the current node, the transition probability to a child depends
+// only on the similarity between the child's topic vector and the
+// query. The organization is built to maximize the probability that
+// every attribute can be found.
+type NavDAG struct {
+	// Branch is the target fan-out of internal nodes.
+	Branch int
+
+	model *embed.Model
+	root  *NavNode
+	// leaves maps attribute key ("table.column") to its leaf.
+	leaves map[string]*NavNode
+}
+
+// NavNode is one DAG node.
+type NavNode struct {
+	ID string
+	// Table/Column are set on leaves.
+	Table, Column string
+	// Vector is the topic representation (mean of descendant leaf
+	// vectors, unit-normalized).
+	Vector   []float64
+	Children []*NavNode
+}
+
+// IsLeaf reports whether the node is an attribute leaf.
+func (n *NavNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// NewNavDAG creates an organization builder with fan-out branch.
+func NewNavDAG(branch int) *NavDAG {
+	if branch < 2 {
+		branch = 4
+	}
+	return &NavDAG{Branch: branch, model: embed.NewModel(48), leaves: map[string]*NavNode{}}
+}
+
+// Build constructs the organization over all attributes of the corpus
+// by agglomerative grouping: leaves are clustered bottom-up into topic
+// nodes of about Branch children until a single root remains.
+func (d *NavDAG) Build(tables []*table.Table) *NavNode {
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			d.model.AddColumn(c.DistinctSlice())
+		}
+	}
+	var nodes []*NavNode
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			key := t.Name + "." + c.Name
+			leaf := &NavNode{
+				ID:     key,
+				Table:  t.Name,
+				Column: c.Name,
+				Vector: d.model.ColumnVector(c.DistinctSlice()),
+			}
+			d.leaves[key] = leaf
+			nodes = append(nodes, leaf)
+		}
+	}
+	level := 0
+	for len(nodes) > 1 {
+		level++
+		nodes = d.groupLevel(nodes, level)
+	}
+	if len(nodes) == 1 {
+		d.root = nodes[0]
+	} else {
+		d.root = &NavNode{ID: "root"}
+	}
+	return d.root
+}
+
+// groupLevel greedily groups nodes into parents of ~Branch children by
+// vector similarity: repeatedly seed a group with the first unassigned
+// node and pull in its most similar peers.
+func (d *NavDAG) groupLevel(nodes []*NavNode, level int) []*NavNode {
+	unused := append([]*NavNode(nil), nodes...)
+	sort.Slice(unused, func(i, j int) bool { return unused[i].ID < unused[j].ID })
+	var parents []*NavNode
+	for len(unused) > 0 {
+		seed := unused[0]
+		unused = unused[1:]
+		type scored struct {
+			n   *NavNode
+			sim float64
+		}
+		var rest []scored
+		for _, n := range unused {
+			rest = append(rest, scored{n: n, sim: sketch.Cosine(seed.Vector, n.Vector)})
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].sim != rest[j].sim {
+				return rest[i].sim > rest[j].sim
+			}
+			return rest[i].n.ID < rest[j].n.ID
+		})
+		take := d.Branch - 1
+		if take > len(rest) {
+			take = len(rest)
+		}
+		children := []*NavNode{seed}
+		taken := map[*NavNode]bool{}
+		for i := 0; i < take; i++ {
+			children = append(children, rest[i].n)
+			taken[rest[i].n] = true
+		}
+		var remaining []*NavNode
+		for _, n := range unused {
+			if !taken[n] {
+				remaining = append(remaining, n)
+			}
+		}
+		unused = remaining
+		parent := &NavNode{
+			ID:       fmt.Sprintf("topic-L%d-%d", level, len(parents)),
+			Children: children,
+			Vector:   meanVector(children),
+		}
+		parents = append(parents, parent)
+	}
+	return parents
+}
+
+func meanVector(nodes []*NavNode) []float64 {
+	if len(nodes) == 0 {
+		return nil
+	}
+	out := make([]float64, len(nodes[0].Vector))
+	for _, n := range nodes {
+		for i := range out {
+			if i < len(n.Vector) {
+				out[i] += n.Vector[i]
+			}
+		}
+	}
+	var ss float64
+	for i := range out {
+		out[i] /= float64(len(nodes))
+		ss += out[i] * out[i]
+	}
+	if ss > 0 {
+		norm := math.Sqrt(ss)
+		for i := range out {
+			out[i] /= norm
+		}
+	}
+	return out
+}
+
+// Root returns the organization root (nil before Build).
+func (d *NavDAG) Root() *NavNode { return d.root }
+
+// transitionProbs computes the Markov transition distribution over a
+// node's children for a query vector: softmax over cosine similarity.
+func transitionProbs(query []float64, children []*NavNode) []float64 {
+	probs := make([]float64, len(children))
+	var sum float64
+	for i, ch := range children {
+		p := math.Exp(4 * sketch.Cosine(query, ch.Vector))
+		probs[i] = p
+		sum += p
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// Navigate greedily follows the most probable transitions from the root
+// for a keyword query and returns the visited node path ending at a
+// leaf.
+func (d *NavDAG) Navigate(query string) []*NavNode {
+	if d.root == nil {
+		return nil
+	}
+	qv := d.model.Vector(query)
+	path := []*NavNode{d.root}
+	cur := d.root
+	for !cur.IsLeaf() {
+		probs := transitionProbs(qv, cur.Children)
+		best, bestP := 0, -1.0
+		for i, p := range probs {
+			if p > bestP {
+				best, bestP = i, p
+			}
+		}
+		cur = cur.Children[best]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// DiscoveryProbability computes the probability that a navigator
+// following the Markov model with the leaf's own vector as the query
+// reaches the given attribute — the quantity the organization problem
+// maximizes (summed over attributes).
+func (d *NavDAG) DiscoveryProbability(attrKey string) float64 {
+	leaf, ok := d.leaves[attrKey]
+	if !ok || d.root == nil {
+		return 0
+	}
+	var walk func(n *NavNode) float64
+	walk = func(n *NavNode) float64 {
+		if n == leaf {
+			return 1
+		}
+		if n.IsLeaf() {
+			return 0
+		}
+		probs := transitionProbs(leaf.Vector, n.Children)
+		var total float64
+		for i, ch := range n.Children {
+			total += probs[i] * walk(ch)
+		}
+		return total
+	}
+	return walk(d.root)
+}
+
+// MeanDiscoveryProbability averages DiscoveryProbability over all
+// attributes — the organization-quality objective.
+func (d *NavDAG) MeanDiscoveryProbability() float64 {
+	if len(d.leaves) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(d.leaves))
+	for k := range d.leaves {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += d.DiscoveryProbability(k)
+	}
+	return sum / float64(len(d.leaves))
+}
+
+// Leaves returns all attribute keys, sorted.
+func (d *NavDAG) Leaves() []string {
+	out := make([]string, 0, len(d.leaves))
+	for k := range d.leaves {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,139 @@
+package organize
+
+import (
+	"sort"
+	"strings"
+
+	"golake/internal/discovery"
+	"golake/internal/sketch"
+	"golake/internal/table"
+)
+
+// Ronin implements RONIN (Ouellette et al., Sec. 6.1.3): a data lake
+// exploration surface combining three ways in — navigating the
+// organization DAG of Nargesian et al., keyword search over dataset
+// metadata, and joinable-dataset search — so a user can alternate
+// between browsing and searching ("pivot" between modes, as the demo
+// paper shows).
+type Ronin struct {
+	nav    *NavDAG
+	josie  *discovery.JOSIE
+	corpus map[string]*table.Table
+	// keyword posting lists over table names, column names and meta.
+	keywords map[string][]string
+}
+
+// NewRonin builds the combined exploration structure over a corpus.
+func NewRonin(tables []*table.Table, branch int) (*Ronin, error) {
+	r := &Ronin{
+		nav:      NewNavDAG(branch),
+		josie:    discovery.NewJOSIE(),
+		corpus:   map[string]*table.Table{},
+		keywords: map[string][]string{},
+	}
+	r.nav.Build(tables)
+	if err := r.josie.Index(tables); err != nil {
+		return nil, err
+	}
+	for _, t := range tables {
+		r.corpus[t.Name] = t
+		seen := map[string]bool{}
+		add := func(tok string) {
+			if tok == "" || seen[tok] {
+				return
+			}
+			seen[tok] = true
+			r.keywords[tok] = append(r.keywords[tok], t.Name)
+		}
+		for _, tok := range sketch.Tokenize(t.Name) {
+			add(tok)
+		}
+		for _, c := range t.Columns {
+			for _, tok := range sketch.Tokenize(c.Name) {
+				add(tok)
+			}
+		}
+		for _, v := range t.Meta {
+			for _, tok := range sketch.Tokenize(v) {
+				add(tok)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Navigate descends the organization DAG for a topic query and returns
+// the visited path (ending at an attribute leaf).
+func (r *Ronin) Navigate(query string) []*NavNode { return r.nav.Navigate(query) }
+
+// KeywordSearch returns the tables whose name, columns or metadata
+// mention every keyword, sorted.
+func (r *Ronin) KeywordSearch(query string) []string {
+	toks := sketch.Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	counts := map[string]int{}
+	for _, tok := range toks {
+		for _, t := range r.keywords[tok] {
+			counts[t]++
+		}
+	}
+	var out []string
+	for t, n := range counts {
+		if n == len(toks) {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Joinable returns the top-k tables joinable with the given table —
+// the search pivot after navigation lands on something interesting.
+func (r *Ronin) Joinable(tableName string, k int) []string {
+	t, ok := r.corpus[tableName]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, ts := range r.josie.RelatedTables(t, k) {
+		out = append(out, ts.Table)
+	}
+	return out
+}
+
+// Pivot is RONIN's signature interaction: from a DAG position (an
+// attribute leaf reached by navigation), jump to the tables joinable
+// on that attribute.
+func (r *Ronin) Pivot(leaf *NavNode, k int) []string {
+	if leaf == nil || !leaf.IsLeaf() {
+		return nil
+	}
+	t, ok := r.corpus[leaf.Table]
+	if !ok {
+		return nil
+	}
+	matches, err := r.josie.JoinableColumns(t, leaf.Column, k)
+	if err != nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range matches {
+		if !seen[m.Ref.Table] {
+			seen[m.Ref.Table] = true
+			out = append(out, m.Ref.Table)
+		}
+	}
+	return out
+}
+
+// Describe renders a short description of a DAG path for display.
+func Describe(path []*NavNode) string {
+	parts := make([]string, len(path))
+	for i, n := range path {
+		parts[i] = n.ID
+	}
+	return strings.Join(parts, " > ")
+}

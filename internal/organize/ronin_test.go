@@ -1,0 +1,82 @@
+package organize
+
+import (
+	"testing"
+
+	"golake/internal/workload"
+)
+
+func buildRonin(t *testing.T) (*Ronin, *workload.Corpus) {
+	t.Helper()
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 12, JoinGroups: 3, RowsPerTable: 60,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 60, Seed: 37,
+	})
+	r, err := NewRonin(c.Tables, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, c
+}
+
+func TestRoninNavigateReachesLeaf(t *testing.T) {
+	r, _ := buildRonin(t)
+	path := r.Navigate("g00_key")
+	if len(path) < 2 {
+		t.Fatalf("path = %v", path)
+	}
+	if !path[len(path)-1].IsLeaf() {
+		t.Error("navigation did not reach a leaf")
+	}
+	if Describe(path) == "" {
+		t.Error("empty path description")
+	}
+}
+
+func TestRoninKeywordSearch(t *testing.T) {
+	r, c := buildRonin(t)
+	// Column names carry the group tokens ("g00", "key", ...).
+	got := r.KeywordSearch("g00 key")
+	if len(got) == 0 {
+		t.Fatal("no keyword hits")
+	}
+	for _, name := range got {
+		if c.GroupOf[name] != 0 {
+			t.Errorf("keyword hit outside group 0: %s", name)
+		}
+	}
+	if got := r.KeywordSearch(""); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	if got := r.KeywordSearch("zebra unrelated"); len(got) != 0 {
+		t.Errorf("unrelated query = %v", got)
+	}
+}
+
+func TestRoninJoinableAndPivot(t *testing.T) {
+	r, c := buildRonin(t)
+	q := c.Tables[0].Name
+	joinable := r.Joinable(q, 3)
+	if len(joinable) != 3 {
+		t.Fatalf("joinable = %v", joinable)
+	}
+	for _, name := range joinable {
+		if !c.Joinable[workload.NewPair(q, name)] {
+			t.Errorf("non-joinable result %s", name)
+		}
+	}
+	// Pivot from a navigated key-attribute leaf.
+	path := r.Navigate("g00 key")
+	leaf := path[len(path)-1]
+	pivoted := r.Pivot(leaf, 3)
+	if len(pivoted) == 0 {
+		t.Fatalf("pivot from %s returned nothing", leaf.ID)
+	}
+	// Pivot from a non-leaf is nil.
+	if got := r.Pivot(path[0], 3); got != nil {
+		t.Errorf("pivot from root = %v", got)
+	}
+	if got := r.Joinable("ghost", 3); got != nil {
+		t.Errorf("joinable ghost = %v", got)
+	}
+}

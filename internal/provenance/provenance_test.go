@@ -1,0 +1,152 @@
+package provenance
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTracker() *Tracker {
+	t0 := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	n := 0
+	return NewTracker(func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	})
+}
+
+// buildPipeline models the paper's use case: tweets collected by Flume,
+// processed by Hadoop and Spark jobs.
+func buildPipeline(t *testing.T) *Tracker {
+	t.Helper()
+	tr := newTracker()
+	tr.Ingest("tweets_raw", "flume", "collector")
+	if err := tr.Derive("count_hashtags", "hadoop", "analyst", []string{"tweets_raw"}, "hashtag_counts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Derive("aggregate_by_cat", "spark", "analyst", []string{"hashtag_counts"}, "category_summary"); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestUpstreamDownstream(t *testing.T) {
+	tr := buildPipeline(t)
+	up, err := tr.Upstream("category_summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up) != 2 || up[0] != "hashtag_counts" || up[1] != "tweets_raw" {
+		t.Errorf("Upstream = %v", up)
+	}
+	down, err := tr.Downstream("tweets_raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 2 {
+		t.Errorf("Downstream = %v", down)
+	}
+	if _, err := tr.Upstream("ghost"); !errors.Is(err, ErrUnknownEntity) {
+		t.Errorf("Upstream ghost = %v", err)
+	}
+}
+
+func TestPathQuery(t *testing.T) {
+	tr := buildPipeline(t)
+	path := tr.Path("tweets_raw", "category_summary")
+	if len(path) != 5 {
+		t.Fatalf("path = %v", path)
+	}
+	if path[0] != "tweets_raw" || path[4] != "category_summary" {
+		t.Errorf("path endpoints = %v", path)
+	}
+	if p := tr.Path("category_summary", "tweets_raw"); p != nil {
+		t.Errorf("reverse lineage = %v, want nil", p)
+	}
+}
+
+func TestAccessLogAndQuery(t *testing.T) {
+	tr := buildPipeline(t)
+	if err := tr.Query("category_summary", "dashboard", "ceo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Query("ghost", "dashboard", "ceo"); !errors.Is(err, ErrUnknownEntity) {
+		t.Errorf("Query ghost = %v", err)
+	}
+	log := tr.AccessLog("category_summary")
+	// write + derive + query = 3 events.
+	if len(log) != 3 {
+		t.Fatalf("AccessLog = %+v", log)
+	}
+	last := log[len(log)-1]
+	if last.Kind != EventQuery || last.User != "ceo" {
+		t.Errorf("last event = %+v", last)
+	}
+	// Events are ordered by sequence.
+	for i := 1; i < len(log); i++ {
+		if log[i].Seq <= log[i-1].Seq {
+			t.Error("events out of order")
+		}
+	}
+}
+
+func TestEventsBySystem(t *testing.T) {
+	tr := buildPipeline(t)
+	got := tr.EventsBySystem()
+	if got["flume"] != 1 {
+		t.Errorf("flume events = %d", got["flume"])
+	}
+	if got["hadoop"] != 3 { // read + write + derive
+		t.Errorf("hadoop events = %d", got["hadoop"])
+	}
+	if got["spark"] != 3 {
+		t.Errorf("spark events = %d", got["spark"])
+	}
+}
+
+func TestActivities(t *testing.T) {
+	tr := buildPipeline(t)
+	acts := tr.Activities("hashtag_counts")
+	if len(acts) != 2 {
+		t.Fatalf("Activities = %v", acts)
+	}
+	if acts[0] != "aggregate_by_cat" || acts[1] != "count_hashtags" {
+		t.Errorf("Activities = %v", acts)
+	}
+}
+
+func TestMultiInputDerivation(t *testing.T) {
+	tr := newTracker()
+	tr.Ingest("a", "s", "u")
+	tr.Ingest("b", "s", "u")
+	if err := tr.Derive("join", "spark", "u", []string{"a", "b"}, "joined"); err != nil {
+		t.Fatal(err)
+	}
+	up, _ := tr.Upstream("joined")
+	if len(up) != 2 {
+		t.Errorf("Upstream of join = %v", up)
+	}
+	events := tr.Events()
+	if len(events) != 2+2+2 { // 2 ingests + 2 reads + write+derive
+		t.Errorf("events = %d", len(events))
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	tr := buildPipeline(t)
+	dot := tr.DOT()
+	for _, want := range []string{"digraph", "tweets_raw", "count_hashtags", "usedBy", "generated"} {
+		if !containsStr(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,404 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"golake/internal/storage/docstore"
+	"golake/internal/storage/polystore"
+	"golake/internal/table"
+)
+
+// Engine executes parsed queries over a polystore.
+type Engine struct {
+	Poly *polystore.Poly
+	// PushDown controls whether selection predicates and projections
+	// are evaluated inside the member stores (the optimization
+	// Constance and Ontario apply) or centrally after full retrieval.
+	// The federated-query benchmark toggles this.
+	PushDown bool
+}
+
+// NewEngine creates an engine with pushdown enabled.
+func NewEngine(p *polystore.Poly) *Engine {
+	return &Engine{Poly: p, PushDown: true}
+}
+
+// ExecuteSQL parses and executes a statement.
+func (e *Engine) ExecuteSQL(sql string) (*table.Table, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Execute runs a query: one subquery per source, results merged by
+// union over the projected columns (missing columns null-padded), then
+// limited.
+func (e *Engine) Execute(q *Query) (*table.Table, error) {
+	var parts []*table.Table
+	for _, src := range q.Sources {
+		part, err := e.executeSource(src, q)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	merged := mergeUnion(parts, q.Columns)
+	if q.Limit > 0 && merged.NumRows() > q.Limit {
+		merged = truncate(merged, q.Limit)
+	}
+	merged.InferTypes()
+	return merged, nil
+}
+
+// executeSource routes one FROM item to its member store.
+func (e *Engine) executeSource(src string, q *Query) (*table.Table, error) {
+	kind, name := splitSource(src)
+	switch kind {
+	case "rel":
+		return e.execRelational(name, q)
+	case "doc":
+		return e.execDocument(name, q)
+	case "graph":
+		return e.execGraph(name, q)
+	case "file":
+		return e.execFiles(name, q)
+	case "":
+		// Resolve bare names: relational, then document, then graph.
+		if e.Poly.Rel.Has(name) {
+			return e.execRelational(name, q)
+		}
+		for _, coll := range e.Poly.Docs.Collections() {
+			if coll == name {
+				return e.execDocument(name, q)
+			}
+		}
+		if len(e.Poly.Graph.NodesByLabel(name)) > 0 {
+			return e.execGraph(name, q)
+		}
+		return nil, fmt.Errorf("query: unknown source %q", name)
+	default:
+		return nil, fmt.Errorf("query: unknown source prefix %q", kind)
+	}
+}
+
+func splitSource(src string) (kind, name string) {
+	if i := strings.Index(src, ":"); i > 0 {
+		return src[:i], src[i+1:]
+	}
+	return "", src
+}
+
+func (e *Engine) execRelational(name string, q *Query) (*table.Table, error) {
+	if e.PushDown {
+		// Compile each conjunct to a per-column cell predicate; the
+		// store resolves columns to indexes and projects during the
+		// scan.
+		preds := make([]polystore.CellPredicate, len(q.Where))
+		for i, p := range q.Where {
+			pred := p
+			preds[i] = polystore.CellPredicate{Column: p.Column, Match: pred.Matches}
+		}
+		return e.Poly.Rel.SelectWhere(name, preds, pushableColumns(name, q, e))
+	}
+	// No pushdown: fetch everything, filter centrally.
+	t, err := e.Poly.Rel.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return centralFilter(t, q), nil
+}
+
+// pushableColumns returns the projection to push into the store: the
+// requested columns that exist there. The predicate is pushed
+// separately, so its columns need not survive projection.
+func pushableColumns(name string, q *Query, e *Engine) []string {
+	if len(q.Columns) == 0 {
+		return nil // SELECT *
+	}
+	names, err := e.Poly.Rel.ColumnNames(name)
+	if err != nil {
+		return nil
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	var cols []string
+	for _, c := range q.Columns {
+		if have[c] {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+func (e *Engine) execDocument(name string, q *Query) (*table.Table, error) {
+	coll := e.Poly.Docs.Collection(name)
+	var docs []docstore.Doc
+	if e.PushDown {
+		var filters []docstore.Filter
+		for _, p := range q.Where {
+			f, ok := docFilter(p)
+			if !ok {
+				// Unpushable predicate: evaluated centrally below.
+				continue
+			}
+			filters = append(filters, f)
+		}
+		docs = coll.Find(filters...)
+	} else {
+		docs = coll.All()
+	}
+	// Materialize requested plus predicate columns; centralFilter
+	// evaluates any unpushed predicates and projects the extras away.
+	t := docsToTable(name, docs, withPredicateColumns(q))
+	return centralFilter(t, q), nil
+}
+
+// withPredicateColumns returns the projection extended with predicate
+// columns (nil for SELECT *), so central predicate evaluation still
+// sees the cells it needs.
+func withPredicateColumns(q *Query) []string {
+	if len(q.Columns) == 0 {
+		return nil
+	}
+	out := append([]string(nil), q.Columns...)
+	have := map[string]bool{}
+	for _, c := range out {
+		have[c] = true
+	}
+	for _, p := range q.Where {
+		if !have[p.Column] {
+			have[p.Column] = true
+			out = append(out, p.Column)
+		}
+	}
+	return out
+}
+
+// docFilter maps a predicate onto a docstore filter.
+func docFilter(p Predicate) (docstore.Filter, bool) {
+	var op docstore.Op
+	switch p.Op {
+	case OpEq:
+		op = docstore.OpEq
+	case OpNe:
+		op = docstore.OpNe
+	case OpGt:
+		op = docstore.OpGt
+	case OpGte:
+		op = docstore.OpGte
+	case OpLt:
+		op = docstore.OpLt
+	case OpLte:
+		op = docstore.OpLte
+	default:
+		return docstore.Filter{}, false
+	}
+	var val any = p.Value
+	if p.Numeric {
+		var f float64
+		_, err := fmt.Sscanf(p.Value, "%g", &f)
+		if err == nil {
+			val = f
+		}
+	}
+	return docstore.Filter{Path: p.Column, Op: op, Value: val}, true
+}
+
+// docsToTable flattens documents into a table over the union of their
+// top-level scalar fields (or the requested columns).
+func docsToTable(name string, docs []docstore.Doc, want []string) *table.Table {
+	fieldSet := map[string]bool{}
+	if len(want) > 0 {
+		for _, c := range want {
+			fieldSet[c] = true
+		}
+	} else {
+		for _, d := range docs {
+			for k, v := range d {
+				if k == "_id" {
+					continue
+				}
+				switch v.(type) {
+				case map[string]any, []any:
+				default:
+					fieldSet[k] = true
+				}
+			}
+		}
+	}
+	fields := make([]string, 0, len(fieldSet))
+	for f := range fieldSet {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	t := table.New(name)
+	for _, f := range fields {
+		t.Columns = append(t.Columns, &table.Column{Name: f})
+	}
+	for _, d := range docs {
+		row := make([]string, len(fields))
+		for i, f := range fields {
+			if v, ok := d[f]; ok {
+				row[i] = fmt.Sprintf("%v", v)
+			}
+		}
+		_ = t.AppendRow(row)
+	}
+	return t
+}
+
+func (e *Engine) execGraph(label string, q *Query) (*table.Table, error) {
+	nodes := e.Poly.Graph.NodesByLabel(label)
+	fieldSet := map[string]bool{}
+	if cols := withPredicateColumns(q); cols != nil {
+		for _, c := range cols {
+			fieldSet[c] = true
+		}
+	} else {
+		fieldSet["id"] = true
+		for _, n := range nodes {
+			for k := range n.Props {
+				fieldSet[k] = true
+			}
+		}
+	}
+	fields := make([]string, 0, len(fieldSet))
+	for f := range fieldSet {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	t := table.New(label)
+	for _, f := range fields {
+		t.Columns = append(t.Columns, &table.Column{Name: f})
+	}
+	for _, n := range nodes {
+		row := make([]string, len(fields))
+		for i, f := range fields {
+			if f == "id" {
+				row[i] = n.ID
+				continue
+			}
+			if v, ok := n.Props[f]; ok {
+				row[i] = fmt.Sprintf("%v", v)
+			}
+		}
+		_ = t.AppendRow(row)
+	}
+	return centralFilter(t, q), nil
+}
+
+// execFiles lists raw objects under a prefix as (path, size, format).
+func (e *Engine) execFiles(prefix string, q *Query) (*table.Table, error) {
+	t := table.New("files")
+	t.Columns = []*table.Column{{Name: "path"}, {Name: "size"}, {Name: "format"}}
+	for _, info := range e.Poly.Files.List(prefix) {
+		_ = t.AppendRow([]string{info.Path, fmt.Sprintf("%d", info.Size), string(info.Format)})
+	}
+	return centralFilter(t, q), nil
+}
+
+// centralFilter applies predicates and projection in the engine (used
+// when pushdown is off or a store cannot evaluate them).
+func centralFilter(t *table.Table, q *Query) *table.Table {
+	names := t.ColumnNames()
+	out := t.Filter(func(row []string) bool {
+		m := make(map[string]string, len(names))
+		for i, n := range names {
+			m[n] = row[i]
+		}
+		return rowMatches(m, q.Where)
+	})
+	if len(q.Columns) == 0 {
+		return out
+	}
+	var present []string
+	for _, c := range q.Columns {
+		if out.HasColumn(c) {
+			present = append(present, c)
+		}
+	}
+	proj, err := out.Project(present...)
+	if err != nil {
+		return out
+	}
+	// Null-pad requested-but-missing columns so union aligns.
+	for _, c := range q.Columns {
+		if !proj.HasColumn(c) {
+			proj.Columns = append(proj.Columns, &table.Column{
+				Name:  c,
+				Cells: make([]string, proj.NumRows()),
+			})
+		}
+	}
+	reordered, err := proj.Project(q.Columns...)
+	if err != nil {
+		return proj
+	}
+	return reordered
+}
+
+func rowMatches(row map[string]string, preds []Predicate) bool {
+	for _, p := range preds {
+		cell, ok := row[p.Column]
+		if !ok {
+			return false
+		}
+		if !p.Matches(cell) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeUnion unions the parts over the projected columns (or the union
+// of all part columns when projecting *).
+func mergeUnion(parts []*table.Table, want []string) *table.Table {
+	cols := want
+	if len(cols) == 0 {
+		seen := map[string]bool{}
+		for _, p := range parts {
+			for _, c := range p.ColumnNames() {
+				if !seen[c] {
+					seen[c] = true
+					cols = append(cols, c)
+				}
+			}
+		}
+	}
+	out := table.New("result")
+	for _, c := range cols {
+		out.Columns = append(out.Columns, &table.Column{Name: c})
+	}
+	for _, p := range parts {
+		names := p.ColumnNames()
+		idx := map[string]int{}
+		for i, n := range names {
+			idx[n] = i
+		}
+		for r := 0; r < p.NumRows(); r++ {
+			row := p.Row(r)
+			rec := make([]string, len(cols))
+			for i, c := range cols {
+				if j, ok := idx[c]; ok {
+					rec[i] = row[j]
+				}
+			}
+			_ = out.AppendRow(rec)
+		}
+	}
+	return out
+}
+
+func truncate(t *table.Table, n int) *table.Table {
+	i := 0
+	return t.Filter(func([]string) bool {
+		i++
+		return i <= n
+	})
+}

@@ -1,0 +1,301 @@
+// Package query implements the exploration tier's heterogeneous data
+// querying (Sec. 7.2 of the survey): one unified query language
+// executed over the polystore, in the manner of Constance, CoreDB,
+// Ontario and Squerall — the engine decomposes a query into per-store
+// subqueries, pushes selection predicates down into stores that can
+// evaluate them, executes with store-native access paths, and merges
+// subquery results into a single table.
+//
+// The language is a minimal SQL dialect:
+//
+//	SELECT a, b FROM rel:orders WHERE status = 'open' AND total > 10 LIMIT 5
+//	SELECT * FROM doc:events WHERE kind = 'click'
+//	SELECT * FROM graph:person
+//	SELECT city, price FROM rel:hotels_a, rel:hotels_b   -- union-all
+//
+// Source prefixes select the member store: rel: (relational), doc:
+// (document), graph: (node label), file: (raw object listing). A bare
+// name resolves against the stores in that order.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CmpOp is a predicate comparison operator.
+type CmpOp string
+
+// Supported comparison operators.
+const (
+	OpEq  CmpOp = "="
+	OpNe  CmpOp = "!="
+	OpGt  CmpOp = ">"
+	OpGte CmpOp = ">="
+	OpLt  CmpOp = "<"
+	OpLte CmpOp = "<="
+)
+
+// Predicate is one WHERE conjunct.
+type Predicate struct {
+	Column string
+	Op     CmpOp
+	Value  string
+	// Numeric is true when Value parsed as a number; comparisons then
+	// run numerically with string fallback.
+	Numeric bool
+}
+
+// Query is a parsed statement.
+type Query struct {
+	// Columns to project; empty means SELECT *.
+	Columns []string
+	// Sources are the FROM items, possibly prefixed (rel:, doc:,
+	// graph:, file:).
+	Sources []string
+	// Where holds the conjunctive predicates.
+	Where []Predicate
+	// Limit bounds the result rows (0 = unlimited).
+	Limit int
+}
+
+// Parse parses the minimal SQL dialect.
+func Parse(s string) (*Query, error) {
+	toks, err := tokenize(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parse()
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !strings.EqualFold(p.peek(), kw) {
+		return fmt.Errorf("query: expected %s, got %q", kw, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parse() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	// Projection list.
+	if p.peek() == "*" {
+		p.next()
+	} else {
+		for {
+			col := p.next()
+			if col == "" {
+				return nil, fmt.Errorf("query: missing column name")
+			}
+			q.Columns = append(q.Columns, col)
+			if p.peek() != "," {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		src := p.next()
+		if src == "" {
+			return nil, fmt.Errorf("query: missing source")
+		}
+		q.Sources = append(q.Sources, src)
+		if p.peek() != "," {
+			break
+		}
+		p.next()
+	}
+	if strings.EqualFold(p.peek(), "WHERE") {
+		p.next()
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if !strings.EqualFold(p.peek(), "AND") {
+				break
+			}
+			p.next()
+		}
+	}
+	if strings.EqualFold(p.peek(), "LIMIT") {
+		p.next()
+		n, err := strconv.Atoi(p.next())
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("query: bad LIMIT")
+		}
+		q.Limit = n
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("query: trailing tokens near %q", p.peek())
+	}
+	return q, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	col := p.next()
+	if col == "" {
+		return Predicate{}, fmt.Errorf("query: missing predicate column")
+	}
+	op := CmpOp(p.next())
+	switch op {
+	case OpEq, OpNe, OpGt, OpGte, OpLt, OpLte:
+	default:
+		return Predicate{}, fmt.Errorf("query: bad operator %q", op)
+	}
+	val := p.next()
+	if val == "" {
+		return Predicate{}, fmt.Errorf("query: missing predicate value")
+	}
+	pred := Predicate{Column: col, Op: op, Value: strings.Trim(val, "'")}
+	if _, err := strconv.ParseFloat(pred.Value, 64); err == nil && !strings.HasPrefix(val, "'") {
+		pred.Numeric = true
+	}
+	return pred, nil
+}
+
+// tokenize splits on whitespace, keeping quoted strings and separating
+// commas and comparison operators.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, ",")
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("query: unterminated string literal")
+			}
+			toks = append(toks, s[i:j+1])
+			i = j + 1
+		case c == '!' || c == '>' || c == '<' || c == '=':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, s[i:i+2])
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n\r,'!><=", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// String renders the query back into the dialect; Parse(q.String())
+// yields an equivalent query.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if len(q.Columns) == 0 {
+		sb.WriteString("*")
+	} else {
+		sb.WriteString(strings.Join(q.Columns, ", "))
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(strings.Join(q.Sources, ", "))
+	if len(q.Where) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(p.Column)
+			sb.WriteString(" ")
+			sb.WriteString(string(p.Op))
+			sb.WriteString(" ")
+			if p.Numeric {
+				sb.WriteString(p.Value)
+			} else {
+				sb.WriteString("'" + p.Value + "'")
+			}
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// Matches evaluates the predicate against a string cell.
+func (pr Predicate) Matches(cell string) bool {
+	if pr.Numeric {
+		a, errA := strconv.ParseFloat(cell, 64)
+		b, errB := strconv.ParseFloat(pr.Value, 64)
+		if errA == nil && errB == nil {
+			switch pr.Op {
+			case OpEq:
+				return a == b
+			case OpNe:
+				return a != b
+			case OpGt:
+				return a > b
+			case OpGte:
+				return a >= b
+			case OpLt:
+				return a < b
+			case OpLte:
+				return a <= b
+			}
+		}
+		// fall through to string comparison when the cell is not
+		// numeric
+	}
+	switch pr.Op {
+	case OpEq:
+		return cell == pr.Value
+	case OpNe:
+		return cell != pr.Value
+	case OpGt:
+		return cell > pr.Value
+	case OpGte:
+		return cell >= pr.Value
+	case OpLt:
+		return cell < pr.Value
+	case OpLte:
+		return cell <= pr.Value
+	}
+	return false
+}

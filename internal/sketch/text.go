@@ -1,0 +1,266 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// QGrams returns the multiset of character q-grams of s (lowercased),
+// padded with q-1 leading/trailing '#'. D3L uses q-gram profiles of
+// attribute names as one of its five relatedness features.
+func QGrams(s string, q int) []string {
+	if q <= 0 {
+		q = 3
+	}
+	pad := strings.Repeat("#", q-1)
+	padded := pad + strings.ToLower(s) + pad
+	runes := []rune(padded)
+	if len(runes) < q {
+		return nil
+	}
+	out := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		out = append(out, string(runes[i:i+q]))
+	}
+	return out
+}
+
+// Tokenize splits text into lowercase word tokens, treating any
+// non-alphanumeric rune as a separator.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// TermFreq counts token occurrences.
+func TermFreq(tokens []string) map[string]float64 {
+	tf := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	return tf
+}
+
+// TFIDF holds document frequencies over a corpus of token multisets and
+// produces TF-IDF weighted vectors. Aurum represents column-name
+// signatures this way before cosine comparison.
+type TFIDF struct {
+	df   map[string]int
+	docs int
+}
+
+// NewTFIDF builds document frequencies from a corpus; each document is a
+// token slice.
+func NewTFIDF(corpus [][]string) *TFIDF {
+	t := &TFIDF{df: map[string]int{}}
+	for _, doc := range corpus {
+		t.docs++
+		seen := map[string]struct{}{}
+		for _, tok := range doc {
+			if _, ok := seen[tok]; ok {
+				continue
+			}
+			seen[tok] = struct{}{}
+			t.df[tok]++
+		}
+	}
+	return t
+}
+
+// Vector returns the TF-IDF weight map for a document.
+func (t *TFIDF) Vector(doc []string) map[string]float64 {
+	tf := TermFreq(doc)
+	out := make(map[string]float64, len(tf))
+	for tok, f := range tf {
+		df := t.df[tok]
+		idf := math.Log(float64(t.docs+1) / float64(df+1))
+		out[tok] = f * idf
+	}
+	return out
+}
+
+// CosineSparse computes cosine similarity between sparse weight maps.
+func CosineSparse(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, va := range a {
+		na += va * va
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Cosine computes cosine similarity between dense vectors of equal length.
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Euclidean computes the Euclidean distance between dense vectors.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// WeightedEuclidean computes sqrt(sum w_i*(a_i-b_i)^2); D3L combines its
+// five per-feature distances this way, with weights learned from labeled
+// pairs.
+func WeightedEuclidean(a, b, w []float64) float64 {
+	if len(a) != len(b) || len(a) != len(w) {
+		return math.Inf(1)
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += w[i] * d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// KolmogorovSmirnov computes the two-sample KS statistic
+// sup_x |F_a(x) - F_b(x)| over empirical CDFs. D3L and RNLIM use it to
+// compare numeric attribute distributions. Returns 1 for empty input.
+func KolmogorovSmirnov(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		var x float64
+		if as[i] <= bs[j] {
+			x = as[i]
+		} else {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// RegexPattern generalizes a value into a character-class pattern:
+// runs of letters become "a+", digits "9+", everything else kept
+// verbatim. DATAMARAN-style structure templates and D3L's format
+// feature both build on this generalization, as does Auto-Validate's
+// pattern language.
+func RegexPattern(s string) string {
+	var sb strings.Builder
+	var prev rune
+	for _, r := range s {
+		var class rune
+		switch {
+		case unicode.IsLetter(r):
+			class = 'a'
+		case unicode.IsDigit(r):
+			class = '9'
+		default:
+			class = r
+		}
+		if class == prev && (class == 'a' || class == '9') {
+			continue // collapse runs
+		}
+		if class == 'a' {
+			sb.WriteString("a+")
+		} else if class == '9' {
+			sb.WriteString("9+")
+		} else {
+			sb.WriteRune(class)
+		}
+		prev = class
+	}
+	return sb.String()
+}
+
+// Levenshtein computes the edit distance between two strings. DS-kNN
+// compares dataset feature strings with it.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim normalizes edit distance to a similarity in [0,1].
+func LevenshteinSim(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	m := len([]rune(a))
+	if n := len([]rune(b)); n > m {
+		m = n
+	}
+	return 1 - float64(d)/float64(m)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,385 @@
+// Package docstore is an in-process JSON document store, stand-in for
+// the MongoDB sink the surveyed polystore lakes (Constance, CoreDB,
+// Squerall) route semi-structured data to (Sec. 4.2/4.3). Documents are
+// schemaless JSON objects grouped into named collections; queries are
+// conjunctive field filters over dotted paths, optionally accelerated
+// by hash indexes on equality predicates.
+package docstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound     = errors.New("docstore: document not found")
+	ErrNoCollection = errors.New("docstore: no such collection")
+)
+
+// Doc is a parsed JSON object.
+type Doc map[string]any
+
+// ID returns the document's "_id" field as a string.
+func (d Doc) ID() string {
+	id, _ := d["_id"].(string)
+	return id
+}
+
+// Op is a filter comparison operator.
+type Op int
+
+// Supported comparison operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpGt
+	OpGte
+	OpLt
+	OpLte
+	OpExists
+	OpContains // substring match on string fields
+)
+
+// Filter is one predicate on a dotted field path.
+type Filter struct {
+	Path  string
+	Op    Op
+	Value any
+}
+
+// Eq is shorthand for an equality filter.
+func Eq(path string, value any) Filter { return Filter{Path: path, Op: OpEq, Value: value} }
+
+// Collection is a set of documents with optional hash indexes.
+type Collection struct {
+	name string
+
+	mu      sync.RWMutex
+	docs    map[string]Doc
+	indexes map[string]map[string][]string // path -> canonical value -> doc IDs
+	autoID  int
+}
+
+// Store holds named collections.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// New creates an empty document store.
+func New() *Store { return &Store{collections: map[string]*Collection{}} }
+
+// Collection returns (creating if needed) the named collection.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		c = &Collection{name: name, docs: map[string]Doc{}, indexes: map[string]map[string][]string{}}
+		s.collections[name] = c
+	}
+	return c
+}
+
+// Collections lists collection names, sorted.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a collection; dropping a missing one returns
+// ErrNoCollection.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.collections[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoCollection, name)
+	}
+	delete(s.collections, name)
+	return nil
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Insert adds a document. If it has no "_id", one is assigned.
+// The returned string is the document ID.
+func (c *Collection) Insert(doc Doc) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := doc.ID()
+	if id == "" {
+		c.autoID++
+		id = fmt.Sprintf("%s-%d", c.name, c.autoID)
+		doc["_id"] = id
+	}
+	if old, ok := c.docs[id]; ok {
+		c.unindexLocked(id, old)
+	}
+	c.docs[id] = doc
+	c.indexLocked(id, doc)
+	return id
+}
+
+// InsertJSON parses and inserts a JSON object.
+func (c *Collection) InsertJSON(raw []byte) (string, error) {
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return "", fmt.Errorf("docstore: insert json: %w", err)
+	}
+	return c.Insert(doc), nil
+}
+
+// Get returns the document with the given ID.
+func (c *Collection) Get(id string) (Doc, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, id)
+	}
+	return d, nil
+}
+
+// Delete removes a document by ID.
+func (c *Collection) Delete(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, c.name, id)
+	}
+	c.unindexLocked(id, d)
+	delete(c.docs, id)
+	return nil
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// CreateIndex builds a hash index on a dotted path; equality filters on
+// that path use it instead of a full scan.
+func (c *Collection) CreateIndex(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[path]; ok {
+		return
+	}
+	idx := map[string][]string{}
+	for id, d := range c.docs {
+		if v, ok := lookup(d, path); ok {
+			k := canon(v)
+			idx[k] = append(idx[k], id)
+		}
+	}
+	c.indexes[path] = idx
+}
+
+func (c *Collection) indexLocked(id string, d Doc) {
+	for path, idx := range c.indexes {
+		if v, ok := lookup(d, path); ok {
+			k := canon(v)
+			idx[k] = append(idx[k], id)
+		}
+	}
+}
+
+func (c *Collection) unindexLocked(id string, d Doc) {
+	for path, idx := range c.indexes {
+		if v, ok := lookup(d, path); ok {
+			k := canon(v)
+			list := idx[k]
+			for i, x := range list {
+				if x == id {
+					idx[k] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// Find returns all documents satisfying every filter, ordered by ID.
+func (c *Collection) Find(filters ...Filter) []Doc {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// Use an index for the first indexed equality filter, if any.
+	var candidates []string
+	usedIndex := false
+	for _, f := range filters {
+		if f.Op != OpEq {
+			continue
+		}
+		if idx, ok := c.indexes[f.Path]; ok {
+			candidates = append([]string(nil), idx[canon(f.Value)]...)
+			usedIndex = true
+			break
+		}
+	}
+	if !usedIndex {
+		candidates = make([]string, 0, len(c.docs))
+		for id := range c.docs {
+			candidates = append(candidates, id)
+		}
+	}
+	var out []Doc
+	for _, id := range candidates {
+		d, ok := c.docs[id]
+		if !ok {
+			continue
+		}
+		if matchesAll(d, filters) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Count returns the number of documents matching the filters.
+func (c *Collection) Count(filters ...Filter) int { return len(c.Find(filters...)) }
+
+// All returns every document, ordered by ID.
+func (c *Collection) All() []Doc { return c.Find() }
+
+func matchesAll(d Doc, filters []Filter) bool {
+	for _, f := range filters {
+		if !matches(d, f) {
+			return false
+		}
+	}
+	return true
+}
+
+func matches(d Doc, f Filter) bool {
+	v, ok := lookup(d, f.Path)
+	if f.Op == OpExists {
+		want, _ := f.Value.(bool)
+		return ok == want || (f.Value == nil && ok)
+	}
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case OpEq:
+		return canon(v) == canon(f.Value)
+	case OpNe:
+		return canon(v) != canon(f.Value)
+	case OpContains:
+		s, ok1 := v.(string)
+		sub, ok2 := f.Value.(string)
+		return ok1 && ok2 && strings.Contains(s, sub)
+	case OpGt, OpGte, OpLt, OpLte:
+		a, okA := toFloat(v)
+		b, okB := toFloat(f.Value)
+		if !okA || !okB {
+			// fall back to string comparison
+			sa, sb := canon(v), canon(f.Value)
+			switch f.Op {
+			case OpGt:
+				return sa > sb
+			case OpGte:
+				return sa >= sb
+			case OpLt:
+				return sa < sb
+			default:
+				return sa <= sb
+			}
+		}
+		switch f.Op {
+		case OpGt:
+			return a > b
+		case OpGte:
+			return a >= b
+		case OpLt:
+			return a < b
+		default:
+			return a <= b
+		}
+	}
+	return false
+}
+
+// lookup resolves a dotted path ("a.b.c") inside nested maps; array
+// elements are addressed by numeric segments.
+func lookup(d Doc, path string) (any, bool) {
+	var cur any = map[string]any(d)
+	for _, seg := range strings.Split(path, ".") {
+		switch node := cur.(type) {
+		case map[string]any:
+			v, ok := node[seg]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		case Doc:
+			v, ok := node[seg]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		case []any:
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(node) {
+				return nil, false
+			}
+			cur = node[i]
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// canon renders a value canonically so that json float64(1) and int(1)
+// compare equal.
+func canon(v any) string {
+	if f, ok := toFloat(v); ok {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	switch x := v.(type) {
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case nil:
+		return "<nil>"
+	default:
+		b, _ := json.Marshal(x)
+		return string(b)
+	}
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case json.Number:
+		f, err := x.Float64()
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,202 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGetDelete(t *testing.T) {
+	s := New()
+	c := s.Collection("users")
+	id := c.Insert(Doc{"name": "alice", "age": 30.0})
+	if id == "" {
+		t.Fatal("Insert returned empty ID")
+	}
+	d, err := c.Get(id)
+	if err != nil || d["name"] != "alice" {
+		t.Fatalf("Get = %v, %v", d, err)
+	}
+	if err := c.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete = %v", err)
+	}
+	if err := c.Delete(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v", err)
+	}
+}
+
+func TestExplicitIDUpsert(t *testing.T) {
+	s := New()
+	c := s.Collection("c")
+	c.Insert(Doc{"_id": "x", "v": 1.0})
+	c.Insert(Doc{"_id": "x", "v": 2.0})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (upsert)", c.Len())
+	}
+	d, _ := c.Get("x")
+	if d["v"] != 2.0 {
+		t.Errorf("v = %v, want 2", d["v"])
+	}
+}
+
+func TestInsertJSON(t *testing.T) {
+	s := New()
+	c := s.Collection("j")
+	id, err := c.InsertJSON([]byte(`{"kind":"sensor","reading":{"temp":21.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.Get(id)
+	if v, ok := lookup(d, "reading.temp"); !ok || v != 21.5 {
+		t.Errorf("nested lookup = %v, %v", v, ok)
+	}
+	if _, err := c.InsertJSON([]byte(`not json`)); err == nil {
+		t.Error("invalid json should fail")
+	}
+}
+
+func TestFindFilters(t *testing.T) {
+	s := New()
+	c := s.Collection("readings")
+	for i := 0; i < 10; i++ {
+		c.Insert(Doc{"_id": fmt.Sprintf("r%02d", i), "v": float64(i), "tag": map[string]any{"site": fmt.Sprintf("s%d", i%2)}})
+	}
+	if got := c.Find(Eq("tag.site", "s0")); len(got) != 5 {
+		t.Errorf("Eq find = %d docs, want 5", len(got))
+	}
+	if got := c.Find(Filter{Path: "v", Op: OpGte, Value: 7.0}); len(got) != 3 {
+		t.Errorf("Gte find = %d docs, want 3", len(got))
+	}
+	if got := c.Find(Eq("tag.site", "s1"), Filter{Path: "v", Op: OpLt, Value: 4.0}); len(got) != 2 {
+		t.Errorf("conjunctive find = %d docs, want 2", len(got))
+	}
+	if got := c.Find(Filter{Path: "missing", Op: OpExists, Value: false}); len(got) != 10 {
+		t.Errorf("not-exists find = %d docs, want 10", len(got))
+	}
+	if got := c.Find(Filter{Path: "v", Op: OpExists, Value: true}); len(got) != 10 {
+		t.Errorf("exists find = %d, want 10", len(got))
+	}
+	if got := c.Count(Filter{Path: "v", Op: OpNe, Value: 3.0}); got != 9 {
+		t.Errorf("Ne count = %d, want 9", got)
+	}
+}
+
+func TestContainsFilter(t *testing.T) {
+	s := New()
+	c := s.Collection("c")
+	c.Insert(Doc{"_id": "1", "desc": "sensor data from berlin plant"})
+	c.Insert(Doc{"_id": "2", "desc": "sales figures"})
+	got := c.Find(Filter{Path: "desc", Op: OpContains, Value: "berlin"})
+	if len(got) != 1 || got[0].ID() != "1" {
+		t.Errorf("Contains = %v", got)
+	}
+}
+
+func TestIndexEquivalentToScan(t *testing.T) {
+	s := New()
+	c := s.Collection("idx")
+	for i := 0; i < 100; i++ {
+		c.Insert(Doc{"_id": fmt.Sprintf("d%03d", i), "site": fmt.Sprintf("s%d", i%7), "v": float64(i)})
+	}
+	scan := c.Find(Eq("site", "s3"))
+	c.CreateIndex("site")
+	indexed := c.Find(Eq("site", "s3"))
+	if len(scan) != len(indexed) {
+		t.Fatalf("index result %d != scan result %d", len(indexed), len(scan))
+	}
+	for i := range scan {
+		if scan[i].ID() != indexed[i].ID() {
+			t.Fatalf("result %d differs: %s vs %s", i, scan[i].ID(), indexed[i].ID())
+		}
+	}
+	// Index stays correct under insert and delete.
+	c.Insert(Doc{"_id": "new", "site": "s3"})
+	if got := c.Find(Eq("site", "s3")); len(got) != len(scan)+1 {
+		t.Errorf("index after insert = %d, want %d", len(got), len(scan)+1)
+	}
+	_ = c.Delete("new")
+	if got := c.Find(Eq("site", "s3")); len(got) != len(scan) {
+		t.Errorf("index after delete = %d, want %d", len(got), len(scan))
+	}
+}
+
+func TestIntFloatEquality(t *testing.T) {
+	s := New()
+	c := s.Collection("n")
+	c.Insert(Doc{"_id": "a", "v": 1.0}) // JSON numbers decode as float64
+	if got := c.Find(Eq("v", 1)); len(got) != 1 {
+		t.Errorf("int filter should match float64 value, got %d", len(got))
+	}
+}
+
+func TestArrayPathLookup(t *testing.T) {
+	s := New()
+	c := s.Collection("a")
+	id, err := c.InsertJSON([]byte(`{"tags":["x","y","z"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.Get(id)
+	if v, ok := lookup(d, "tags.1"); !ok || v != "y" {
+		t.Errorf("array lookup = %v, %v", v, ok)
+	}
+	if _, ok := lookup(d, "tags.9"); ok {
+		t.Error("out-of-range array lookup should fail")
+	}
+	if _, ok := lookup(d, "tags.x"); ok {
+		t.Error("non-numeric array segment should fail")
+	}
+}
+
+func TestCollectionsAndDrop(t *testing.T) {
+	s := New()
+	s.Collection("b")
+	s.Collection("a")
+	got := s.Collections()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Collections = %v", got)
+	}
+	if err := s.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop("a"); !errors.Is(err, ErrNoCollection) {
+		t.Errorf("Drop missing = %v", err)
+	}
+}
+
+// Property: Find(Eq) with an index equals Find(Eq) without, for random
+// documents.
+func TestIndexScanEquivalenceProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		s := New()
+		plain := s.Collection("plain")
+		indexed := s.Collection("indexed")
+		indexed.CreateIndex("k")
+		for i, v := range vals {
+			d1 := Doc{"_id": fmt.Sprintf("d%d", i), "k": float64(v % 8)}
+			d2 := Doc{"_id": fmt.Sprintf("d%d", i), "k": float64(v % 8)}
+			plain.Insert(d1)
+			indexed.Insert(d2)
+		}
+		for k := 0; k < 8; k++ {
+			a := plain.Find(Eq("k", float64(k)))
+			b := indexed.Find(Eq("k", float64(k)))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i].ID() != b[i].ID() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

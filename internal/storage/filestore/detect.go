@@ -1,0 +1,143 @@
+package filestore
+
+import (
+	"encoding/json"
+	"path"
+	"strings"
+	"unicode/utf8"
+)
+
+// Detect infers the format of an object from its path extension and,
+// when the extension is ambiguous or missing, from a content sniff.
+// GEMMS performs exactly this detection step before dispatching a
+// format-specific metadata parser (Sec. 5.1).
+func Detect(name string, data []byte) Format {
+	switch strings.ToLower(path.Ext(name)) {
+	case ".csv", ".tsv":
+		return FormatCSV
+	case ".json":
+		// A .json file may actually be JSON-lines.
+		if looksJSONL(data) {
+			return FormatJSONL
+		}
+		return FormatJSON
+	case ".jsonl", ".ndjson":
+		return FormatJSONL
+	case ".xml":
+		return FormatXML
+	case ".log":
+		return FormatLog
+	case ".txt", ".md":
+		return FormatText
+	}
+	return sniff(data)
+}
+
+func sniff(data []byte) Format {
+	if len(data) == 0 {
+		return FormatText
+	}
+	if !utf8.Valid(data) {
+		return FormatBinary
+	}
+	trimmed := strings.TrimSpace(string(head(data, 4096)))
+	switch {
+	case strings.HasPrefix(trimmed, "<?xml"), strings.HasPrefix(trimmed, "<") && strings.Contains(trimmed, ">"):
+		return FormatXML
+	case strings.HasPrefix(trimmed, "{") || strings.HasPrefix(trimmed, "["):
+		if looksJSONL(data) {
+			return FormatJSONL
+		}
+		if json.Valid(data) {
+			return FormatJSON
+		}
+		return FormatText
+	case looksCSV(trimmed):
+		return FormatCSV
+	case looksLog(trimmed):
+		return FormatLog
+	default:
+		return FormatText
+	}
+}
+
+// looksJSONL reports whether every non-empty line is a standalone JSON
+// value and there is more than one such line.
+func looksJSONL(data []byte) bool {
+	lines := strings.Split(string(head(data, 1<<16)), "\n")
+	jsonLines := 0
+	for _, ln := range lines {
+		ln = strings.TrimSpace(ln)
+		if ln == "" {
+			continue
+		}
+		if !json.Valid([]byte(ln)) {
+			return false
+		}
+		jsonLines++
+	}
+	return jsonLines > 1
+}
+
+// looksCSV requires a consistent comma count over the first few lines.
+func looksCSV(s string) bool {
+	lines := nonEmptyLines(s, 5)
+	if len(lines) < 2 {
+		return false
+	}
+	want := strings.Count(lines[0], ",")
+	if want == 0 {
+		return false
+	}
+	for _, ln := range lines[1:] {
+		if strings.Count(ln, ",") != want {
+			return false
+		}
+	}
+	return true
+}
+
+// looksLog heuristically detects timestamped or bracketed log lines.
+func looksLog(s string) bool {
+	lines := nonEmptyLines(s, 5)
+	if len(lines) == 0 {
+		return false
+	}
+	hits := 0
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "[") || hasLevelToken(ln) {
+			hits++
+		}
+	}
+	return hits*2 >= len(lines)
+}
+
+func hasLevelToken(ln string) bool {
+	for _, lvl := range []string{"INFO", "WARN", "ERROR", "DEBUG", "TRACE", "FATAL"} {
+		if strings.Contains(ln, lvl) {
+			return true
+		}
+	}
+	return false
+}
+
+func nonEmptyLines(s string, max int) []string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.TrimSpace(ln) == "" {
+			continue
+		}
+		out = append(out, ln)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+func head(data []byte, n int) []byte {
+	if len(data) < n {
+		return data
+	}
+	return data[:n]
+}

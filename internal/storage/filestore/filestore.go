@@ -1,0 +1,223 @@
+// Package filestore is the lake's raw-file storage tier: a
+// directory-backed object store with a format registry, stand-in for the
+// HDFS/Azure-Data-Lake-Store file systems the surveyed lakes use
+// (Sec. 4.1). Objects are immutable byte blobs addressed by a
+// slash-separated logical path; the store records size, a FNV-64a
+// checksum and a detected format for every object, which the ingestion
+// tier reads instead of re-sniffing files.
+package filestore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Format is a coarse file-format label produced by detection.
+type Format string
+
+// Formats recognized by the registry. Unknown content maps to
+// FormatBinary or FormatText depending on whether it looks like UTF-8
+// text.
+const (
+	FormatCSV    Format = "csv"
+	FormatJSON   Format = "json"
+	FormatJSONL  Format = "jsonl"
+	FormatXML    Format = "xml"
+	FormatLog    Format = "log"
+	FormatText   Format = "text"
+	FormatBinary Format = "binary"
+)
+
+// ErrNotFound is returned for missing objects.
+var ErrNotFound = errors.New("filestore: object not found")
+
+// ObjectInfo describes a stored object.
+type ObjectInfo struct {
+	Path     string
+	Size     int64
+	Checksum uint64
+	Format   Format
+	Stored   time.Time
+}
+
+// Store is a concurrency-safe object store rooted at a directory.
+type Store struct {
+	root string
+
+	mu   sync.RWMutex
+	meta map[string]ObjectInfo
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("filestore: open %s: %w", dir, err)
+	}
+	s := &Store{root: dir, meta: map[string]ObjectInfo{}}
+	// Recover metadata for any pre-existing objects.
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, relErr := filepath.Rel(dir, p)
+		if relErr != nil {
+			return relErr
+		}
+		data, readErr := os.ReadFile(p)
+		if readErr != nil {
+			return readErr
+		}
+		logical := filepath.ToSlash(rel)
+		s.meta[logical] = ObjectInfo{
+			Path:     logical,
+			Size:     int64(len(data)),
+			Checksum: checksum(data),
+			Format:   Detect(logical, data),
+			Stored:   info.ModTime(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("filestore: recover %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// OpenMemory opens a store in a fresh temporary directory; callers own
+// cleanup via os.RemoveAll(Root()). Convenient for tests and examples.
+func OpenMemory() (*Store, error) {
+	dir, err := os.MkdirTemp("", "golake-filestore-*")
+	if err != nil {
+		return nil, fmt.Errorf("filestore: tempdir: %w", err)
+	}
+	return Open(dir)
+}
+
+// Root returns the backing directory.
+func (s *Store) Root() string { return s.root }
+
+// Put stores data under the logical path, overwriting any previous
+// object, and returns its info.
+func (s *Store) Put(path string, data []byte) (ObjectInfo, error) {
+	clean, err := s.cleanPath(path)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	full := filepath.Join(s.root, filepath.FromSlash(clean))
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return ObjectInfo{}, fmt.Errorf("filestore: put %s: %w", path, err)
+	}
+	if err := os.WriteFile(full, data, 0o644); err != nil {
+		return ObjectInfo{}, fmt.Errorf("filestore: put %s: %w", path, err)
+	}
+	info := ObjectInfo{
+		Path:     clean,
+		Size:     int64(len(data)),
+		Checksum: checksum(data),
+		Format:   Detect(clean, data),
+		Stored:   time.Now(),
+	}
+	s.mu.Lock()
+	s.meta[clean] = info
+	s.mu.Unlock()
+	return info, nil
+}
+
+// Get returns the object bytes.
+func (s *Store) Get(path string) ([]byte, error) {
+	clean, err := s.cleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	_, ok := s.meta[clean]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	data, err := os.ReadFile(filepath.Join(s.root, filepath.FromSlash(clean)))
+	if err != nil {
+		return nil, fmt.Errorf("filestore: get %s: %w", path, err)
+	}
+	return data, nil
+}
+
+// Stat returns the recorded info for an object.
+func (s *Store) Stat(path string) (ObjectInfo, error) {
+	clean, err := s.cleanPath(path)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.meta[clean]
+	if !ok {
+		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return info, nil
+}
+
+// Delete removes an object; deleting a missing object returns
+// ErrNotFound.
+func (s *Store) Delete(path string) error {
+	clean, err := s.cleanPath(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.meta[clean]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(s.meta, clean)
+	if err := os.Remove(filepath.Join(s.root, filepath.FromSlash(clean))); err != nil {
+		return fmt.Errorf("filestore: delete %s: %w", path, err)
+	}
+	return nil
+}
+
+// List returns the infos of all objects whose path has the given prefix,
+// sorted by path.
+func (s *Store) List(prefix string) []ObjectInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ObjectInfo
+	for p, info := range s.meta {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.meta)
+}
+
+func (s *Store) cleanPath(p string) (string, error) {
+	if strings.Contains(p, "..") {
+		return "", fmt.Errorf("filestore: invalid path %q", p)
+	}
+	clean := filepath.ToSlash(filepath.Clean("/" + p))[1:]
+	if clean == "" || clean == "." {
+		return "", fmt.Errorf("filestore: invalid path %q", p)
+	}
+	return clean, nil
+}
+
+func checksum(data []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(data)
+	return h.Sum64()
+}

@@ -1,0 +1,190 @@
+package filestore
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetStatDelete(t *testing.T) {
+	s := newStore(t)
+	data := []byte("a,b\n1,2\n3,4\n")
+	info, err := s.Put("raw/orders.csv", data)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if info.Format != FormatCSV {
+		t.Errorf("Format = %v, want csv", info.Format)
+	}
+	if info.Size != int64(len(data)) {
+		t.Errorf("Size = %d, want %d", info.Size, len(data))
+	}
+	got, err := s.Get("raw/orders.csv")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("Get = %q, want %q", got, data)
+	}
+	st, err := s.Stat("raw/orders.csv")
+	if err != nil || st.Checksum != info.Checksum {
+		t.Errorf("Stat = %+v err=%v", st, err)
+	}
+	if err := s.Delete("raw/orders.csv"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("raw/orders.csv"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete err = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("raw/orders.csv"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double Delete err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	s := newStore(t)
+	for _, p := range []string{"zone-raw/a.csv", "zone-raw/b.csv", "zone-clean/c.csv"} {
+		if _, err := s.Put(p, []byte("x,y\n1,2\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := s.List("zone-raw/")
+	if len(raw) != 2 {
+		t.Fatalf("List(zone-raw/) = %d objects, want 2", len(raw))
+	}
+	if raw[0].Path != "zone-raw/a.csv" || raw[1].Path != "zone-raw/b.csv" {
+		t.Errorf("List order = %v", []string{raw[0].Path, raw[1].Path})
+	}
+	if all := s.List(""); len(all) != 3 {
+		t.Errorf("List(all) = %d, want 3", len(all))
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestRecoverExistingObjects(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Put("x/data.json", []byte(`{"k":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s2.Stat("x/data.json")
+	if err != nil {
+		t.Fatalf("Stat after reopen: %v", err)
+	}
+	if info.Format != FormatJSON {
+		t.Errorf("recovered Format = %v, want json", info.Format)
+	}
+}
+
+func TestInvalidPaths(t *testing.T) {
+	s := newStore(t)
+	for _, p := range []string{"", ".", "../escape", "a/../../b"} {
+		if _, err := s.Put(p, []byte("x")); err == nil {
+			t.Errorf("Put(%q) should fail", p)
+		}
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Put("k", []byte("v2-longer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 9 {
+		t.Errorf("overwrite Size = %d, want 9", info.Size)
+	}
+	got, _ := s.Get("k")
+	if string(got) != "v2-longer" {
+		t.Errorf("Get after overwrite = %q", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after overwrite = %d, want 1", s.Len())
+	}
+}
+
+func TestDetectFormats(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want Format
+	}{
+		{"d.csv", "a,b\n1,2", FormatCSV},
+		{"d.tsv", "a\tb", FormatCSV},
+		{"d.json", `{"a":1}`, FormatJSON},
+		{"d.json", "{\"a\":1}\n{\"a\":2}\n", FormatJSONL},
+		{"d.jsonl", `{"a":1}`, FormatJSONL},
+		{"d.xml", "<root/>", FormatXML},
+		{"d.log", "[INFO] started", FormatLog},
+		{"d.txt", "hello", FormatText},
+		{"noext", "a,b,c\n1,2,3\n4,5,6\n", FormatCSV},
+		{"noext", `{"k": [1,2]}`, FormatJSON},
+		{"noext", "2021-01-01 INFO boot\n2021-01-02 ERROR crash\n", FormatLog},
+		{"noext", "<?xml version=\"1.0\"?><a/>", FormatXML},
+		{"noext", "free text prose", FormatText},
+		{"noext", string([]byte{0xff, 0xfe, 0x00, 0x01}), FormatBinary},
+		{"noext", "", FormatText},
+	}
+	for _, c := range cases {
+		if got := Detect(c.name, []byte(c.data)); got != c.want {
+			t.Errorf("Detect(%q, %q) = %v, want %v", c.name, c.data, got, c.want)
+		}
+	}
+}
+
+func TestOpenMemory(t *testing.T) {
+	s, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(s.Root())
+	if _, err := s.Put("a", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("a"); string(got) != "b" {
+		t.Errorf("Get = %q, want b", got)
+	}
+}
+
+// Property: Put then Get returns the same bytes for arbitrary content.
+func TestPutGetRoundTripProperty(t *testing.T) {
+	s := newStore(t)
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		p := "obj/" + string(rune('a'+i%26)) + "x"
+		if _, err := s.Put(p, data); err != nil {
+			return false
+		}
+		got, err := s.Get(p)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package graphstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax — GOODS exports its
+// provenance metadata to a graph system and visualizes the resulting
+// graphs; this is the equivalent export hook. Nodes are grouped by
+// label into shapes, edges carry their labels.
+func DOT(g *Graph, name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", name)
+	ids := g.Nodes()
+	for _, id := range ids {
+		n, err := g.Node(id)
+		if err != nil {
+			continue
+		}
+		shape := shapeFor(n.Label)
+		fmt.Fprintf(&sb, "  %q [label=%q shape=%s];\n", id, nodeCaption(n), shape)
+	}
+	// Deterministic edge order: by (from, to, label).
+	type edgeRow struct{ from, to, label string }
+	var rows []edgeRow
+	for _, id := range ids {
+		for _, e := range g.OutEdges(id) {
+			rows = append(rows, edgeRow{from: e.From, to: e.To, label: e.Label})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].from != rows[j].from {
+			return rows[i].from < rows[j].from
+		}
+		if rows[i].to != rows[j].to {
+			return rows[i].to < rows[j].to
+		}
+		return rows[i].label < rows[j].label
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %q -> %q [label=%q];\n", r.from, r.to, r.label)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func shapeFor(label string) string {
+	switch label {
+	case "entity", "data", "dataset":
+		return "box"
+	case "activity", "module":
+		return "ellipse"
+	case "metadata", "tag", "version":
+		return "note"
+	default:
+		return "plaintext"
+	}
+}
+
+func nodeCaption(n Node) string {
+	if v, ok := n.Props["name"].(string); ok && v != "" {
+		return v
+	}
+	return n.ID
+}

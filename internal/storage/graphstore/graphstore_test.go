@@ -1,0 +1,247 @@
+package graphstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func buildChain(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New()
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(fmt.Sprintf("n%d", i), "node", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if _, err := g.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), "next", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNodeCRUD(t *testing.T) {
+	g := New()
+	if err := g.AddNode("a", "dataset", Props{"rows": 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("a", "dataset", nil); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate AddNode = %v", err)
+	}
+	n, err := g.Node("a")
+	if err != nil || n.Label != "dataset" || n.Props["rows"] != 10 {
+		t.Fatalf("Node = %+v, %v", n, err)
+	}
+	// Returned props are a copy.
+	n.Props["rows"] = 99
+	n2, _ := g.Node("a")
+	if n2.Props["rows"] != 10 {
+		t.Error("Node returned shared props")
+	}
+	if err := g.SetProp("a", "owner", "ops"); err != nil {
+		t.Fatal(err)
+	}
+	n3, _ := g.Node("a")
+	if n3.Props["owner"] != "ops" {
+		t.Error("SetProp lost")
+	}
+	if err := g.RemoveNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasNode("a") {
+		t.Error("node still present after remove")
+	}
+	if err := g.RemoveNode("a"); !errors.Is(err, ErrNodeNotFound) {
+		t.Errorf("double remove = %v", err)
+	}
+}
+
+func TestEdgeCRUDAndEndpointChecks(t *testing.T) {
+	g := New()
+	_ = g.AddNode("a", "x", nil)
+	_ = g.AddNode("b", "x", nil)
+	if _, err := g.AddEdge("a", "missing", "l", nil); !errors.Is(err, ErrNodeNotFound) {
+		t.Errorf("AddEdge missing dst = %v", err)
+	}
+	id, err := g.AddEdge("a", "b", "rel", Props{"w": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := g.Edge(id)
+	if err != nil || e.From != "a" || e.To != "b" || e.Props["w"] != 0.5 {
+		t.Fatalf("Edge = %+v, %v", e, err)
+	}
+	if err := g.RemoveEdge(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Edge(id); !errors.Is(err, ErrEdgeNotFound) {
+		t.Errorf("Edge after remove = %v", err)
+	}
+}
+
+func TestRemoveNodeCascadesEdges(t *testing.T) {
+	g := buildChain(t, 3)
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if err := g.RemoveNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("edges not cascaded: %d", g.NumEdges())
+	}
+	if got := g.Neighbors("n0", Out, ""); len(got) != 0 {
+		t.Errorf("dangling neighbor: %v", got)
+	}
+}
+
+func TestNeighborsDirectionAndLabel(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		_ = g.AddNode(id, "n", nil)
+	}
+	_, _ = g.AddEdge("a", "b", "likes", nil)
+	_, _ = g.AddEdge("a", "c", "owns", nil)
+	_, _ = g.AddEdge("d", "a", "likes", nil)
+	if got := g.Neighbors("a", Out, ""); len(got) != 2 {
+		t.Errorf("Out = %v", got)
+	}
+	if got := g.Neighbors("a", Out, "likes"); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Out likes = %v", got)
+	}
+	if got := g.Neighbors("a", In, ""); len(got) != 1 || got[0] != "d" {
+		t.Errorf("In = %v", got)
+	}
+	if got := g.Neighbors("a", Both, "likes"); len(got) != 2 {
+		t.Errorf("Both likes = %v", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := buildChain(t, 5)
+	path := g.ShortestPath("n0", "n4", Out)
+	if len(path) != 5 || path[0] != "n0" || path[4] != "n4" {
+		t.Errorf("path = %v", path)
+	}
+	// Unreachable going backwards.
+	if p := g.ShortestPath("n4", "n0", Out); p != nil {
+		t.Errorf("reverse path = %v, want nil", p)
+	}
+	// Reachable with Both.
+	if p := g.ShortestPath("n4", "n0", Both); len(p) != 5 {
+		t.Errorf("Both path = %v", p)
+	}
+	if p := g.ShortestPath("n0", "n0", Out); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+	if p := g.ShortestPath("n0", "ghost", Out); p != nil {
+		t.Errorf("path to missing = %v", p)
+	}
+	// Shortcut edge shortens the path.
+	_, _ = g.AddEdge("n0", "n3", "jump", nil)
+	if p := g.ShortestPath("n0", "n4", Out); len(p) != 3 {
+		t.Errorf("shortcut path = %v, want length 3", p)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := buildChain(t, 4)
+	got := g.Reachable("n1", Out)
+	if len(got) != 2 || got[0] != "n2" || got[1] != "n3" {
+		t.Errorf("Reachable = %v", got)
+	}
+	if got := g.Reachable("n3", Out); len(got) != 0 {
+		t.Errorf("Reachable sink = %v", got)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	g := New()
+	_ = g.AddNode("t1", "table", nil)
+	_ = g.AddNode("c1", "column", nil)
+	_ = g.AddNode("c2", "column", nil)
+	_, _ = g.AddEdge("t1", "c1", "has", nil)
+	_, _ = g.AddEdge("t1", "c2", "has", nil)
+	_, _ = g.AddEdge("c1", "c2", "similar", nil)
+	if got := g.Match("table", "has", "column"); len(got) != 2 {
+		t.Errorf("Match table-has-column = %d", len(got))
+	}
+	if got := g.Match("", "similar", ""); len(got) != 1 || got[0].From.ID != "c1" {
+		t.Errorf("Match wildcard = %+v", got)
+	}
+	if got := g.Match("column", "has", ""); len(got) != 0 {
+		t.Errorf("Match no hits = %d", len(got))
+	}
+}
+
+func TestNodesByLabelSorted(t *testing.T) {
+	g := New()
+	_ = g.AddNode("z", "ds", nil)
+	_ = g.AddNode("a", "ds", nil)
+	_ = g.AddNode("m", "other", nil)
+	got := g.NodesByLabel("ds")
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "z" {
+		t.Errorf("NodesByLabel = %+v", got)
+	}
+	if got := g.Nodes(); len(got) != 3 || got[0] != "a" {
+		t.Errorf("Nodes = %v", got)
+	}
+}
+
+// Property: after arbitrary node/edge insertions, every edge's endpoints
+// exist, and NumEdges equals the sum of out-degree.
+func TestGraphInvariants(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		g := New()
+		for i := 0; i < 10; i++ {
+			_ = g.AddNode(fmt.Sprintf("n%d", i), "n", nil)
+		}
+		for _, p := range pairs {
+			from := fmt.Sprintf("n%d", p[0]%10)
+			to := fmt.Sprintf("n%d", p[1]%10)
+			if _, err := g.AddEdge(from, to, "e", nil); err != nil {
+				return false
+			}
+		}
+		total := 0
+		for _, id := range g.Nodes() {
+			total += len(g.OutEdges(id))
+			for _, e := range g.OutEdges(id) {
+				if !g.HasNode(e.From) || !g.HasNode(e.To) {
+					return false
+				}
+			}
+		}
+		return total == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInOutEdges(t *testing.T) {
+	g := buildChain(t, 3)
+	out := g.OutEdges("n0")
+	if len(out) != 1 || out[0].To != "n1" {
+		t.Errorf("OutEdges = %+v", out)
+	}
+	in := g.InEdges("n1")
+	if len(in) != 1 || in[0].From != "n0" {
+		t.Errorf("InEdges = %+v", in)
+	}
+}
+
+func TestUpsertNode(t *testing.T) {
+	g := buildChain(t, 2)
+	g.UpsertNode("n0", "renamed", Props{"x": 1})
+	n, _ := g.Node("n0")
+	if n.Label != "renamed" {
+		t.Errorf("label = %q", n.Label)
+	}
+	if g.NumEdges() != 1 {
+		t.Error("upsert dropped edges")
+	}
+}

@@ -1,0 +1,210 @@
+// Package polystore provides integrated access to a hybrid of data
+// stores — relational, document, graph, and raw files — following the
+// polystore storage tier of Constance and CoreDB (Sec. 4.3 of the
+// survey): each ingested dataset is routed to the store matching its
+// original data model, with raw files as the fallback, and users may
+// override the placement.
+package polystore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"golake/internal/table"
+)
+
+// ErrNoTable is returned for missing relational tables.
+var ErrNoTable = errors.New("polystore: no such table")
+
+// RelStore is an in-process relational store (the MySQL/PostgreSQL
+// stand-in): named tables with scan and predicate evaluation. Predicate
+// pushdown in the federated query engine lands here.
+type RelStore struct {
+	mu     sync.RWMutex
+	tables map[string]*table.Table
+}
+
+// NewRelStore creates an empty relational store.
+func NewRelStore() *RelStore {
+	return &RelStore{tables: map[string]*table.Table{}}
+}
+
+// Create registers (or replaces) a table under its name.
+func (r *RelStore) Create(t *table.Table) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tables[t.Name] = t.Clone()
+}
+
+// Table returns a deep copy of the named table.
+func (r *RelStore) Table(name string) (*table.Table, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t.Clone(), nil
+}
+
+// ColumnNames returns the column names of a table without copying its
+// data (the federated engine consults this when planning pushdown).
+func (r *RelStore) ColumnNames(name string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t.ColumnNames(), nil
+}
+
+// Has reports whether a table exists.
+func (r *RelStore) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.tables[name]
+	return ok
+}
+
+// Drop removes a table.
+func (r *RelStore) Drop(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tables[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	delete(r.tables, name)
+	return nil
+}
+
+// Names returns all table names, sorted.
+func (r *RelStore) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tables))
+	for n := range r.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Select scans a table, applying an optional row predicate and column
+// projection in the store — the "pushdown" unit of the federated engine.
+func (r *RelStore) Select(name string, pred func(row map[string]string) bool, cols []string) (*table.Table, error) {
+	r.mu.RLock()
+	t, ok := r.tables[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	names := t.ColumnNames()
+	filtered := t.Filter(func(row []string) bool {
+		if pred == nil {
+			return true
+		}
+		m := make(map[string]string, len(names))
+		for i, n := range names {
+			m[n] = row[i]
+		}
+		return pred(m)
+	})
+	if len(cols) == 0 {
+		return filtered, nil
+	}
+	return filtered.Project(cols...)
+}
+
+// CellPredicate is a compiled single-column predicate evaluated inside
+// the store during the scan — the unit of predicate pushdown.
+type CellPredicate struct {
+	Column string
+	Match  func(cell string) bool
+}
+
+// SelectWhere scans a table with compiled per-column predicates and a
+// projection, both evaluated inside the store: predicate columns are
+// resolved to indexes once, and only projected columns are copied out.
+// This is the fast path the federated engine pushes down to; Select
+// remains for callers wanting arbitrary row predicates.
+func (r *RelStore) SelectWhere(name string, preds []CellPredicate, cols []string) (*table.Table, error) {
+	r.mu.RLock()
+	t, ok := r.tables[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	// Resolve predicate and projection columns to indexes once.
+	type boundPred struct {
+		col   *table.Column
+		match func(string) bool
+	}
+	bound := make([]boundPred, 0, len(preds))
+	for _, p := range preds {
+		c, err := t.Column(p.Column)
+		if err != nil {
+			// Predicate on a missing column matches nothing.
+			return emptyLike(t, cols), nil
+		}
+		bound = append(bound, boundPred{col: c, match: p.Match})
+	}
+	outCols := t.Columns
+	if len(cols) > 0 {
+		outCols = outCols[:0:0]
+		for _, name := range cols {
+			c, err := t.Column(name)
+			if err != nil {
+				continue
+			}
+			outCols = append(outCols, c)
+		}
+	}
+	out := table.New(t.Name)
+	for _, c := range outCols {
+		out.Columns = append(out.Columns, &table.Column{Name: c.Name, Kind: c.Kind})
+	}
+	n := t.NumRows()
+rows:
+	for i := 0; i < n; i++ {
+		for _, bp := range bound {
+			if !bp.match(bp.col.Cells[i]) {
+				continue rows
+			}
+		}
+		for j, c := range outCols {
+			out.Columns[j].Cells = append(out.Columns[j].Cells, c.Cells[i])
+		}
+	}
+	return out, nil
+}
+
+func emptyLike(t *table.Table, cols []string) *table.Table {
+	out := table.New(t.Name)
+	names := cols
+	if len(names) == 0 {
+		names = t.ColumnNames()
+	}
+	for _, n := range names {
+		out.Columns = append(out.Columns, &table.Column{Name: n})
+	}
+	return out
+}
+
+// Insert appends rows to an existing table.
+func (r *RelStore) Insert(name string, rows [][]string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	for _, row := range rows {
+		if err := t.AppendRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

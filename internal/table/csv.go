@@ -1,0 +1,51 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadCSV parses CSV content with a header row into a Table and infers
+// column types.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate ourselves for a better error
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: parse csv %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: csv %q: %w", name, ErrEmpty)
+	}
+	return FromRows(name, records[0], records[1:])
+}
+
+// ParseCSV parses an in-memory CSV string; convenient for tests and
+// examples.
+func ParseCSV(name, content string) (*Table, error) {
+	return ReadCSV(name, strings.NewReader(content))
+}
+
+// WriteCSV serializes the table as CSV with a header row.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return fmt.Errorf("table: write csv header: %w", err)
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		if err := cw.Write(t.Row(i)); err != nil {
+			return fmt.Errorf("table: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ToCSV renders the table as a CSV string.
+func ToCSV(t *Table) string {
+	var sb strings.Builder
+	_ = WriteCSV(t, &sb)
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package table
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// timeLayouts are the timestamp formats recognized by type inference,
+// tried in order.
+var timeLayouts = []string{
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"01/02/2006",
+	"2006/01/02",
+	time.RFC1123,
+}
+
+// InferKind infers the dominant type of a cell sequence. A column is
+// typed K if at least 95% of its non-null cells parse as K, following
+// the tolerant inference used by lake profilers (Skluma, GOODS): raw
+// data routinely carries a few mistyped cells.
+func InferKind(cells []string) Kind {
+	const tolerance = 0.95
+	var nonNull, ints, floats, bools, times int
+	for _, v := range cells {
+		if isNullToken(v) {
+			continue
+		}
+		nonNull++
+		s := strings.TrimSpace(v)
+		if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+			ints++
+			floats++ // every int is a float
+			continue
+		}
+		if _, err := strconv.ParseFloat(s, 64); err == nil {
+			floats++
+			continue
+		}
+		if isBoolToken(s) {
+			bools++
+			continue
+		}
+		if parseTime(s) {
+			times++
+		}
+	}
+	if nonNull == 0 {
+		return KindUnknown
+	}
+	frac := func(n int) float64 { return float64(n) / float64(nonNull) }
+	switch {
+	case frac(ints) >= tolerance:
+		return KindInt
+	case frac(floats) >= tolerance:
+		return KindFloat
+	case frac(bools) >= tolerance:
+		return KindBool
+	case frac(times) >= tolerance:
+		return KindTime
+	default:
+		return KindString
+	}
+}
+
+func isBoolToken(s string) bool {
+	switch strings.ToLower(s) {
+	case "true", "false", "yes", "no", "t", "f":
+		return true
+	}
+	return false
+}
+
+func parseTime(s string) bool {
+	for _, layout := range timeLayouts {
+		if _, err := time.Parse(layout, s); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func parseFloat(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return f, err == nil
+}

@@ -1,0 +1,285 @@
+package table
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T, csvText string) *Table {
+	t.Helper()
+	tbl, err := ParseCSV("t", csvText)
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	return tbl
+}
+
+const sampleCSV = `id,name,age,score,active,joined
+1,alice,30,9.5,true,2020-01-02
+2,bob,25,7.25,false,2021-03-04
+3,carol,41,8.0,true,2019-11-30
+4,dave,,6.5,true,2022-05-06
+`
+
+func TestParseCSVBasics(t *testing.T) {
+	tbl := mustTable(t, sampleCSV)
+	if tbl.NumCols() != 6 {
+		t.Fatalf("NumCols = %d, want 6", tbl.NumCols())
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatalf("NumRows = %d, want 4", tbl.NumRows())
+	}
+	want := []string{"id", "name", "age", "score", "active", "joined"}
+	got := tbl.ColumnNames()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("column %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	tbl := mustTable(t, sampleCSV)
+	cases := map[string]Kind{
+		"id":     KindInt,
+		"name":   KindString,
+		"age":    KindInt, // one null tolerated
+		"score":  KindFloat,
+		"active": KindBool,
+		"joined": KindTime,
+	}
+	for name, want := range cases {
+		c, err := tbl.Column(name)
+		if err != nil {
+			t.Fatalf("Column(%q): %v", name, err)
+		}
+		if c.Kind != want {
+			t.Errorf("column %q kind = %v, want %v", name, c.Kind, want)
+		}
+	}
+}
+
+func TestInferKindTolerance(t *testing.T) {
+	// 97 ints + 2 strings + 1 null: still int under the 95% rule.
+	cells := make([]string, 0, 100)
+	for i := 0; i < 97; i++ {
+		cells = append(cells, "42")
+	}
+	cells = append(cells, "x", "y", "")
+	if k := InferKind(cells); k != KindInt {
+		t.Errorf("InferKind = %v, want int", k)
+	}
+	// 50/50 should fall back to string.
+	mixed := append(make([]string, 0), "1", "2", "a", "b")
+	if k := InferKind(mixed); k != KindString {
+		t.Errorf("InferKind mixed = %v, want string", k)
+	}
+	if k := InferKind([]string{"", "NULL", "n/a"}); k != KindUnknown {
+		t.Errorf("InferKind all-null = %v, want unknown", k)
+	}
+}
+
+func TestColumnNullsAndDistinct(t *testing.T) {
+	c := &Column{Name: "x", Cells: []string{"a", "", "a", "NULL", "b", "n/a"}}
+	if got := c.NullCount(); got != 3 {
+		t.Errorf("NullCount = %d, want 3", got)
+	}
+	d := c.Distinct()
+	if len(d) != 2 {
+		t.Errorf("Distinct size = %d, want 2", len(d))
+	}
+	ds := c.DistinctSlice()
+	if len(ds) != 2 || ds[0] != "a" || ds[1] != "b" {
+		t.Errorf("DistinctSlice = %v, want [a b]", ds)
+	}
+}
+
+func TestCandidateKey(t *testing.T) {
+	key := &Column{Name: "id", Cells: []string{"1", "2", "3", "4"}}
+	if !key.IsCandidateKey(0.9) {
+		t.Error("unique column should be a candidate key")
+	}
+	dup := &Column{Name: "id", Cells: []string{"1", "2", "2", "4"}}
+	if dup.IsCandidateKey(0.9) {
+		t.Error("column with duplicates should not be a candidate key")
+	}
+	sparse := &Column{Name: "id", Cells: []string{"1", "", "", ""}}
+	if sparse.IsCandidateKey(0.9) {
+		t.Error("mostly-null column should not be a candidate key")
+	}
+}
+
+func TestProjectAndFilter(t *testing.T) {
+	tbl := mustTable(t, sampleCSV)
+	p, err := tbl.Project("name", "score")
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.NumCols() != 2 || p.NumRows() != 4 {
+		t.Fatalf("Project shape = %dx%d, want 2x4", p.NumCols(), p.NumRows())
+	}
+	if _, err := tbl.Project("nope"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("Project unknown column err = %v, want ErrNoSuchColumn", err)
+	}
+
+	f := tbl.Filter(func(row []string) bool { return row[4] == "true" })
+	if f.NumRows() != 3 {
+		t.Errorf("Filter rows = %d, want 3", f.NumRows())
+	}
+}
+
+func TestAppendRowAndRaggedDetection(t *testing.T) {
+	tbl := mustTable(t, "a,b\n1,2\n")
+	if err := tbl.AppendRow([]string{"3", "4"}); err != nil {
+		t.Fatalf("AppendRow: %v", err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	if err := tbl.AppendRow([]string{"just-one"}); !errors.Is(err, ErrRagged) {
+		t.Errorf("AppendRow ragged err = %v, want ErrRagged", err)
+	}
+	if _, err := FromRows("t", []string{"a"}, [][]string{{"1", "2"}}); !errors.Is(err, ErrRagged) {
+		t.Errorf("FromRows ragged err = %v, want ErrRagged", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tbl := mustTable(t, "a\nx\n")
+	cl := tbl.Clone()
+	cl.Columns[0].Cells[0] = "mutated"
+	cl.Meta["k"] = "v"
+	if tbl.Columns[0].Cells[0] != "x" {
+		t.Error("Clone shares cell storage with original")
+	}
+	if _, ok := tbl.Meta["k"]; ok {
+		t.Error("Clone shares Meta with original")
+	}
+}
+
+func TestProfileNumeric(t *testing.T) {
+	tbl := mustTable(t, "v\n1\n2\n3\n4\n")
+	c, _ := tbl.Column("v")
+	p := Profile(c)
+	if p.Min != 1 || p.Max != 4 || p.Mean != 2.5 {
+		t.Errorf("profile min/max/mean = %v/%v/%v", p.Min, p.Max, p.Mean)
+	}
+	wantStd := math.Sqrt(1.25)
+	if math.Abs(p.StdDev-wantStd) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", p.StdDev, wantStd)
+	}
+	if !p.IsKey {
+		t.Error("unique int column should profile as key")
+	}
+	if p.Uniqueness != 1 {
+		t.Errorf("Uniqueness = %v, want 1", p.Uniqueness)
+	}
+}
+
+func TestProfileStringColumnHasNaNMoments(t *testing.T) {
+	tbl := mustTable(t, "s\nfoo\nbar\nfoo\n")
+	c, _ := tbl.Column("s")
+	p := Profile(c)
+	if !math.IsNaN(p.Mean) {
+		t.Errorf("Mean of string column = %v, want NaN", p.Mean)
+	}
+	if p.Distinct != 2 {
+		t.Errorf("Distinct = %d, want 2", p.Distinct)
+	}
+	if p.MeanLen != 3 {
+		t.Errorf("MeanLen = %v, want 3", p.MeanLen)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	q := Quantiles(xs, 4)
+	if len(q) != 3 {
+		t.Fatalf("Quantiles len = %d, want 3", len(q))
+	}
+	if q[1] != 2.5 {
+		t.Errorf("median = %v, want 2.5", q[1])
+	}
+	if Quantiles(nil, 4) != nil {
+		t.Error("Quantiles(nil) should be nil")
+	}
+	if Quantiles(xs, 1) != nil {
+		t.Error("Quantiles(q=1) should be nil")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := mustTable(t, sampleCSV)
+	out := ToCSV(tbl)
+	back, err := ParseCSV("t", out)
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if back.NumRows() != tbl.NumRows() || back.NumCols() != tbl.NumCols() {
+		t.Fatalf("round trip shape changed: %v vs %v", back, tbl)
+	}
+	for j, c := range tbl.Columns {
+		for i, v := range c.Cells {
+			if back.Columns[j].Cells[i] != v {
+				t.Fatalf("cell (%d,%d) = %q, want %q", i, j, back.Columns[j].Cells[i], v)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ParseCSV("t", ""); err == nil {
+		t.Error("empty csv should error")
+	}
+	if _, err := ParseCSV("t", "a,b\n1\n"); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged csv err = %v, want ErrRagged", err)
+	}
+}
+
+// Property: Filter(always true) preserves the table; Filter(always false)
+// empties it; projection of all columns preserves the cell matrix.
+func TestFilterProjectProperties(t *testing.T) {
+	f := func(rowsRaw [][2]string) bool {
+		rows := make([][]string, len(rowsRaw))
+		for i, r := range rowsRaw {
+			rows[i] = []string{r[0], r[1]}
+		}
+		tbl, err := FromRows("p", []string{"a", "b"}, rows)
+		if err != nil {
+			return false
+		}
+		all := tbl.Filter(func([]string) bool { return true })
+		if all.NumRows() != tbl.NumRows() {
+			return false
+		}
+		none := tbl.Filter(func([]string) bool { return false })
+		if none.NumRows() != 0 {
+			return false
+		}
+		proj, err := tbl.Project("a", "b")
+		if err != nil || proj.NumRows() != tbl.NumRows() {
+			return false
+		}
+		for i := 0; i < tbl.NumRows(); i++ {
+			for j := range tbl.Columns {
+				if proj.Columns[j].Cells[i] != tbl.Columns[j].Cells[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tbl := mustTable(t, "a,b\n1,2\n")
+	if got := tbl.String(); !strings.Contains(got, "2 cols") || !strings.Contains(got, "1 rows") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// LogTemplate is one ground-truth record structure of a generated log
+// file. Lines lists the per-line skeletons with %d / %s placeholders.
+type LogTemplate struct {
+	ID    int
+	Lines []string
+}
+
+// LogSpec controls log-file generation for the DATAMARAN benchmark.
+type LogSpec struct {
+	// Templates is how many distinct record structures to embed.
+	Templates int
+	// Records is how many records to emit.
+	Records int
+	// NoiseRate is the probability of a junk line between records
+	// (DATAMARAN must tolerate non-record content).
+	NoiseRate float64
+	Seed      int64
+}
+
+// DefaultLogSpec returns a moderate log workload.
+func DefaultLogSpec() LogSpec {
+	return LogSpec{Templates: 4, Records: 400, NoiseRate: 0.05, Seed: 7}
+}
+
+// GeneratedLog is a synthetic log plus ground truth.
+type GeneratedLog struct {
+	Content   string
+	Templates []LogTemplate
+	// LineTemplate maps emitted record index -> template ID.
+	RecordTemplates []int
+}
+
+// logSkeletons are the multi-line record shapes available to the
+// generator, mimicking the machine-generated GitHub logs DATAMARAN was
+// evaluated on: records span multiple lines and field values vary.
+// Placeholders: %s a word, %d a number, %t a date. Each skeleton
+// generalizes to exactly one character-class pattern sequence, which is
+// what makes exact ground-truth recovery scoring possible.
+var logSkeletons = [][]string{
+	{"%t INFO  request user=%s path=/api/%s status=%d"},
+	{"%t ERROR %s failed code=%d", "    at module %s line %d"},
+	{"[session %d] login user=%s", "[session %d] region=%s latency=%dms"},
+	{"txn %d BEGIN", "txn %d WRITE table=%s rows=%d", "txn %d COMMIT"},
+	{"%t WARN  disk=%s usage=%d%%"},
+	{"event id=%d kind=%s", "  payload bytes=%d checksum=%s"},
+}
+
+var logWords = []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+
+// GenerateLog emits a log file with records drawn from spec.Templates
+// distinct skeletons interleaved with noise lines.
+func GenerateLog(spec LogSpec) *GeneratedLog {
+	if spec.Templates <= 0 || spec.Templates > len(logSkeletons) {
+		spec.Templates = len(logSkeletons)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	gl := &GeneratedLog{}
+	for i := 0; i < spec.Templates; i++ {
+		gl.Templates = append(gl.Templates, LogTemplate{ID: i, Lines: logSkeletons[i]})
+	}
+	var sb strings.Builder
+	for r := 0; r < spec.Records; r++ {
+		tid := rng.Intn(spec.Templates)
+		gl.RecordTemplates = append(gl.RecordTemplates, tid)
+		for _, skel := range gl.Templates[tid].Lines {
+			sb.WriteString(fillSkeleton(rng, skel))
+			sb.WriteByte('\n')
+		}
+		if rng.Float64() < spec.NoiseRate {
+			sb.WriteString(fmt.Sprintf("# noise %s %d\n", logWords[rng.Intn(len(logWords))], rng.Intn(1000)))
+		}
+	}
+	gl.Content = sb.String()
+	return gl
+}
+
+// fillSkeleton substitutes %s with a word and %d with a number, keeping
+// %% literal.
+func fillSkeleton(rng *rand.Rand, skel string) string {
+	var sb strings.Builder
+	for i := 0; i < len(skel); i++ {
+		if skel[i] != '%' || i+1 >= len(skel) {
+			sb.WriteByte(skel[i])
+			continue
+		}
+		switch skel[i+1] {
+		case 's':
+			sb.WriteString(logWords[rng.Intn(len(logWords))])
+			i++
+		case 't':
+			sb.WriteString(fmt.Sprintf("2024-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)))
+			i++
+		case 'd':
+			sb.WriteString(fmt.Sprintf("%d", rng.Intn(100000)))
+			i++
+		case '%':
+			sb.WriteByte('%')
+			i++
+		default:
+			sb.WriteByte(skel[i])
+		}
+	}
+	return sb.String()
+}
+
+// SchemaVersionSpec drives JSON entity-version generation for the
+// Klettke schema-evolution benchmark.
+type SchemaVersionSpec struct {
+	Versions int
+	DocsPer  int
+	Seed     int64
+}
+
+// SchemaOp is one ground-truth evolution operation between consecutive
+// versions.
+type SchemaOp struct {
+	FromVersion int
+	Kind        string // "add", "delete", "rename"
+	Field       string
+	NewField    string // for rename
+}
+
+// VersionedDocs is a stream of JSON documents per version plus the
+// ground-truth operations applied between versions.
+type VersionedDocs struct {
+	// Versions[i] holds the raw JSON documents of version i.
+	Versions [][]string
+	Ops      []SchemaOp
+	// FieldsAt[i] is the field set of version i.
+	FieldsAt []map[string]bool
+}
+
+// GenerateVersions produces an evolving JSON entity type: version 0 has
+// base fields; each later version randomly adds, deletes or renames one
+// field.
+func GenerateVersions(spec SchemaVersionSpec) *VersionedDocs {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	fields := map[string]bool{"id": true, "name": true, "value": true, "ts": true}
+	next := 0
+	vd := &VersionedDocs{}
+	for v := 0; v < spec.Versions; v++ {
+		if v > 0 {
+			op := evolve(rng, fields, &next)
+			op.FromVersion = v - 1
+			vd.Ops = append(vd.Ops, op)
+		}
+		snapshot := map[string]bool{}
+		for f := range fields {
+			snapshot[f] = true
+		}
+		vd.FieldsAt = append(vd.FieldsAt, snapshot)
+		docs := make([]string, spec.DocsPer)
+		for d := range docs {
+			docs[d] = renderDoc(rng, fields, v, d)
+		}
+		vd.Versions = append(vd.Versions, docs)
+	}
+	return vd
+}
+
+func evolve(rng *rand.Rand, fields map[string]bool, next *int) SchemaOp {
+	names := make([]string, 0, len(fields))
+	for f := range fields {
+		if f != "id" { // keep the key stable
+			names = append(names, f)
+		}
+	}
+	sortStrings(names)
+	switch rng.Intn(3) {
+	case 0:
+		*next++
+		f := fmt.Sprintf("field_%d", *next)
+		fields[f] = true
+		return SchemaOp{Kind: "add", Field: f}
+	case 1:
+		if len(names) > 1 {
+			f := names[rng.Intn(len(names))]
+			delete(fields, f)
+			return SchemaOp{Kind: "delete", Field: f}
+		}
+		*next++
+		f := fmt.Sprintf("field_%d", *next)
+		fields[f] = true
+		return SchemaOp{Kind: "add", Field: f}
+	default:
+		f := names[rng.Intn(len(names))]
+		*next++
+		nf := fmt.Sprintf("renamed_%d", *next)
+		delete(fields, f)
+		fields[nf] = true
+		return SchemaOp{Kind: "rename", Field: f, NewField: nf}
+	}
+}
+
+func renderDoc(rng *rand.Rand, fields map[string]bool, version, idx int) string {
+	names := make([]string, 0, len(fields))
+	for f := range fields {
+		names = append(names, f)
+	}
+	sortStrings(names)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, f := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		switch f {
+		case "id":
+			fmt.Fprintf(&sb, "%q:%d", f, version*100000+idx)
+		case "value":
+			fmt.Fprintf(&sb, "%q:%.2f", f, rng.Float64()*100)
+		default:
+			fmt.Fprintf(&sb, "%q:%q", f, logWords[rng.Intn(len(logWords))])
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
