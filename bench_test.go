@@ -7,6 +7,7 @@ package golake
 // quality metrics (precision@k, recovery) as custom benchmark metrics.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -115,20 +116,20 @@ func BenchmarkFig2ArchitecturePipeline(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lake, err := core.Open(b.TempDir(), nil)
+		lake, err := core.Open(b.TempDir())
 		if err != nil {
 			b.Fatal(err)
 		}
 		lake.AddUser("dana", core.RoleDataScientist)
 		for name, data := range csvs {
-			if _, err := lake.Ingest("raw/"+name+".csv", data, "gen", "dana"); err != nil {
+			if _, err := lake.Ingest(context.Background(), "raw/"+name+".csv", data, "gen", "dana"); err != nil {
 				b.Fatal(err)
 			}
 		}
-		if _, err := lake.Maintain(); err != nil {
+		if _, err := lake.Maintain(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := lake.Explore("dana", explore.Request{
+		if _, err := lake.Explore(context.Background(), "dana", explore.Request{
 			Mode: explore.ModePopulate, Query: c.Tables[0], K: 3,
 		}); err != nil {
 			b.Fatal(err)
@@ -302,7 +303,7 @@ func BenchmarkFederatedQueryPushdown(b *testing.B) {
 			e := query.NewEngine(p)
 			e.PushDown = push
 			for i := 0; i < b.N; i++ {
-				if _, err := e.ExecuteSQL("SELECT id FROM rel:big WHERE site = 's7'"); err != nil {
+				if _, err := e.ExecuteSQL(context.Background(), "SELECT id FROM rel:big WHERE site = 's7'"); err != nil {
 					b.Fatal(err)
 				}
 			}

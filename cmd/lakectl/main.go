@@ -15,11 +15,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -40,13 +44,15 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cmd := args[0]
 	switch cmd {
 	case "registry":
 		printRegistry()
 		return
 	case "demo":
-		if err := demo(); err != nil {
+		if err := demo(ctx); err != nil {
 			fatal(err)
 		}
 		return
@@ -54,11 +60,11 @@ func main() {
 	if *dataDir == "" {
 		fatal(fmt.Errorf("command %q needs -data DIR", cmd))
 	}
-	lake, err := loadLake(*dataDir, *user)
+	lake, err := loadLake(ctx, *dataDir, *user)
 	if err != nil {
 		fatal(err)
 	}
-	if err := dispatch(lake, *user, cmd, args[1:]); err != nil {
+	if err := dispatch(ctx, lake, *user, cmd, args[1:]); err != nil {
 		fatal(err)
 	}
 }
@@ -69,18 +75,21 @@ func usage() {
 	os.Exit(2)
 }
 
-// loadLake ingests every regular file under dir and runs maintenance.
-func loadLake(dir, user string) (*golake.Lake, error) {
+// loadLake bulk-ingests every regular file under dir and runs
+// maintenance.
+func loadLake(ctx context.Context, dir, user string) (*golake.Lake, error) {
 	workdir, err := os.MkdirTemp("", "golake-lakectl-*")
 	if err != nil {
 		return nil, err
 	}
-	lake, err := golake.Open(workdir)
+	lake, err := golake.Open(workdir,
+		golake.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	if err != nil {
 		return nil, err
 	}
 	lake.AddUser(user, golake.RoleDataScientist)
 	lake.AddUser(user+"-gov", golake.RoleGovernance)
+	var items []golake.IngestItem
 	err = filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
@@ -93,19 +102,24 @@ func loadLake(dir, user string) (*golake.Lake, error) {
 		if err != nil {
 			return err
 		}
-		_, err = lake.Ingest(filepath.ToSlash(rel), data, "filesystem", user)
-		return err
+		items = append(items, golake.IngestItem{
+			Path: filepath.ToSlash(rel), Data: data, Source: "filesystem",
+		})
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if _, err := lake.Maintain(); err != nil {
+	if _, err := lake.IngestBatch(ctx, user, items); err != nil {
+		return nil, err
+	}
+	if _, err := lake.Maintain(ctx); err != nil {
 		return nil, err
 	}
 	return lake, nil
 }
 
-func dispatch(lake *golake.Lake, user, cmd string, args []string) error {
+func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []string) error {
 	switch cmd {
 	case "profile":
 		return profile(lake)
@@ -115,17 +129,17 @@ func dispatch(lake *golake.Lake, user, cmd string, args []string) error {
 		if len(args) < 1 {
 			return fmt.Errorf("discover needs TABLE")
 		}
-		return discover(lake, user, args[0], argK(args, 1))
+		return discover(ctx, lake, user, args[0], argK(args, 1))
 	case "join":
 		if len(args) < 2 {
 			return fmt.Errorf("join needs TABLE COLUMN")
 		}
-		return joinSearch(lake, user, args[0], args[1], argK(args, 2))
+		return joinSearch(ctx, lake, user, args[0], args[1], argK(args, 2))
 	case "query":
 		if len(args) < 1 {
 			return fmt.Errorf("query needs SQL")
 		}
-		res, err := lake.QuerySQL(user, strings.Join(args, " "))
+		res, err := lake.QuerySQL(ctx, user, strings.Join(args, " "))
 		if err != nil {
 			return err
 		}
@@ -142,7 +156,7 @@ func dispatch(lake *golake.Lake, user, cmd string, args []string) error {
 		if len(args) < 1 {
 			return fmt.Errorf("lineage needs ENTITY")
 		}
-		up, err := lake.Lineage(args[0])
+		up, err := lake.Lineage(ctx, args[0])
 		if err != nil {
 			return err
 		}
@@ -155,8 +169,18 @@ func dispatch(lake *golake.Lake, user, cmd string, args []string) error {
 		if len(args) > 0 {
 			addr = args[0]
 		}
-		fmt.Printf("serving lake REST API on %s (X-Lake-User header selects the user)\n", addr)
-		return http.ListenAndServe(addr, lake.HTTPHandler())
+		fmt.Printf("serving lake REST v1 API on %s under /v1/* (X-Lake-User header selects the user; unversioned routes are deprecated aliases)\n", addr)
+		srv := &http.Server{Addr: addr, Handler: lake.HTTPHandler()}
+		go func() {
+			// Ctrl-C cancels ctx (signal.NotifyContext in main); drain
+			// in-flight requests and exit instead of ignoring it.
+			<-ctx.Done()
+			_ = srv.Shutdown(context.Background())
+		}()
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
 	default:
 		usage()
 		return nil
@@ -195,8 +219,8 @@ func catalog(lake *golake.Lake) error {
 	return nil
 }
 
-func discover(lake *golake.Lake, user, tableName string, k int) error {
-	res, err := lake.RelatedTables(user, tableName, k)
+func discover(ctx context.Context, lake *golake.Lake, user, tableName string, k int) error {
+	res, err := lake.RelatedTables(ctx, user, tableName, k)
 	if err != nil {
 		return err
 	}
@@ -206,12 +230,12 @@ func discover(lake *golake.Lake, user, tableName string, k int) error {
 	return nil
 }
 
-func joinSearch(lake *golake.Lake, user, tableName, column string, k int) error {
+func joinSearch(ctx context.Context, lake *golake.Lake, user, tableName, column string, k int) error {
 	t, err := lake.Poly.Rel.Table(tableName)
 	if err != nil {
 		return err
 	}
-	res, err := lake.Explore(user, explore.Request{
+	res, err := lake.Explore(ctx, user, explore.Request{
 		Mode: explore.ModeJoinColumn, Query: t, Column: column, K: k,
 	})
 	if err != nil {
@@ -231,7 +255,7 @@ func printRegistry() {
 
 // demo generates a synthetic corpus, runs the full pipeline and prints
 // a compact walkthrough.
-func demo() error {
+func demo(ctx context.Context) error {
 	dir, err := os.MkdirTemp("", "golake-demo-*")
 	if err != nil {
 		return err
@@ -244,18 +268,18 @@ func demo() error {
 	lake.AddUser("dana", golake.RoleDataScientist)
 	c := workload.GenerateCorpus(bench.DefaultCorpusSpec())
 	for _, tbl := range c.Tables {
-		if _, err := lake.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "demo", "dana"); err != nil {
+		if _, err := lake.Ingest(ctx, "raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "demo", "dana"); err != nil {
 			return err
 		}
 	}
-	rep, err := lake.Maintain()
+	rep, err := lake.Maintain(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("ingested %d tables, %d categories, %d RFDs\n",
 		rep.Tables, len(rep.Categories), len(rep.RFDs))
 	q := c.Tables[0].Name
-	res, err := lake.RelatedTables("dana", q, 4)
+	res, err := lake.RelatedTables(ctx, "dana", q, 4)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -24,7 +25,7 @@ func writeDataDir(t *testing.T) string {
 }
 
 func TestLoadLakeIngestsAndMaintains(t *testing.T) {
-	lake, err := loadLake(writeDataDir(t), "cli")
+	lake, err := loadLake(context.Background(), writeDataDir(t), "cli")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,13 +36,13 @@ func TestLoadLakeIngestsAndMaintains(t *testing.T) {
 		t.Error("relational tables missing")
 	}
 	// Maintenance ran: exploration is available.
-	if _, err := lake.RelatedTables("cli", "orders", 2); err != nil {
+	if _, err := lake.RelatedTables(context.Background(), "cli", "orders", 2); err != nil {
 		t.Errorf("explore after load: %v", err)
 	}
 }
 
 func TestDispatchCommands(t *testing.T) {
-	lake, err := loadLake(writeDataDir(t), "cli")
+	lake, err := loadLake(context.Background(), writeDataDir(t), "cli")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,13 +55,13 @@ func TestDispatchCommands(t *testing.T) {
 		{"swamp"},
 		{"lineage", "orders.csv"},
 	} {
-		if err := dispatch(lake, "cli", c[0], c[1:]); err != nil {
+		if err := dispatch(context.Background(), lake, "cli", c[0], c[1:]); err != nil {
 			t.Errorf("dispatch(%v): %v", c, err)
 		}
 	}
 	// Missing-argument errors.
 	for _, c := range [][]string{{"discover"}, {"join", "orders"}, {"query"}, {"lineage"}} {
-		if err := dispatch(lake, "cli", c[0], c[1:]); err == nil {
+		if err := dispatch(context.Background(), lake, "cli", c[0], c[1:]); err == nil {
 			t.Errorf("dispatch(%v) should fail", c)
 		}
 	}
@@ -82,7 +83,7 @@ func TestDemoRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := demo(); err != nil {
+	if err := demo(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -74,7 +75,7 @@ func main() {
 		"SELECT name, hotel FROM graph:owner",
 		"SELECT hotel FROM rel:hotels_eu, rel:hotels_us WHERE price >= 300",
 	} {
-		res, err := engine.ExecuteSQL(sql)
+		res, err := engine.ExecuteSQL(context.Background(), sql)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"golake/internal/evolve"
 	"golake/internal/table"
 	"golake/internal/workload"
+	"golake/lakeerr"
 )
 
 func main() {
@@ -23,6 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
+	ctx := context.Background()
 	lake, err := golake.Open(dir)
 	if err != nil {
 		log.Fatal(err)
@@ -40,36 +43,38 @@ s4,paris,fr
 s5,paris,fr
 s6,rome,it
 `
-	if _, err := lake.Ingest("raw/stations.csv", []byte(geo), "sensor-feed", "dana"); err != nil {
+	if _, err := lake.Ingest(ctx, "raw/stations.csv", []byte(geo), "sensor-feed", "dana"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := lake.Maintain(); err != nil {
+	if _, err := lake.Maintain(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	// Roles: curators annotate, governance audits, scientists cannot.
-	if err := lake.Annotate("carl", "raw/stations.csv", "city", "schema.org/City"); err != nil {
+	if err := lake.Annotate(ctx, "carl", "raw/stations.csv", "city", "schema.org/City"); err != nil {
 		log.Fatal(err)
 	}
-	if err := lake.Annotate("dana", "raw/stations.csv", "city", "nope"); err != nil {
-		fmt.Println("access control:", err)
+	if err := lake.Annotate(ctx, "dana", "raw/stations.csv", "city", "nope"); err != nil {
+		// Failures carry typed codes: dispatch on the taxonomy, not
+		// the message text.
+		fmt.Printf("access control: [%s] %v\n", lakeerr.CodeOf(err), err)
 	}
 
 	// Derivation + lineage.
 	stations, _ := lake.Poly.Rel.Table("stations")
 	german := stations.Filter(func(row []string) bool { return row[2] == "de" })
 	german.Name = "german_stations"
-	if err := lake.Derive("dana", "filter_de", []string{"raw/stations.csv"}, german); err != nil {
+	if err := lake.Derive(ctx, "dana", "filter_de", []string{"raw/stations.csv"}, german); err != nil {
 		log.Fatal(err)
 	}
-	up, _ := lake.Lineage("german_stations")
+	up, _ := lake.Lineage(ctx, "german_stations")
 	fmt.Println("lineage of german_stations:", up)
 
 	// Governance audits who touched the raw data.
-	if _, err := lake.QuerySQL("dana", "SELECT city FROM rel:stations"); err != nil {
+	if _, err := lake.QuerySQL(ctx, "dana", "SELECT city FROM rel:stations"); err != nil {
 		log.Fatal(err)
 	}
-	events, err := lake.Audit("greta", "raw/stations.csv")
+	events, err := lake.Audit(ctx, "greta", "raw/stations.csv")
 	if err != nil {
 		log.Fatal(err)
 	}

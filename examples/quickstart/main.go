@@ -4,11 +4,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"golake"
+	"golake/lakeerr"
 )
 
 const orders = `order_id,customer,city,total
@@ -37,7 +39,10 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	lake, err := golake.Open(dir)
+	// Every lake operation takes a context; cancel it to abort
+	// long-running maintenance or queries mid-flight.
+	ctx := context.Background()
+	lake, err := golake.Open(dir, golake.WithMaxResults(1000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,28 +50,29 @@ func main() {
 
 	// Ingestion tier: raw files land in the polystore (CSV becomes a
 	// relational table, JSON-lines a document collection), metadata is
-	// extracted and modeled automatically.
-	for path, data := range map[string]string{
-		"raw/orders.csv":    orders,
-		"raw/customers.csv": customers,
-		"raw/clicks.jsonl":  clicks,
-	} {
-		res, err := lake.Ingest(path, []byte(data), "quickstart", "dana")
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("ingested %-18s -> %s store\n", path, res.Placement.Target)
+	// extracted and modeled automatically. IngestBatch loads them in
+	// one call.
+	results, err := lake.IngestBatch(ctx, "dana", []golake.IngestItem{
+		{Path: "raw/orders.csv", Data: []byte(orders), Source: "quickstart"},
+		{Path: "raw/customers.csv", Data: []byte(customers), Source: "quickstart"},
+		{Path: "raw/clicks.jsonl", Data: []byte(clicks), Source: "quickstart"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf("ingested %-18s -> %s store\n", res.Placement.Path, res.Placement.Target)
 	}
 
 	// Maintenance tier: index, organize, enrich.
-	rep, err := lake.Maintain()
+	rep, err := lake.Maintain(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("maintained %d tables; %d relaxed FDs discovered\n", rep.Tables, len(rep.RFDs))
 
 	// Exploration tier, part 1: query-driven discovery.
-	related, err := lake.RelatedTables("dana", "orders", 3)
+	related, err := lake.RelatedTables(ctx, "dana", "orders", 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,17 +82,22 @@ func main() {
 	}
 
 	// Exploration tier, part 2: federated SQL over the polystore.
-	rows, err := lake.QuerySQL("dana", "SELECT customer, total FROM rel:orders WHERE city = 'berlin'")
+	rows, err := lake.QuerySQL(ctx, "dana", "SELECT customer, total FROM rel:orders WHERE city = 'berlin'")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print("berlin orders:\n" + golake.ToCSV(rows))
 
-	docs, err := lake.QuerySQL("dana", "SELECT user, page FROM doc:clicks WHERE ms > 100")
+	docs, err := lake.QuerySQL(ctx, "dana", "SELECT user, page FROM doc:clicks WHERE ms > 100")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print("slow clicks:\n" + golake.ToCSV(docs))
+
+	// Errors are typed: a bad statement classifies as invalid_query.
+	if _, err := lake.QuerySQL(ctx, "dana", "SELEKT nope"); lakeerr.IsInvalidQuery(err) {
+		fmt.Printf("typed error: [%s] %v\n", lakeerr.CodeOf(err), err)
+	}
 
 	// Governance: is the lake turning into a swamp?
 	swamp := lake.SwampCheck()

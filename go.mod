@@ -1,0 +1,3 @@
+module golake
+
+go 1.22

@@ -23,17 +23,31 @@
 //	             federated SQL over the polystore (Constance, CoreDB,
 //	             Ontario, Squerall)
 //
+// Every operation takes a context.Context: cancel it and long-running
+// maintenance or query work aborts mid-flight. Failures carry typed
+// codes from the lakeerr package, so callers classify them with
+// lakeerr.CodeOf / errors.As instead of matching message strings.
+//
 // Quickstart:
 //
-//	lake, _ := golake.Open(dir)
+//	ctx := context.Background()
+//	lake, _ := golake.Open(dir, golake.WithMaxResults(1000))
 //	lake.AddUser("dana", golake.RoleDataScientist)
-//	lake.Ingest("raw/orders.csv", csvBytes, "erp", "dana")
-//	lake.Maintain()
-//	related, _ := lake.RelatedTables("dana", "orders", 5)
-//	rows, _ := lake.QuerySQL("dana", "SELECT id, total FROM rel:orders WHERE total > 10")
+//	lake.IngestBatch(ctx, "dana", []golake.IngestItem{
+//		{Path: "raw/orders.csv", Data: csvBytes, Source: "erp"},
+//	})
+//	lake.Maintain(ctx)
+//	related, _ := lake.RelatedTables(ctx, "dana", "orders", 5)
+//	rows, err := lake.QuerySQL(ctx, "dana", "SELECT id, total FROM rel:orders WHERE total > 10")
+//	if lakeerr.IsInvalidQuery(err) { /* bad SQL, not a lake failure */ }
+//
+// The same surface is served over REST by Lake.HTTPHandler: a
+// versioned /v1 API with a structured error envelope (see
+// internal/core's route table).
 package golake
 
 import (
+	"log/slog"
 	"time"
 
 	"golake/internal/core"
@@ -66,6 +80,9 @@ const (
 // Table is the tabular dataset model.
 type Table = table.Table
 
+// IngestItem is one object of an IngestBatch bulk load.
+type IngestItem = core.IngestItem
+
 // ExploreRequest is a query-driven discovery request.
 type ExploreRequest = explore.Request
 
@@ -89,12 +106,32 @@ const (
 	TaskClean    = discovery.TaskClean
 )
 
-// Open assembles a data lake rooted at dir.
-func Open(dir string) (*Lake, error) { return core.Open(dir, nil) }
+// Option configures an assembled lake (see WithClock, WithPushdown,
+// WithMaxResults, WithLogger).
+type Option = core.Option
 
-// OpenWithClock assembles a lake with a custom clock (tests, replays).
+// WithClock substitutes the lake's time source (tests, replays).
+func WithClock(clock func() time.Time) Option { return core.WithClock(clock) }
+
+// WithPushdown toggles predicate/projection pushdown in the federated
+// query engine (on by default).
+func WithPushdown(enabled bool) Option { return core.WithPushdown(enabled) }
+
+// WithMaxResults caps query result rows and exploration K (0 =
+// unlimited).
+func WithMaxResults(n int) Option { return core.WithMaxResults(n) }
+
+// WithLogger installs a structured logger for REST request logging.
+func WithLogger(l *slog.Logger) Option { return core.WithLogger(l) }
+
+// Open assembles a data lake rooted at dir.
+func Open(dir string, opts ...Option) (*Lake, error) { return core.Open(dir, opts...) }
+
+// OpenWithClock assembles a lake with a custom clock.
+//
+// Deprecated: use Open(dir, WithClock(clock)).
 func OpenWithClock(dir string, clock func() time.Time) (*Lake, error) {
-	return core.Open(dir, clock)
+	return core.Open(dir, core.WithClock(clock))
 }
 
 // ParseCSV parses CSV text into a Table.

@@ -1,6 +1,7 @@
 package golake
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -13,6 +14,7 @@ import (
 // facade only: open, ingest heterogeneous files, maintain, explore,
 // query, govern.
 func TestEndToEndPublicAPI(t *testing.T) {
+	ctx := context.Background()
 	lake, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -29,11 +31,11 @@ func TestEndToEndPublicAPI(t *testing.T) {
 		"raw/customers.csv": customers,
 		"raw/clicks.jsonl":  clicks,
 	} {
-		if _, err := lake.Ingest(path, []byte(data), "test", "dana"); err != nil {
+		if _, err := lake.Ingest(ctx, path, []byte(data), "test", "dana"); err != nil {
 			t.Fatalf("Ingest %s: %v", path, err)
 		}
 	}
-	rep, err := lake.Maintain()
+	rep, err := lake.Maintain(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func TestEndToEndPublicAPI(t *testing.T) {
 	}
 
 	// Discovery: customers relates to orders via the customer column.
-	related, err := lake.RelatedTables("dana", "orders", 2)
+	related, err := lake.RelatedTables(ctx, "dana", "orders", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +59,14 @@ func TestEndToEndPublicAPI(t *testing.T) {
 	}
 
 	// Federated SQL across stores.
-	rows, err := lake.QuerySQL("dana", "SELECT customer FROM rel:orders WHERE total >= 20")
+	rows, err := lake.QuerySQL(ctx, "dana", "SELECT customer FROM rel:orders WHERE total >= 20")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rows.NumRows() != 2 {
 		t.Errorf("sql rows = %d", rows.NumRows())
 	}
-	docs, err := lake.QuerySQL("dana", "SELECT user FROM doc:clicks WHERE n = 2")
+	docs, err := lake.QuerySQL(ctx, "dana", "SELECT user FROM doc:clicks WHERE n = 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func TestEndToEndPublicAPI(t *testing.T) {
 	}
 
 	// Governance: the audit trail has the ingest and the query.
-	events, err := lake.Audit("greta", "raw/orders.csv")
+	events, err := lake.Audit(ctx, "greta", "raw/orders.csv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,6 +96,7 @@ func TestEndToEndPublicAPI(t *testing.T) {
 // TestExploreModesThroughFacade exercises the three exploration modes
 // through the public constants.
 func TestExploreModesThroughFacade(t *testing.T) {
+	ctx := context.Background()
 	lake, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -104,11 +107,11 @@ func TestExploreModesThroughFacade(t *testing.T) {
 		ExtraCols: 1, KeyVocab: 80, KeySample: 50, Seed: 3,
 	})
 	for _, tbl := range c.Tables {
-		if _, err := lake.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "gen", "dana"); err != nil {
+		if _, err := lake.Ingest(ctx, "raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "gen", "dana"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := lake.Maintain(); err != nil {
+	if _, err := lake.Maintain(ctx); err != nil {
 		t.Fatal(err)
 	}
 	q, err := lake.Poly.Rel.Table(c.Tables[0].Name)
@@ -123,7 +126,7 @@ func TestExploreModesThroughFacade(t *testing.T) {
 		{ExploreRequest{Mode: ModePopulate, Query: q, K: 3}, "populate"},
 		{ExploreRequest{Mode: ModeTask, Query: q, Task: TaskAugment, K: 3}, "task"},
 	} {
-		res, err := lake.Explore("dana", mode.req)
+		res, err := lake.Explore(ctx, "dana", mode.req)
 		if err != nil {
 			t.Fatalf("%s: %v", mode.name, err)
 		}
@@ -152,6 +155,7 @@ func TestParseCSVFacade(t *testing.T) {
 // TestScalePipeline pushes a larger corpus through the facade to catch
 // integration-scale issues the unit tests miss.
 func TestScalePipeline(t *testing.T) {
+	ctx := context.Background()
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -165,11 +169,11 @@ func TestScalePipeline(t *testing.T) {
 		ExtraCols: 2, KeyVocab: 400, KeySample: 120, NoiseRate: 0.03, Seed: 99,
 	})
 	for _, tbl := range c.Tables {
-		if _, err := lake.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "gen", "dana"); err != nil {
+		if _, err := lake.Ingest(ctx, "raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "gen", "dana"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	rep, err := lake.Maintain()
+	rep, err := lake.Maintain(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +183,7 @@ func TestScalePipeline(t *testing.T) {
 	// Spot-check discovery quality at scale.
 	hits, total := 0, 0
 	for _, q := range c.Tables[:10] {
-		res, err := lake.RelatedTables("dana", q.Name, 4)
+		res, err := lake.RelatedTables(ctx, "dana", q.Name, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +202,7 @@ func TestScalePipeline(t *testing.T) {
 	}
 	// Federated query across many tables.
 	name := c.Tables[0].Name
-	res, err := lake.QuerySQL("dana", fmt.Sprintf("SELECT %s FROM rel:%s LIMIT 7", c.KeyColumn[name], name))
+	res, err := lake.QuerySQL(ctx, "dana", fmt.Sprintf("SELECT %s FROM rel:%s LIMIT 7", c.KeyColumn[name], name))
 	if err != nil {
 		t.Fatal(err)
 	}

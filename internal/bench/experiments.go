@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -272,7 +273,7 @@ func Fig2(dir string) (*Report, error) {
 		Title:  "Fig. 2: Function-oriented three-tier architecture, end to end",
 		Header: []string{"Tier", "Functions exercised", "Outcome", "Time"},
 	}
-	lake, err := core.Open(dir, nil)
+	lake, err := core.Open(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +286,7 @@ func Fig2(dir string) (*Report, error) {
 	// Ingestion tier.
 	start := time.Now()
 	for _, tbl := range c.Tables {
-		if _, err := lake.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "generator", "dana"); err != nil {
+		if _, err := lake.Ingest(context.Background(), "raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "generator", "dana"); err != nil {
 			return nil, err
 		}
 	}
@@ -296,7 +297,7 @@ func Fig2(dir string) (*Report, error) {
 		ingestTime.Round(time.Millisecond).String())
 	// Maintenance tier.
 	start = time.Now()
-	mrep, err := lake.Maintain()
+	mrep, err := lake.Maintain(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +308,7 @@ func Fig2(dir string) (*Report, error) {
 	// Exploration tier.
 	start = time.Now()
 	q := c.Tables[0]
-	res, err := lake.Explore("dana", explore.Request{Mode: explore.ModePopulate, Query: c.ByName(q.Name), K: 3})
+	res, err := lake.Explore(context.Background(), "dana", explore.Request{Mode: explore.ModePopulate, Query: c.ByName(q.Name), K: 3})
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +318,7 @@ func Fig2(dir string) (*Report, error) {
 			hits++
 		}
 	}
-	sqlRes, err := lake.QuerySQL("dana",
+	sqlRes, err := lake.QuerySQL(context.Background(), "dana",
 		fmt.Sprintf("SELECT %s FROM rel:%s LIMIT 5", c.KeyColumn[q.Name], q.Name))
 	if err != nil {
 		return nil, err
@@ -541,7 +542,7 @@ func Pushdown(dir string, rows int) (*Report, error) {
 			start := time.Now()
 			var got *table.Table
 			for i := 0; i < 5; i++ {
-				got, err = e.ExecuteSQL(sql)
+				got, err = e.ExecuteSQL(context.Background(), sql)
 				if err != nil {
 					return nil, err
 				}

@@ -1,23 +1,27 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"golake/internal/discovery"
+	"golake/internal/explore"
 	"golake/internal/table"
 	"golake/internal/workload"
+	"golake/lakeerr"
 )
 
 func testLake(t *testing.T) *Lake {
 	t.Helper()
 	t0 := time.Date(2026, 6, 12, 12, 0, 0, 0, time.UTC)
 	n := 0
-	l, err := Open(t.TempDir(), func() time.Time {
+	l, err := Open(t.TempDir(), WithClock(func() time.Time {
 		n++
 		return t0.Add(time.Duration(n) * time.Second)
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +38,7 @@ func ingestCorpus(t *testing.T, l *Lake) *workload.Corpus {
 		ExtraCols: 1, KeyVocab: 80, KeySample: 50, Seed: 31,
 	})
 	for _, tbl := range c.Tables {
-		if _, err := l.Ingest("raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "generator", "dana"); err != nil {
+		if _, err := l.Ingest(context.Background(), "raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "generator", "dana"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -43,7 +47,7 @@ func ingestCorpus(t *testing.T, l *Lake) *workload.Corpus {
 
 func TestIngestFullWorkflow(t *testing.T) {
 	l := testLake(t)
-	res, err := l.Ingest("raw/orders.csv", []byte("id,total\n1,10\n2,20\n"), "erp", "dana")
+	res, err := l.Ingest(context.Background(), "raw/orders.csv", []byte("id,total\n1,10\n2,20\n"), "erp", "dana")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,10 +78,10 @@ func TestMaintainAndExplore(t *testing.T) {
 	l := testLake(t)
 	c := ingestCorpus(t, l)
 	// Exploring before maintenance fails.
-	if _, err := l.RelatedTables("dana", c.Tables[0].Name, 3); !errors.Is(err, ErrNotMaintained) {
+	if _, err := l.RelatedTables(context.Background(), "dana", c.Tables[0].Name, 3); !errors.Is(err, ErrNotMaintained) {
 		t.Errorf("pre-maintenance explore = %v", err)
 	}
-	rep, err := l.Maintain()
+	rep, err := l.Maintain(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +92,7 @@ func TestMaintainAndExplore(t *testing.T) {
 		t.Errorf("categories = %v", rep.Categories)
 	}
 	// Exploration finds ground-truth related tables.
-	res, err := l.RelatedTables("dana", c.Tables[0].Name, 3)
+	res, err := l.RelatedTables(context.Background(), "dana", c.Tables[0].Name, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +106,7 @@ func TestMaintainAndExplore(t *testing.T) {
 		t.Errorf("explore quality: %+v", res)
 	}
 	// Task search works too.
-	if _, err := l.TaskSearch("dana", c.Tables[0].Name, discovery.TaskAugment, 3); err != nil {
+	if _, err := l.TaskSearch(context.Background(), "dana", c.Tables[0].Name, discovery.TaskAugment, 3); err != nil {
 		t.Errorf("TaskSearch: %v", err)
 	}
 	// Zones promoted.
@@ -114,33 +118,33 @@ func TestMaintainAndExplore(t *testing.T) {
 func TestAccessControl(t *testing.T) {
 	l := testLake(t)
 	ingestCorpus(t, l)
-	if _, err := l.Maintain(); err != nil {
+	if _, err := l.Maintain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown user cannot query.
-	if _, err := l.QuerySQL("mallory", "SELECT * FROM file:raw/"); !errors.Is(err, ErrNoSuchUser) {
+	if _, err := l.QuerySQL(context.Background(), "mallory", "SELECT * FROM file:raw/"); !errors.Is(err, ErrNoSuchUser) {
 		t.Errorf("unknown user query = %v", err)
 	}
 	// Data scientist cannot audit.
-	if _, err := l.Audit("dana", "raw/x"); !errors.Is(err, ErrNotAuthorized) {
+	if _, err := l.Audit(context.Background(), "dana", "raw/x"); !errors.Is(err, ErrNotAuthorized) {
 		t.Errorf("non-governance audit = %v", err)
 	}
 	// Governance can audit.
-	if _, err := l.Audit("gov", "raw/x"); err != nil {
+	if _, err := l.Audit(context.Background(), "gov", "raw/x"); err != nil {
 		t.Errorf("governance audit = %v", err)
 	}
 	// Only curators annotate.
-	if err := l.Annotate("dana", "raw/x", "", "term"); !errors.Is(err, ErrNotAuthorized) {
+	if err := l.Annotate(context.Background(), "dana", "raw/x", "", "term"); !errors.Is(err, ErrNotAuthorized) {
 		t.Errorf("non-curator annotate = %v", err)
 	}
 }
 
 func TestQuerySQLRecordsProvenance(t *testing.T) {
 	l := testLake(t)
-	if _, err := l.Ingest("raw/orders.csv", []byte("id,total\n1,10\n"), "erp", "dana"); err != nil {
+	if _, err := l.Ingest(context.Background(), "raw/orders.csv", []byte("id,total\n1,10\n"), "erp", "dana"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.QuerySQL("dana", "SELECT id FROM rel:orders")
+	res, err := l.QuerySQL(context.Background(), "dana", "SELECT id FROM rel:orders")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +154,7 @@ func TestQuerySQLRecordsProvenance(t *testing.T) {
 	// "orders" is not a provenance entity (the path is), so the query
 	// event lands only if entity known; ensure no panic and audit path
 	// works end to end.
-	log, err := l.Audit("gov", "raw/orders.csv")
+	log, err := l.Audit(context.Background(), "gov", "raw/orders.csv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +165,11 @@ func TestQuerySQLRecordsProvenance(t *testing.T) {
 
 func TestSwampCheck(t *testing.T) {
 	l := testLake(t)
-	if _, err := l.Ingest("raw/good.csv", []byte("a,b\n1,2\n"), "src", "dana"); err != nil {
+	if _, err := l.Ingest(context.Background(), "raw/good.csv", []byte("a,b\n1,2\n"), "src", "dana"); err != nil {
 		t.Fatal(err)
 	}
 	// A binary blob yields no schema: swamp candidate.
-	if _, err := l.Ingest("raw/blob.bin", []byte{0xff, 0xfe, 0x01}, "src", "dana"); err != nil {
+	if _, err := l.Ingest(context.Background(), "raw/blob.bin", []byte{0xff, 0xfe, 0x01}, "src", "dana"); err != nil {
 		t.Fatal(err)
 	}
 	rep := l.SwampCheck()
@@ -182,14 +186,14 @@ func TestSwampCheck(t *testing.T) {
 
 func TestDeriveAndLineage(t *testing.T) {
 	l := testLake(t)
-	if _, err := l.Ingest("raw/orders.csv", []byte("id,total\n1,10\n2,30\n"), "erp", "dana"); err != nil {
+	if _, err := l.Ingest(context.Background(), "raw/orders.csv", []byte("id,total\n1,10\n2,30\n"), "erp", "dana"); err != nil {
 		t.Fatal(err)
 	}
 	derived, _ := table.ParseCSV("big_orders", "id,total\n2,30\n")
-	if err := l.Derive("dana", "filter_big", []string{"raw/orders.csv"}, derived); err != nil {
+	if err := l.Derive(context.Background(), "dana", "filter_big", []string{"raw/orders.csv"}, derived); err != nil {
 		t.Fatal(err)
 	}
-	up, err := l.Lineage("big_orders")
+	up, err := l.Lineage(context.Background(), "big_orders")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +204,7 @@ func TestDeriveAndLineage(t *testing.T) {
 		t.Error("derived table not stored")
 	}
 	// Unknown user cannot derive.
-	if err := l.Derive("mallory", "x", nil, derived); !errors.Is(err, ErrNoSuchUser) {
+	if err := l.Derive(context.Background(), "mallory", "x", nil, derived); !errors.Is(err, ErrNoSuchUser) {
 		t.Errorf("unknown derive = %v", err)
 	}
 }
@@ -231,7 +235,7 @@ func TestRegistryRunsEveryFunction(t *testing.T) {
 
 func TestIngestUnparseableStillStored(t *testing.T) {
 	l := testLake(t)
-	res, err := l.Ingest("raw/bad.csv", []byte("a,b\n1\n"), "src", "dana")
+	res, err := l.Ingest(context.Background(), "raw/bad.csv", []byte("a,b\n1\n"), "src", "dana")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,5 +244,323 @@ func TestIngestUnparseableStillStored(t *testing.T) {
 	}
 	if _, err := l.Poly.Files.Get("raw/bad.csv"); err != nil {
 		t.Error("raw bytes lost")
+	}
+}
+
+// trippingCtx reports cancellation only after trip Err() calls,
+// deterministically simulating a context canceled mid-operation.
+type trippingCtx struct {
+	context.Context
+	calls int
+	trip  int
+}
+
+func (c *trippingCtx) Err() error {
+	c.calls++
+	if c.calls > c.trip {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestMaintainCanceledMidFlight(t *testing.T) {
+	l := testLake(t)
+	ingestCorpus(t, l)
+	ctx := &trippingCtx{Context: context.Background(), trip: 3}
+	if _, err := l.Maintain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight Maintain = %v, want canceled", err)
+	}
+	// The pass never completed, so the lake still refuses exploration.
+	if !l.Stale() {
+		t.Error("aborted Maintain should leave the lake stale")
+	}
+	if _, err := l.Explore(context.Background(), "dana", explore.Request{}); !errors.Is(err, ErrNotMaintained) {
+		t.Errorf("explore after aborted Maintain = %v", err)
+	}
+}
+
+func TestQuerySQLCanceledMidFlight(t *testing.T) {
+	l := testLake(t)
+	if _, err := l.Ingest(context.Background(), "raw/orders.csv", []byte("id,total\n1,10\n2,20\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel during the merge loop, after the role check passed.
+	ctx := &trippingCtx{Context: context.Background(), trip: 1}
+	_, err := l.QuerySQL(ctx, "dana", "SELECT id FROM rel:orders")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight QuerySQL = %v, want canceled", err)
+	}
+	if !lakeerr.IsUnavailable(err) {
+		t.Errorf("canceled query code = %v", lakeerr.CodeOf(err))
+	}
+	// A pre-canceled context also aborts.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.QuerySQL(pre, "dana", "SELECT id FROM rel:orders"); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled QuerySQL = %v", err)
+	}
+	if _, err := l.Maintain(pre); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled Maintain = %v", err)
+	}
+}
+
+func TestIngestBatch(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	res, err := l.IngestBatch(ctx, "dana", []IngestItem{
+		{Path: "raw/a.csv", Data: []byte("x,y\n1,2\n"), Source: "s"},
+		{Path: "raw/b.csv", Data: []byte("x,z\n1,3\n"), Source: "s"},
+	})
+	if err != nil || len(res) != 2 {
+		t.Fatalf("batch = %d results, %v", len(res), err)
+	}
+	// A duplicate mid-batch stops at the conflict, keeping the prefix.
+	res, err = l.IngestBatch(ctx, "dana", []IngestItem{
+		{Path: "raw/c.csv", Data: []byte("x\n1\n"), Source: "s"},
+		{Path: "raw/a.csv", Data: []byte("x\n1\n"), Source: "s"},
+		{Path: "raw/d.csv", Data: []byte("x\n1\n"), Source: "s"},
+	})
+	if !lakeerr.IsConflict(err) || !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate batch err = %v", err)
+	}
+	if len(res) != 1 || res[0].Placement.Path != "raw/c.csv" {
+		t.Errorf("batch prefix = %+v", res)
+	}
+	// A canceled context ingests nothing.
+	pre, cancel := context.WithCancel(ctx)
+	cancel()
+	res, err = l.IngestBatch(pre, "dana", []IngestItem{{Path: "raw/e.csv", Data: []byte("x\n1\n")}})
+	if len(res) != 0 || !lakeerr.IsUnavailable(err) {
+		t.Errorf("canceled batch = %d results, %v", len(res), err)
+	}
+}
+
+func TestMaintainGenerations(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	if !l.Stale() {
+		t.Error("fresh lake should be stale (never maintained)")
+	}
+	if _, err := l.Ingest(ctx, "raw/a.csv", []byte("x,y\n1,2\n"), "s", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.Maintain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale || l.Stale() {
+		t.Errorf("maintained lake reports stale (rep=%v lake=%v)", rep.Stale, l.Stale())
+	}
+	if rep.Generation != 1 {
+		t.Errorf("generation = %d", rep.Generation)
+	}
+	// New ingest marks the lake stale again until the next pass.
+	if _, err := l.Ingest(ctx, "raw/b.csv", []byte("x,z\n1,3\n"), "s", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Stale() {
+		t.Error("ingest after Maintain should mark the lake stale")
+	}
+	if rep, err = l.Maintain(ctx); err != nil || rep.Stale {
+		t.Errorf("second pass = %+v, %v", rep, err)
+	}
+}
+
+func TestMaintainSafeUnderConcurrentIngest(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	ingestCorpus(t, l)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if _, err := l.Ingest(ctx, fmt.Sprintf("raw/conc%d.csv", i), []byte("x,y\n1,2\n"), "s", "dana"); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	// Concurrent passes serialize; racing ingests either land in the
+	// snapshot or flip the staleness flag — never vanish.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Maintain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.Maintain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale || l.Stale() {
+		t.Error("final pass after ingests quiesced should not be stale")
+	}
+	if rep.Tables != 28 {
+		t.Errorf("final pass tables = %d, want 28", rep.Tables)
+	}
+}
+
+func TestOpenOptions(t *testing.T) {
+	ctx := context.Background()
+	l, err := Open(t.TempDir(), WithMaxResults(2), WithPushdown(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Engine.PushDown {
+		t.Error("WithPushdown(false) ignored")
+	}
+	l.AddUser("dana", RoleDataScientist)
+	if _, err := l.Ingest(ctx, "raw/nums.csv", []byte("n\n1\n2\n3\n4\n5\n"), "s", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.QuerySQL(ctx, "dana", "SELECT n FROM rel:nums")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Errorf("WithMaxResults rows = %d, want 2", res.NumRows())
+	}
+}
+
+func TestTypedErrorTaxonomy(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		err  error
+		want lakeerr.Code
+	}{
+		{"unknown user", errOf(l.QuerySQL(ctx, "mallory", "SELECT * FROM rel:orders")), lakeerr.CodeUnauthorized},
+		{"non-governance audit", errOf(l.Audit(ctx, "dana", "raw/orders.csv")), lakeerr.CodeUnauthorized},
+		{"explore unmaintained", errOf(l.RelatedTables(ctx, "dana", "orders", 2)), lakeerr.CodeUnavailable},
+		{"missing metadata", errOf(l.Metadata(ctx, "ghost")), lakeerr.CodeNotFound},
+		{"missing lineage", errOf(l.Lineage(ctx, "ghost")), lakeerr.CodeNotFound},
+		{"bad sql", errOf(l.QuerySQL(ctx, "dana", "SELEKT x")), lakeerr.CodeInvalidQuery},
+		{"unknown source", errOf(l.QuerySQL(ctx, "dana", "SELECT * FROM rel:ghost")), lakeerr.CodeNotFound},
+		{"duplicate ingest", errOf(l.Ingest(ctx, "raw/orders.csv", []byte("x\n1\n"), "s", "dana")), lakeerr.CodeConflict},
+	}
+	for _, tc := range cases {
+		if got := lakeerr.CodeOf(tc.err); got != tc.want {
+			t.Errorf("%s: code = %q (%v), want %q", tc.name, got, tc.err, tc.want)
+		}
+	}
+}
+
+// errOf discards a value, keeping the error — for table-driven code
+// checks over methods with different result types.
+func errOf[T any](_ T, err error) error { return err }
+
+func TestExploreDuringMaintainNoRace(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	c := ingestCorpus(t, l)
+	if _, err := l.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Explore continuously while maintenance passes rebuild the index:
+	// the swap-on-completion design must keep readers on a consistent
+	// index (run with -race to catch regressions).
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+				if _, err := l.RelatedTables(ctx, "dana", c.Tables[0].Name, 2); err != nil {
+					done <- err
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Maintain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("explore during maintain: %v", err)
+	}
+}
+
+func TestIngestBasenameCollisionConflict(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	// A different path mapping onto the same model-store name must not
+	// silently clobber the first table.
+	_, err := l.Ingest(ctx, "backup/orders.csv", []byte("id,total\n9,99\n"), "erp", "dana")
+	if !lakeerr.IsConflict(err) {
+		t.Fatalf("basename collision = %v, want conflict", err)
+	}
+	res, err := l.QuerySQL(ctx, "dana", "SELECT id FROM rel:orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Row(0)[0] != "1" {
+		t.Errorf("original table clobbered: %v", res.Row(0))
+	}
+}
+
+func TestIngestCannotClobberDerivedTable(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n2,30\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	derived, _ := table.ParseCSV("big_orders", "id,total\n2,30\n")
+	if err := l.Derive(ctx, "dana", "filter_big", []string{"raw/orders.csv"}, derived); err != nil {
+		t.Fatal(err)
+	}
+	// Ingesting a path whose derived name matches the derived table
+	// must conflict, not overwrite it.
+	_, err := l.Ingest(ctx, "raw/big_orders.csv", []byte("id\n7\n"), "erp", "dana")
+	if !lakeerr.IsConflict(err) {
+		t.Fatalf("ingest over derived table = %v, want conflict", err)
+	}
+	res, err := l.QuerySQL(ctx, "dana", "SELECT total FROM rel:big_orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Row(0)[0] != "30" {
+		t.Errorf("derived table clobbered: %+v", res.Row(0))
+	}
+}
+
+func TestDeriveRespectsNameIndexAndStaleness(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	if _, err := l.Ingest(ctx, "raw/clicks.jsonl", []byte("{\"u\":\"a\"}\n"), "s", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Deriving onto a name held by a document collection is a conflict.
+	clash, _ := table.ParseCSV("clicks", "x\n1\n")
+	if err := l.Derive(ctx, "dana", "act", nil, clash); !lakeerr.IsConflict(err) {
+		t.Fatalf("derive onto collection name = %v, want conflict", err)
+	}
+	// A fresh derivation marks the lake stale until the next pass.
+	fresh, _ := table.ParseCSV("derived_ok", "x\n1\n")
+	if err := l.Derive(ctx, "dana", "act", nil, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Stale() {
+		t.Error("derive should mark the lake stale (new table is unindexed)")
+	}
+	if rep, err := l.Maintain(ctx); err != nil || rep.Stale || l.Stale() {
+		t.Errorf("post-derive Maintain = %+v, %v, stale=%v", rep, err, l.Stale())
 	}
 }

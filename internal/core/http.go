@@ -1,39 +1,128 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"golake/internal/discovery"
 	"golake/internal/explore"
 	"golake/internal/table"
+	"golake/lakeerr"
 )
 
-// HTTPHandler exposes the lake over REST, the external-application
-// interface Constance and CoreDB provide (Sec. 7.2): dataset listing,
-// metadata retrieval, related-dataset search, federated queries,
-// provenance and the swamp report. The acting user comes from the
-// X-Lake-User header; role checks apply as in the Go API.
+// HTTPHandler exposes the lake over a versioned REST API, the
+// external-application interface Constance and CoreDB provide
+// (Sec. 7.2). The acting user comes from the X-Lake-User header; role
+// checks apply as in the Go API. Every request runs through a
+// middleware chain (panic recovery, request logging via WithLogger,
+// user resolution), and every failure is rendered as the structured
+// envelope {"error":{"code","message"}} with the code drawn from the
+// lakeerr taxonomy.
 //
-//	GET  /datasets                     list catalog entries
-//	GET  /metadata?id=PATH             one GEMMS metadata object
-//	GET  /related?table=NAME&k=5       query-driven discovery
-//	POST /query                        body: SQL; result: JSON rows
-//	GET  /lineage?entity=NAME          upstream provenance
-//	GET  /audit?entity=NAME            access log (governance role)
-//	GET  /swamp                        metadata-coverage report
+//	GET  /v1/datasets?limit=&offset=     paginated catalog entries
+//	POST /v1/datasets                    ingest one object (JSON body)
+//	GET  /v1/metadata?id=PATH            one GEMMS metadata object
+//	GET  /v1/related?table=NAME&k=5      populate-mode discovery
+//	POST /v1/explore                     any discovery mode (JSON body)
+//	POST /v1/query                       body: {"sql": ...}; JSON rows
+//	GET  /v1/lineage?entity=NAME         upstream provenance, paginated
+//	GET  /v1/audit?entity=NAME           access log (governance role)
+//	GET  /v1/swamp                       metadata-coverage report
+//
+// The unversioned routes of the first release (/datasets, /metadata,
+// /related, /query, /lineage, /audit, /swamp) remain as deprecated
+// aliases: same semantics and pre-v1 wire shapes (flat arrays, flat
+// {"error": "message"} failures), plus a Deprecation header pointing
+// at the /v1 successor.
 func (l *Lake) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /datasets", l.handleDatasets)
-	mux.HandleFunc("GET /metadata", l.handleMetadata)
-	mux.HandleFunc("GET /related", l.handleRelated)
-	mux.HandleFunc("POST /query", l.handleQuery)
-	mux.HandleFunc("GET /lineage", l.handleLineage)
-	mux.HandleFunc("GET /audit", l.handleAudit)
-	mux.HandleFunc("GET /swamp", l.handleSwamp)
-	return mux
+	mux.HandleFunc("GET /v1/datasets", l.handleDatasetsV1)
+	mux.HandleFunc("POST /v1/datasets", l.handleIngest)
+	mux.HandleFunc("GET /v1/metadata", l.handleMetadata)
+	mux.HandleFunc("GET /v1/related", l.handleRelated)
+	mux.HandleFunc("POST /v1/explore", l.handleExplore)
+	mux.HandleFunc("POST /v1/query", l.handleQuery)
+	mux.HandleFunc("GET /v1/lineage", l.handleLineageV1)
+	mux.HandleFunc("GET /v1/audit", l.handleAuditV1)
+	mux.HandleFunc("GET /v1/swamp", l.handleSwamp)
+	// Deprecated pre-v1 aliases.
+	mux.HandleFunc("GET /datasets", deprecated("/v1/datasets", l.handleDatasetsLegacy))
+	mux.HandleFunc("GET /metadata", deprecated("/v1/metadata", l.handleMetadata))
+	mux.HandleFunc("GET /related", deprecated("/v1/related", l.handleRelated))
+	mux.HandleFunc("POST /query", deprecated("/v1/query", l.handleQuery))
+	mux.HandleFunc("GET /lineage", deprecated("/v1/lineage", l.handleLineageLegacy))
+	mux.HandleFunc("GET /audit", deprecated("/v1/audit", l.handleAuditLegacy))
+	mux.HandleFunc("GET /swamp", deprecated("/v1/swamp", l.handleSwamp))
+	return l.recoverMW(l.logMW(mux))
+}
+
+type ctxKey int
+
+// legacyKey marks requests arriving through a deprecated alias, so
+// writeErr keeps the pre-v1 flat error wire shape for them.
+const legacyKey ctxKey = iota
+
+// deprecated marks a legacy alias route with the Deprecation header
+// and a Link to its versioned successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r.WithContext(context.WithValue(r.Context(), legacyKey, true)))
+	}
+}
+
+// recoverMW turns handler panics into a structured internal error
+// instead of a dropped connection.
+func (l *Lake) recoverMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if l.logger != nil {
+					l.logger.Error("panic", "method", r.Method, "path", r.URL.Path, "panic", rec)
+				}
+				// legacyKey is attached inside the mux, below this
+				// middleware — recover by path so alias routes keep
+				// their flat error shape even on panic.
+				if !strings.HasPrefix(r.URL.Path, "/v1/") {
+					r = r.WithContext(context.WithValue(r.Context(), legacyKey, true))
+				}
+				writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInternal, "internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter records the status code for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// logMW logs one line per request when a logger is configured.
+func (l *Lake) logMW(next http.Handler) http.Handler {
+	if l.logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		l.logger.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"user", userOf(r), "status", sw.status,
+			"duration", time.Since(start))
+	})
 }
 
 func userOf(r *http.Request) string {
@@ -49,41 +138,176 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	msg := err.Error()
-	switch {
-	case strings.Contains(msg, "unknown user"), strings.Contains(msg, "not authorized"):
-		status = http.StatusForbidden
-	case strings.Contains(msg, "no such"), strings.Contains(msg, "unknown"):
-		status = http.StatusNotFound
-	case strings.Contains(msg, "query:"):
-		status = http.StatusBadRequest
-	}
-	writeJSON(w, status, map[string]string{"error": msg})
+// errEnvelope is the v1 error wire shape.
+type errEnvelope struct {
+	Error errBody `json:"error"`
 }
 
-func (l *Lake) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		ID      string `json:"id"`
-		Cluster string `json:"cluster"`
+type errBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeErr maps a classified error onto its HTTP status and the
+// structured envelope. Classification comes from the lakeerr taxonomy
+// (errors.As under the hood) — never from message text. Requests
+// through deprecated aliases keep the pre-v1 flat {"error": "msg"}
+// shape.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	code := lakeerr.CodeOf(err)
+	if r != nil && r.Context().Value(legacyKey) != nil {
+		writeJSON(w, httpStatus(code), map[string]string{"error": err.Error()})
+		return
 	}
-	var out []entry
+	writeJSON(w, httpStatus(code), errEnvelope{Error: errBody{
+		Code:    string(code),
+		Message: err.Error(),
+	}})
+}
+
+func httpStatus(code lakeerr.Code) int {
+	switch code {
+	case lakeerr.CodeNotFound:
+		return http.StatusNotFound
+	case lakeerr.CodeUnauthorized:
+		return http.StatusForbidden
+	case lakeerr.CodeInvalidQuery:
+		return http.StatusBadRequest
+	case lakeerr.CodeConflict:
+		return http.StatusConflict
+	case lakeerr.CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// orEmpty keeps empty lists encoding as [] instead of null.
+func orEmpty[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s
+}
+
+// page is the paginated v1 list envelope.
+type page[T any] struct {
+	Items  []T `json:"items"`
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+}
+
+const (
+	defaultPageLimit = 50
+	maxPageLimit     = 1000
+)
+
+// parsePage reads limit/offset query parameters, applying the default
+// and maximum bounds. Malformed or negative values are invalid
+// queries, not silent defaults; an explicit limit=0 is honored (an
+// empty page carrying only the total).
+func parsePage(r *http.Request) (limit, offset int, err error) {
+	limit = defaultPageLimit
+	if s := r.URL.Query().Get("limit"); s != "" {
+		limit, err = strconv.Atoi(s)
+		if err != nil || limit < 0 {
+			return 0, 0, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad limit %q", s)
+		}
+		if limit > maxPageLimit {
+			limit = maxPageLimit
+		}
+	}
+	if s := r.URL.Query().Get("offset"); s != "" {
+		offset, err = strconv.Atoi(s)
+		if err != nil || offset < 0 {
+			return 0, 0, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad offset %q", s)
+		}
+	}
+	return limit, offset, nil
+}
+
+// paginate slices items into the page envelope.
+func paginate[T any](items []T, limit, offset int) page[T] {
+	total := len(items)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	return page[T]{Items: orEmpty(items[offset:end]), Total: total, Limit: limit, Offset: offset}
+}
+
+// datasetEntry is one catalog row on the wire.
+type datasetEntry struct {
+	ID      string `json:"id"`
+	Cluster string `json:"cluster"`
+}
+
+func (l *Lake) listDatasets() []datasetEntry {
+	out := []datasetEntry{}
 	for _, id := range l.Catalog.List() {
 		e, err := l.Catalog.Entry(id)
 		if err != nil {
 			continue
 		}
-		out = append(out, entry{ID: e.ID, Cluster: e.Cluster})
+		out = append(out, datasetEntry{ID: e.ID, Cluster: e.Cluster})
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func (l *Lake) handleDatasetsV1(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := parsePage(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, paginate(l.listDatasets(), limit, offset))
+}
+
+func (l *Lake) handleDatasetsLegacy(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, l.listDatasets())
+}
+
+// ingestRequest is the POST /v1/datasets body.
+type ingestRequest struct {
+	Path    string `json:"path"`
+	Source  string `json:"source"`
+	Content string `json:"content"`
+}
+
+func (l *Lake) handleIngest(w http.ResponseWriter, r *http.Request) {
+	user := userOf(r)
+	if _, err := l.roleOf(user); err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	var body ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Path == "" {
+		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "ingest: body needs path and content"))
+		return
+	}
+	if body.Source == "" {
+		body.Source = "http"
+	}
+	res, err := l.Ingest(r.Context(), body.Path, []byte(body.Content), body.Source, user)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"path":   res.Placement.Path,
+		"store":  res.Placement.Target,
+		"format": res.Placement.Format,
+	})
 }
 
 func (l *Lake) handleMetadata(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("id")
-	obj, err := l.GEMMS.Object(id)
+	obj, err := l.Metadata(r.Context(), r.URL.Query().Get("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -100,15 +324,77 @@ func (l *Lake) handleRelated(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 5
 	}
-	res, err := l.RelatedTables(userOf(r), name, k)
+	res, err := l.RelatedTables(r.Context(), userOf(r), name, k)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
-	if res == nil {
-		res = []explore.Result{}
+	writeJSON(w, http.StatusOK, orEmpty(res))
+}
+
+// exploreRequest is the POST /v1/explore body. Mode selects the
+// survey's discovery mode: "join-column" (needs column), "populate",
+// or "task" (optional task: augment, features, clean).
+type exploreRequest struct {
+	Mode   string `json:"mode"`
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Task   string `json:"task"`
+	K      int    `json:"k"`
+}
+
+func (l *Lake) handleExplore(w http.ResponseWriter, r *http.Request) {
+	// Authenticate before resolving the table, so unregistered callers
+	// cannot use the 404/403 difference as an existence oracle.
+	user := userOf(r)
+	if _, err := l.roleOf(user); err != nil {
+		writeErr(w, r, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	var body exploreRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Table == "" {
+		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "explore: body needs mode and table"))
+		return
+	}
+	req := explore.Request{K: body.K, Column: body.Column}
+	switch body.Mode {
+	case "join-column":
+		req.Mode = explore.ModeJoinColumn
+		if body.Column == "" {
+			writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "explore: join-column mode needs column"))
+			return
+		}
+	case "populate", "":
+		req.Mode = explore.ModePopulate
+	case "task":
+		req.Mode = explore.ModeTask
+		switch body.Task {
+		case "augment", "":
+			req.Task = discovery.TaskAugment
+		case "features":
+			req.Task = discovery.TaskFeatures
+		case "clean":
+			req.Task = discovery.TaskClean
+		default:
+			writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "explore: unknown task %q", body.Task))
+			return
+		}
+	default:
+		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "explore: unknown mode %q", body.Mode))
+		return
+	}
+	t, err := l.Poly.Rel.Table(body.Table)
+	if err != nil {
+		writeErr(w, r, lakeerr.Wrap(lakeerr.CodeNotFound, err))
+		return
+	}
+	req.Query = t
+	res, err := l.Explore(r.Context(), userOf(r), req)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, orEmpty(res))
 }
 
 func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -116,12 +402,12 @@ func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SQL string `json:"sql"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.SQL == "" {
-		writeErr(w, fmt.Errorf("query: bad request body"))
+		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: bad request body"))
 		return
 	}
-	res, err := l.QuerySQL(userOf(r), body.SQL)
+	res, err := l.QuerySQL(r.Context(), userOf(r), body.SQL)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tableJSON(res))
@@ -133,28 +419,57 @@ func tableJSON(t *table.Table) map[string]any {
 	for i := 0; i < t.NumRows(); i++ {
 		rows = append(rows, t.Row(i))
 	}
-	return map[string]any{"columns": t.ColumnNames(), "rows": rows}
+	return map[string]any{"columns": orEmpty(t.ColumnNames()), "rows": rows}
 }
 
-func (l *Lake) handleLineage(w http.ResponseWriter, r *http.Request) {
-	up, err := l.Lineage(r.URL.Query().Get("entity"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	if up == nil {
-		up = []string{}
-	}
-	writeJSON(w, http.StatusOK, up)
+func (l *Lake) lineageOf(r *http.Request) ([]string, error) {
+	return l.Lineage(r.Context(), r.URL.Query().Get("entity"))
 }
 
-func (l *Lake) handleAudit(w http.ResponseWriter, r *http.Request) {
-	events, err := l.Audit(userOf(r), r.URL.Query().Get("entity"))
+func (l *Lake) handleLineageV1(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := parsePage(r)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, events)
+	up, err := l.lineageOf(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, paginate(up, limit, offset))
+}
+
+func (l *Lake) handleLineageLegacy(w http.ResponseWriter, r *http.Request) {
+	up, err := l.lineageOf(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, orEmpty(up))
+}
+
+func (l *Lake) handleAuditV1(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := parsePage(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	events, err := l.Audit(r.Context(), userOf(r), r.URL.Query().Get("entity"))
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, paginate(events, limit, offset))
+}
+
+func (l *Lake) handleAuditLegacy(w http.ResponseWriter, r *http.Request) {
+	events, err := l.Audit(r.Context(), userOf(r), r.URL.Query().Get("entity"))
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, orEmpty(events))
 }
 
 func (l *Lake) handleSwamp(w http.ResponseWriter, r *http.Request) {

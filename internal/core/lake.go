@@ -8,12 +8,20 @@
 // the survey calls out: zones, user roles (Sec. 3.3), and the
 // swamp-guard metadata checks motivated by the Gartner critique
 // (Sec. 2.2).
+//
+// Every Lake operation takes a context.Context and honors cancellation
+// in its long loops, and every failure is classified through the
+// lakeerr taxonomy so callers (and the REST layer) dispatch on error
+// codes instead of message text.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +35,7 @@ import (
 	"golake/internal/query"
 	"golake/internal/storage/polystore"
 	"golake/internal/table"
+	"golake/lakeerr"
 )
 
 // Role is a data lake user role (Sec. 3.3).
@@ -47,12 +56,48 @@ const (
 	ZoneTrusted = "trusted"
 )
 
-// Errors returned by the lake.
+// Errors returned by the lake. Each sentinel is wrapped in a
+// lakeerr.Error carrying its code, so both errors.Is on the sentinel
+// and lakeerr.CodeOf on the classification work.
 var (
 	ErrNoSuchUser    = errors.New("core: unknown user")
 	ErrNotAuthorized = errors.New("core: not authorized")
 	ErrNotMaintained = errors.New("core: run Maintain before exploring")
+	ErrExists        = errors.New("core: dataset already ingested")
 )
+
+// Option configures an assembled lake.
+type Option func(*options)
+
+type options struct {
+	clock      func() time.Time
+	pushdown   bool
+	maxResults int
+	logger     *slog.Logger
+}
+
+// WithClock substitutes the lake's time source (tests, replays).
+func WithClock(clock func() time.Time) Option {
+	return func(o *options) { o.clock = clock }
+}
+
+// WithPushdown toggles predicate/projection pushdown in the federated
+// query engine (on by default; the benchmark harness turns it off).
+func WithPushdown(enabled bool) Option {
+	return func(o *options) { o.pushdown = enabled }
+}
+
+// WithMaxResults caps the row count of QuerySQL results and the K of
+// exploration requests. Zero means unlimited.
+func WithMaxResults(n int) Option {
+	return func(o *options) { o.maxResults = n }
+}
+
+// WithLogger installs a structured logger; the REST layer's request
+// logging middleware uses it. Nil (the default) disables logging.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) { o.logger = l }
+}
 
 // Lake is one assembled data lake instance.
 type Lake struct {
@@ -68,32 +113,57 @@ type Lake struct {
 	Explorer *explore.Explorer
 	Engine   *query.Engine
 
-	mu         sync.RWMutex
-	users      map[string]Role
-	maintained bool
+	mu    sync.RWMutex
+	users map[string]Role
+	// ingestGen counts ingests; maintainedGen records the ingest
+	// generation the last completed Maintain pass covered. Together
+	// they make Maintain safe under concurrent ingest: a racing ingest
+	// bumps ingestGen past the snapshot, so the lake reports itself
+	// stale instead of silently claiming freshness.
+	ingestGen     uint64
+	maintainedGen uint64
+	maintained    bool
+	// nameToPath indexes model-store names (relational table, document
+	// collection) back to ingest paths, so per-query provenance
+	// resolution is O(1) instead of O(placements).
+	nameToPath map[string]string
+
+	maintMu  sync.Mutex // serializes Maintain passes
+	ingestMu sync.Mutex // makes the duplicate-path check atomic
+
 	clock      func() time.Time
+	maxResults int
+	logger     *slog.Logger
 }
 
-// Open assembles a lake rooted at dir. clock may be nil.
-func Open(dir string, clock func() time.Time) (*Lake, error) {
+// Open assembles a lake rooted at dir.
+func Open(dir string, opts ...Option) (*Lake, error) {
+	o := options{pushdown: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.clock == nil {
+		o.clock = time.Now
+	}
 	poly, err := polystore.New(dir)
 	if err != nil {
-		return nil, err
-	}
-	if clock == nil {
-		clock = time.Now
+		return nil, lakeerr.Wrap(lakeerr.CodeUnavailable, err)
 	}
 	l := &Lake{
-		Poly:     poly,
-		GEMMS:    metamodel.NewGEMMS(),
-		Handle:   metamodel.NewHANDLE(),
-		Catalog:  organize.NewCatalog(clock),
-		Tracker:  provenance.NewTracker(clock),
-		Explorer: explore.NewExplorer(),
-		users:    map[string]Role{},
-		clock:    clock,
+		Poly:       poly,
+		GEMMS:      metamodel.NewGEMMS(),
+		Handle:     metamodel.NewHANDLE(),
+		Catalog:    organize.NewCatalog(o.clock),
+		Tracker:    provenance.NewTracker(o.clock),
+		Explorer:   explore.NewExplorer(),
+		users:      map[string]Role{},
+		nameToPath: map[string]string{},
+		clock:      o.clock,
+		maxResults: o.maxResults,
+		logger:     o.logger,
 	}
 	l.Engine = query.NewEngine(poly)
+	l.Engine.PushDown = o.pushdown
 	return l, nil
 }
 
@@ -110,9 +180,17 @@ func (l *Lake) roleOf(user string) (Role, error) {
 	defer l.mu.RUnlock()
 	r, ok := l.users[user]
 	if !ok {
-		return "", fmt.Errorf("%w: %s", ErrNoSuchUser, user)
+		return "", lakeerr.Errorf(lakeerr.CodeUnauthorized, "%w: %s", ErrNoSuchUser, user)
 	}
 	return r, nil
+}
+
+// ctxErr classifies a context failure as CodeUnavailable.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return lakeerr.Wrap(lakeerr.CodeUnavailable, err)
+	}
+	return nil
 }
 
 // IngestResult reports where an object landed and what was extracted.
@@ -124,11 +202,33 @@ type IngestResult struct {
 // Ingest runs the full ingestion-tier workflow for one object: store
 // raw bytes (routing the parsed form to the matching member store),
 // extract metadata, register it in the GEMMS model, map it onto HANDLE
-// in the raw zone, catalog it, and record provenance.
-func (l *Lake) Ingest(path string, data []byte, source, user string) (*IngestResult, error) {
+// in the raw zone, catalog it, and record provenance. Re-ingesting an
+// existing path is a conflict.
+func (l *Lake) Ingest(ctx context.Context, path string, data []byte, source, user string) (*IngestResult, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	// Hold ingestMu across the existence check and the store writes so
+	// two concurrent ingests of the same path cannot both pass the
+	// check and silently overwrite each other.
+	l.ingestMu.Lock()
+	defer l.ingestMu.Unlock()
+	if _, err := l.Catalog.Entry(path); err == nil {
+		return nil, lakeerr.Errorf(lakeerr.CodeConflict, "%w: %s", ErrExists, path)
+	}
+	// Distinct paths sharing a basename would land on the same
+	// model-store name and silently clobber each other's table — treat
+	// that as a conflict too.
+	l.mu.RLock()
+	prev, taken := l.nameToPath[polystore.DerivedName(path)]
+	l.mu.RUnlock()
+	if taken && prev != path {
+		return nil, lakeerr.Errorf(lakeerr.CodeConflict,
+			"%w: %s collides with %s on name %q", ErrExists, path, prev, polystore.DerivedName(path))
+	}
 	pl, err := l.Poly.Ingest(path, data)
 	if err != nil {
-		return nil, err
+		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
 	}
 	md, err := extract.Extract(path, data)
 	if err != nil {
@@ -139,21 +239,53 @@ func (l *Lake) Ingest(path string, data []byte, source, user string) (*IngestRes
 	obj := metamodel.FromExtraction(md)
 	l.GEMMS.Register(obj)
 	if err := l.Handle.ImportGEMMS(obj, ZoneRaw); err != nil {
-		return nil, err
+		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
 	}
 	if _, err := l.Catalog.Register(path); err != nil {
-		return nil, err
+		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
 	}
 	for k, v := range md.Properties {
 		if err := l.Catalog.Annotate(path, organize.GroupContent, k, v); err != nil {
-			return nil, err
+			return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
 		}
 	}
 	if err := l.Catalog.Annotate(path, organize.GroupProvenance, "source", source); err != nil {
-		return nil, err
+		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
 	}
 	l.Tracker.Ingest(path, source, user)
+	l.mu.Lock()
+	l.ingestGen++
+	if pl.TableName != "" {
+		l.nameToPath[pl.TableName] = path
+	}
+	if pl.Collection != "" {
+		l.nameToPath[pl.Collection] = path
+	}
+	l.mu.Unlock()
 	return &IngestResult{Placement: pl, Metadata: md}, nil
+}
+
+// IngestItem is one object of a bulk load.
+type IngestItem struct {
+	Path   string
+	Data   []byte
+	Source string
+}
+
+// IngestBatch ingests items in order, stopping at the first failure or
+// cancellation. It returns the results of the items that landed; on
+// error the ingested prefix stays in the lake (run Maintain to index
+// it) and the error identifies the failing item.
+func (l *Lake) IngestBatch(ctx context.Context, user string, items []IngestItem) ([]IngestResult, error) {
+	out := make([]IngestResult, 0, len(items))
+	for _, it := range items {
+		res, err := l.Ingest(ctx, it.Path, it.Data, it.Source, user)
+		if err != nil {
+			return out, fmt.Errorf("ingest %s: %w", it.Path, err)
+		}
+		out = append(out, *res)
+	}
+	return out, nil
 }
 
 // MaintenanceReport summarizes one maintenance pass.
@@ -162,40 +294,84 @@ type MaintenanceReport struct {
 	Categories  map[int][]string
 	RFDs        []enrich.RFD
 	IndexedCols int
+	// Generation is the ingest generation this pass covered; Stale
+	// reports whether new ingests arrived while the pass ran (run
+	// Maintain again to cover them).
+	Generation uint64
+	Stale      bool
 }
 
 // Maintain runs the maintenance tier over all relational datasets:
 // builds the exploration indexes, categorizes datasets (DS-kNN),
 // discovers relaxed FDs, and promotes profiled datasets to the curated
-// zone.
-func (l *Lake) Maintain() (*MaintenanceReport, error) {
-	tables, err := l.relationalTables()
-	if err != nil {
+// zone. Concurrent Maintain calls serialize; ingests racing the pass
+// are detected via the ingest generation and surface as Stale in the
+// report rather than being silently claimed as indexed.
+func (l *Lake) Maintain(ctx context.Context) (*MaintenanceReport, error) {
+	l.maintMu.Lock()
+	defer l.maintMu.Unlock()
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	rep := &MaintenanceReport{Tables: len(tables)}
-	if err := l.Explorer.Index(tables); err != nil {
+	l.mu.RLock()
+	gen := l.ingestGen
+	l.mu.RUnlock()
+	tables, err := l.relationalTables()
+	if err != nil {
+		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
+	}
+	rep := &MaintenanceReport{Tables: len(tables), Generation: gen}
+	// Index into a fresh Explorer and swap it in at the end: in-flight
+	// Explore calls keep reading the previous (immutable once built)
+	// index instead of racing the rebuild.
+	ex := explore.NewExplorer()
+	if err := ex.Index(tables); err != nil {
+		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	knn := organize.NewDSKNN()
 	for _, t := range tables {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		knn.Add(t)
 		rep.IndexedCols += t.NumCols()
 	}
 	rep.Categories = knn.Categories()
 	for _, t := range tables {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		rep.RFDs = append(rep.RFDs, enrich.DiscoverRFDs(t, 0.95)...)
 	}
 	// Zone promotion for every dataset that has metadata.
 	for _, pl := range l.Poly.Placements() {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if _, err := l.GEMMS.Object(pl.Path); err == nil {
 			_ = l.Handle.MoveZone(pl.Path, ZoneCurated)
 		}
 	}
 	l.mu.Lock()
+	l.Explorer = ex
 	l.maintained = true
+	if gen > l.maintainedGen {
+		l.maintainedGen = gen
+	}
+	rep.Stale = l.ingestGen > l.maintainedGen
 	l.mu.Unlock()
 	return rep, nil
+}
+
+// Stale reports whether ingests have happened since the last completed
+// maintenance pass (or no pass has run at all).
+func (l *Lake) Stale() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return !l.maintained || l.ingestGen > l.maintainedGen
 }
 
 func (l *Lake) relationalTables() ([]*table.Table, error) {
@@ -210,44 +386,66 @@ func (l *Lake) relationalTables() ([]*table.Table, error) {
 	return out, nil
 }
 
+// capK bounds an exploration K by the configured maximum.
+func (l *Lake) capK(k int) int {
+	if l.maxResults > 0 && (k <= 0 || k > l.maxResults) {
+		return l.maxResults
+	}
+	return k
+}
+
 // Explore answers a query-driven discovery request on behalf of a
 // user; any registered role may explore.
-func (l *Lake) Explore(user string, req explore.Request) ([]explore.Result, error) {
+func (l *Lake) Explore(ctx context.Context, user string, req explore.Request) ([]explore.Result, error) {
 	if _, err := l.roleOf(user); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	l.mu.RLock()
 	ok := l.maintained
+	ex := l.Explorer
 	l.mu.RUnlock()
 	if !ok {
-		return nil, ErrNotMaintained
+		return nil, lakeerr.Wrap(lakeerr.CodeUnavailable, ErrNotMaintained)
 	}
-	return l.Explorer.Explore(req)
+	req.K = l.capK(req.K)
+	res, err := ex.Explore(req)
+	if err != nil {
+		return nil, lakeerr.Wrap(lakeerr.CodeInvalidQuery, err)
+	}
+	return res, nil
 }
 
 // QuerySQL executes a federated query on behalf of a user and records
 // the access in provenance.
-func (l *Lake) QuerySQL(user, sql string) (*table.Table, error) {
+func (l *Lake) QuerySQL(ctx context.Context, user, sql string) (*table.Table, error) {
 	if _, err := l.roleOf(user); err != nil {
 		return nil, err
 	}
-	res, err := l.Engine.ExecuteSQL(sql)
+	res, err := l.Engine.ExecuteSQL(ctx, sql)
 	if err != nil {
-		return nil, err
+		return nil, classifyQueryErr(err)
+	}
+	if l.maxResults > 0 && res.NumRows() > l.maxResults {
+		res = head(res, l.maxResults)
 	}
 	q, _ := query.Parse(sql)
 	if q != nil {
 		for _, src := range q.Sources {
-			name := trimPrefix(src)
+			name := src
+			if _, rest, ok := strings.Cut(src, ":"); ok {
+				name = rest
+			}
 			// Queries address model-store names; provenance entities
-			// are ingest paths. Resolve through the recorded
-			// placements so the audit trail stays on the dataset.
-			entity := name
-			for _, pl := range l.Poly.Placements() {
-				if pl.TableName == name || pl.Collection == name {
-					entity = pl.Path
-					break
-				}
+			// are ingest paths. Resolve through the placement index so
+			// the audit trail stays on the dataset.
+			l.mu.RLock()
+			entity, ok := l.nameToPath[name]
+			l.mu.RUnlock()
+			if !ok {
+				entity = name
 			}
 			_ = l.Tracker.Query(entity, "sql", user)
 		}
@@ -255,39 +453,81 @@ func (l *Lake) QuerySQL(user, sql string) (*table.Table, error) {
 	return res, nil
 }
 
-func trimPrefix(src string) string {
-	for i := 0; i < len(src); i++ {
-		if src[i] == ':' {
-			return src[i+1:]
-		}
+// head copies the first n rows of a table in O(columns × n), without
+// scanning the tail.
+func head(t *table.Table, n int) *table.Table {
+	out := table.New(t.Name)
+	for _, c := range t.Columns {
+		out.Columns = append(out.Columns, &table.Column{
+			Name:  c.Name,
+			Kind:  c.Kind,
+			Cells: append([]string(nil), c.Cells[:n]...),
+		})
 	}
-	return src
+	return out
+}
+
+// classifyQueryErr maps engine failures onto the taxonomy: syntax
+// errors are invalid queries, missing sources/tables are not-found,
+// cancellation is unavailable.
+func classifyQueryErr(err error) error {
+	switch {
+	case errors.Is(err, query.ErrSyntax):
+		return lakeerr.Wrap(lakeerr.CodeInvalidQuery, err)
+	case errors.Is(err, query.ErrUnknownSource), errors.Is(err, polystore.ErrNoTable):
+		return lakeerr.Wrap(lakeerr.CodeNotFound, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return lakeerr.Wrap(lakeerr.CodeUnavailable, err)
+	default:
+		return lakeerr.Wrap(lakeerr.CodeInternal, err)
+	}
+}
+
+// Metadata returns the GEMMS metadata object of a dataset.
+func (l *Lake) Metadata(ctx context.Context, id string) (*metamodel.MetadataObject, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	obj, err := l.GEMMS.Object(id)
+	if err != nil {
+		return nil, lakeerr.Wrap(lakeerr.CodeNotFound, err)
+	}
+	return obj, nil
 }
 
 // Audit returns the access log of an entity; only the governance role
 // may audit (Sec. 3.3's governance, risk and compliance team).
-func (l *Lake) Audit(user, entity string) ([]provenance.Event, error) {
+func (l *Lake) Audit(ctx context.Context, user, entity string) ([]provenance.Event, error) {
 	role, err := l.roleOf(user)
 	if err != nil {
 		return nil, err
 	}
 	if role != RoleGovernance {
-		return nil, fmt.Errorf("%w: %s needs %s role", ErrNotAuthorized, user, RoleGovernance)
+		return nil, lakeerr.Errorf(lakeerr.CodeUnauthorized, "%w: %s needs %s role", ErrNotAuthorized, user, RoleGovernance)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	return l.Tracker.AccessLog(entity), nil
 }
 
 // Annotate attaches a semantic term to a dataset element; only
 // curators (information curators of Sec. 3.3) may annotate.
-func (l *Lake) Annotate(user, dataset, element, term string) error {
+func (l *Lake) Annotate(ctx context.Context, user, dataset, element, term string) error {
 	role, err := l.roleOf(user)
 	if err != nil {
 		return err
 	}
 	if role != RoleCurator {
-		return fmt.Errorf("%w: %s needs %s role", ErrNotAuthorized, user, RoleCurator)
+		return lakeerr.Errorf(lakeerr.CodeUnauthorized, "%w: %s needs %s role", ErrNotAuthorized, user, RoleCurator)
 	}
-	return l.GEMMS.Annotate(dataset, element, term)
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if err := l.GEMMS.Annotate(dataset, element, term); err != nil {
+		return lakeerr.Wrap(lakeerr.CodeNotFound, err)
+	}
+	return nil
 }
 
 // SwampReport is the result of the swamp-guard check: without metadata
@@ -306,7 +546,7 @@ func (r SwampReport) Healthy() bool { return len(r.Swamp) == 0 }
 
 // SwampCheck audits metadata coverage across the lake.
 func (l *Lake) SwampCheck() SwampReport {
-	rep := SwampReport{}
+	rep := SwampReport{Swamp: []string{}}
 	for _, pl := range l.Poly.Placements() {
 		rep.Datasets++
 		if obj, err := l.GEMMS.Object(pl.Path); err == nil && hasRealMetadata(obj) {
@@ -334,34 +574,83 @@ func hasRealMetadata(obj *metamodel.MetadataObject) bool {
 	return false
 }
 
-// RelatedTables is a convenience shortcut to task-mode exploration.
-func (l *Lake) RelatedTables(user, tableName string, k int) ([]explore.Result, error) {
-	t, err := l.Poly.Rel.Table(tableName)
-	if err != nil {
+// RelatedTables is a convenience shortcut to populate-mode exploration.
+// The role check runs before the table lookup so unregistered callers
+// cannot probe which tables exist.
+func (l *Lake) RelatedTables(ctx context.Context, user, tableName string, k int) ([]explore.Result, error) {
+	if _, err := l.roleOf(user); err != nil {
 		return nil, err
 	}
-	return l.Explore(user, explore.Request{Mode: explore.ModePopulate, Query: t, K: k})
+	t, err := l.Poly.Rel.Table(tableName)
+	if err != nil {
+		return nil, lakeerr.Wrap(lakeerr.CodeNotFound, err)
+	}
+	return l.Explore(ctx, user, explore.Request{Mode: explore.ModePopulate, Query: t, K: k})
 }
 
 // Lineage answers upstream provenance for a dataset.
-func (l *Lake) Lineage(entity string) ([]string, error) { return l.Tracker.Upstream(entity) }
+func (l *Lake) Lineage(ctx context.Context, entity string) ([]string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	up, err := l.Tracker.Upstream(entity)
+	if err != nil {
+		return nil, lakeerr.Wrap(lakeerr.CodeNotFound, err)
+	}
+	return up, nil
+}
 
 // Derive records a derivation and stores the derived table
-// relationally, keeping provenance consistent with storage.
-func (l *Lake) Derive(user, activity string, inputs []string, output *table.Table) error {
+// relationally, keeping provenance consistent with storage. Deriving
+// onto an existing table name is a conflict.
+func (l *Lake) Derive(ctx context.Context, user, activity string, inputs []string, output *table.Table) error {
 	if _, err := l.roleOf(user); err != nil {
 		return err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	// Share ingestMu with Ingest so a concurrent ingest cannot slip a
+	// same-named table in between the existence check and the Create.
+	l.ingestMu.Lock()
+	defer l.ingestMu.Unlock()
+	if l.Poly.Rel.Has(output.Name) {
+		return lakeerr.Errorf(lakeerr.CodeConflict, "%w: table %s", ErrExists, output.Name)
+	}
+	l.mu.RLock()
+	prev, taken := l.nameToPath[output.Name]
+	l.mu.RUnlock()
+	// The name index also covers document collections, which Rel.Has
+	// cannot see — deriving onto one would corrupt its provenance
+	// resolution.
+	if taken && prev != output.Name {
+		return lakeerr.Errorf(lakeerr.CodeConflict,
+			"%w: name %q already maps to %s", ErrExists, output.Name, prev)
+	}
 	l.Poly.Rel.Create(output)
-	return l.Tracker.Derive(activity, "lake", user, inputs, output.Name)
+	l.mu.Lock()
+	// Register the derived table under its own name so Ingest's
+	// collision guard also protects it from basename clashes, and bump
+	// the ingest generation: the new table is unindexed until the next
+	// Maintain pass, so the lake is stale.
+	l.nameToPath[output.Name] = output.Name
+	l.ingestGen++
+	l.mu.Unlock()
+	if err := l.Tracker.Derive(activity, "lake", user, inputs, output.Name); err != nil {
+		return lakeerr.Wrap(lakeerr.CodeInternal, err)
+	}
+	return nil
 }
 
 // TaskSearch is a convenience shortcut for Juneau-style task
 // exploration.
-func (l *Lake) TaskSearch(user, tableName string, task discovery.SearchTask, k int) ([]explore.Result, error) {
-	t, err := l.Poly.Rel.Table(tableName)
-	if err != nil {
+func (l *Lake) TaskSearch(ctx context.Context, user, tableName string, task discovery.SearchTask, k int) ([]explore.Result, error) {
+	if _, err := l.roleOf(user); err != nil {
 		return nil, err
 	}
-	return l.Explore(user, explore.Request{Mode: explore.ModeTask, Query: t, Task: task, K: k})
+	t, err := l.Poly.Rel.Table(tableName)
+	if err != nil {
+		return nil, lakeerr.Wrap(lakeerr.CodeNotFound, err)
+	}
+	return l.Explore(ctx, user, explore.Request{Mode: explore.ModeTask, Query: t, Task: task, K: k})
 }

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +11,10 @@ import (
 	"golake/internal/storage/polystore"
 	"golake/internal/table"
 )
+
+// ErrUnknownSource classifies FROM items that resolve to no member
+// store (or carry an unrecognized prefix).
+var ErrUnknownSource = errors.New("query: unknown source")
 
 // Engine executes parsed queries over a polystore.
 type Engine struct {
@@ -25,28 +31,35 @@ func NewEngine(p *polystore.Poly) *Engine {
 	return &Engine{Poly: p, PushDown: true}
 }
 
-// ExecuteSQL parses and executes a statement.
-func (e *Engine) ExecuteSQL(sql string) (*table.Table, error) {
+// ExecuteSQL parses and executes a statement. The context cancels
+// execution between per-store subqueries and during the merge.
+func (e *Engine) ExecuteSQL(ctx context.Context, sql string) (*table.Table, error) {
 	q, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(q)
+	return e.Execute(ctx, q)
 }
 
 // Execute runs a query: one subquery per source, results merged by
 // union over the projected columns (missing columns null-padded), then
 // limited.
-func (e *Engine) Execute(q *Query) (*table.Table, error) {
+func (e *Engine) Execute(ctx context.Context, q *Query) (*table.Table, error) {
 	var parts []*table.Table
 	for _, src := range q.Sources {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		part, err := e.executeSource(src, q)
 		if err != nil {
 			return nil, err
 		}
 		parts = append(parts, part)
 	}
-	merged := mergeUnion(parts, q.Columns)
+	merged, err := mergeUnion(ctx, parts, q.Columns)
+	if err != nil {
+		return nil, err
+	}
 	if q.Limit > 0 && merged.NumRows() > q.Limit {
 		merged = truncate(merged, q.Limit)
 	}
@@ -79,9 +92,9 @@ func (e *Engine) executeSource(src string, q *Query) (*table.Table, error) {
 		if len(e.Poly.Graph.NodesByLabel(name)) > 0 {
 			return e.execGraph(name, q)
 		}
-		return nil, fmt.Errorf("query: unknown source %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSource, name)
 	default:
-		return nil, fmt.Errorf("query: unknown source prefix %q", kind)
+		return nil, fmt.Errorf("%w: bad prefix %q", ErrUnknownSource, kind)
 	}
 }
 
@@ -357,8 +370,10 @@ func rowMatches(row map[string]string, preds []Predicate) bool {
 }
 
 // mergeUnion unions the parts over the projected columns (or the union
-// of all part columns when projecting *).
-func mergeUnion(parts []*table.Table, want []string) *table.Table {
+// of all part columns when projecting *). The merge is the central
+// post-retrieval loop, so it honors cancellation between parts and
+// every few thousand rows.
+func mergeUnion(ctx context.Context, parts []*table.Table, want []string) (*table.Table, error) {
 	cols := want
 	if len(cols) == 0 {
 		seen := map[string]bool{}
@@ -376,12 +391,18 @@ func mergeUnion(parts []*table.Table, want []string) *table.Table {
 		out.Columns = append(out.Columns, &table.Column{Name: c})
 	}
 	for _, p := range parts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		names := p.ColumnNames()
 		idx := map[string]int{}
 		for i, n := range names {
 			idx[n] = i
 		}
 		for r := 0; r < p.NumRows(); r++ {
+			if r%4096 == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			row := p.Row(r)
 			rec := make([]string, len(cols))
 			for i, c := range cols {
@@ -392,7 +413,7 @@ func mergeUnion(parts []*table.Table, want []string) *table.Table {
 			_ = out.AppendRow(rec)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func truncate(t *table.Table, n int) *table.Table {

@@ -19,10 +19,20 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrSyntax classifies statements the dialect cannot parse; every
+// parser error wraps it so callers test with errors.Is instead of
+// matching message text.
+var ErrSyntax = errors.New("query: syntax error")
+
+func synErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSyntax, fmt.Sprintf(format, args...))
+}
 
 // CmpOp is a predicate comparison operator.
 type CmpOp string
@@ -90,7 +100,7 @@ func (p *parser) next() string {
 
 func (p *parser) expectKeyword(kw string) error {
 	if !strings.EqualFold(p.peek(), kw) {
-		return fmt.Errorf("query: expected %s, got %q", kw, p.peek())
+		return synErrf("expected %s, got %q", kw, p.peek())
 	}
 	p.pos++
 	return nil
@@ -108,7 +118,7 @@ func (p *parser) parse() (*Query, error) {
 		for {
 			col := p.next()
 			if col == "" {
-				return nil, fmt.Errorf("query: missing column name")
+				return nil, synErrf("missing column name")
 			}
 			q.Columns = append(q.Columns, col)
 			if p.peek() != "," {
@@ -123,7 +133,7 @@ func (p *parser) parse() (*Query, error) {
 	for {
 		src := p.next()
 		if src == "" {
-			return nil, fmt.Errorf("query: missing source")
+			return nil, synErrf("missing source")
 		}
 		q.Sources = append(q.Sources, src)
 		if p.peek() != "," {
@@ -149,12 +159,12 @@ func (p *parser) parse() (*Query, error) {
 		p.next()
 		n, err := strconv.Atoi(p.next())
 		if err != nil || n < 0 {
-			return nil, fmt.Errorf("query: bad LIMIT")
+			return nil, synErrf("bad LIMIT")
 		}
 		q.Limit = n
 	}
 	if p.pos != len(p.toks) {
-		return nil, fmt.Errorf("query: trailing tokens near %q", p.peek())
+		return nil, synErrf("trailing tokens near %q", p.peek())
 	}
 	return q, nil
 }
@@ -162,17 +172,17 @@ func (p *parser) parse() (*Query, error) {
 func (p *parser) parsePredicate() (Predicate, error) {
 	col := p.next()
 	if col == "" {
-		return Predicate{}, fmt.Errorf("query: missing predicate column")
+		return Predicate{}, synErrf("missing predicate column")
 	}
 	op := CmpOp(p.next())
 	switch op {
 	case OpEq, OpNe, OpGt, OpGte, OpLt, OpLte:
 	default:
-		return Predicate{}, fmt.Errorf("query: bad operator %q", op)
+		return Predicate{}, synErrf("bad operator %q", op)
 	}
 	val := p.next()
 	if val == "" {
-		return Predicate{}, fmt.Errorf("query: missing predicate value")
+		return Predicate{}, synErrf("missing predicate value")
 	}
 	pred := Predicate{Column: col, Op: op, Value: strings.Trim(val, "'")}
 	if _, err := strconv.ParseFloat(pred.Value, 64); err == nil && !strings.HasPrefix(val, "'") {
@@ -200,7 +210,7 @@ func tokenize(s string) ([]string, error) {
 				j++
 			}
 			if j >= len(s) {
-				return nil, fmt.Errorf("query: unterminated string literal")
+				return nil, synErrf("unterminated string literal")
 			}
 			toks = append(toks, s[i:j+1])
 			i = j + 1

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -77,14 +79,14 @@ func TestParseErrors(t *testing.T) {
 
 func TestExecuteRelationalWithPredicates(t *testing.T) {
 	e := NewEngine(setupPoly(t))
-	res, err := e.ExecuteSQL("SELECT id, total FROM rel:orders WHERE status = 'open'")
+	res, err := e.ExecuteSQL(context.Background(), "SELECT id, total FROM rel:orders WHERE status = 'open'")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.NumRows() != 2 || res.NumCols() != 2 {
 		t.Fatalf("result = %dx%d\n%s", res.NumRows(), res.NumCols(), tableCSV(res))
 	}
-	res, err = e.ExecuteSQL("SELECT * FROM rel:orders WHERE total > 10 AND total < 20")
+	res, err = e.ExecuteSQL(context.Background(), "SELECT * FROM rel:orders WHERE total > 10 AND total < 20")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +107,11 @@ func TestPushdownEquivalence(t *testing.T) {
 		with := NewEngine(p)
 		without := NewEngine(p)
 		without.PushDown = false
-		a, err := with.ExecuteSQL(sql)
+		a, err := with.ExecuteSQL(context.Background(), sql)
 		if err != nil {
 			t.Fatalf("%s (pushdown): %v", sql, err)
 		}
-		b, err := without.ExecuteSQL(sql)
+		b, err := without.ExecuteSQL(context.Background(), sql)
 		if err != nil {
 			t.Fatalf("%s (central): %v", sql, err)
 		}
@@ -121,7 +123,7 @@ func TestPushdownEquivalence(t *testing.T) {
 
 func TestExecuteDocument(t *testing.T) {
 	e := NewEngine(setupPoly(t))
-	res, err := e.ExecuteSQL("SELECT kind, n FROM doc:events WHERE n >= 2")
+	res, err := e.ExecuteSQL(context.Background(), "SELECT kind, n FROM doc:events WHERE n >= 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestExecuteDocument(t *testing.T) {
 
 func TestExecuteGraph(t *testing.T) {
 	e := NewEngine(setupPoly(t))
-	res, err := e.ExecuteSQL("SELECT * FROM graph:person")
+	res, err := e.ExecuteSQL(context.Background(), "SELECT * FROM graph:person")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +148,7 @@ func TestExecuteGraph(t *testing.T) {
 
 func TestExecuteFiles(t *testing.T) {
 	e := NewEngine(setupPoly(t))
-	res, err := e.ExecuteSQL("SELECT path, format FROM file:raw/")
+	res, err := e.ExecuteSQL(context.Background(), "SELECT path, format FROM file:raw/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestUnionAcrossSources(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := NewEngine(p)
-	res, err := e.ExecuteSQL("SELECT id, status FROM rel:orders, rel:more_orders WHERE status = 'open'")
+	res, err := e.ExecuteSQL(context.Background(), "SELECT id, status FROM rel:orders, rel:more_orders WHERE status = 'open'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,19 +174,19 @@ func TestUnionAcrossSources(t *testing.T) {
 
 func TestBareSourceResolution(t *testing.T) {
 	e := NewEngine(setupPoly(t))
-	if _, err := e.ExecuteSQL("SELECT * FROM orders"); err != nil {
+	if _, err := e.ExecuteSQL(context.Background(), "SELECT * FROM orders"); err != nil {
 		t.Errorf("bare relational: %v", err)
 	}
-	if _, err := e.ExecuteSQL("SELECT * FROM events"); err != nil {
+	if _, err := e.ExecuteSQL(context.Background(), "SELECT * FROM events"); err != nil {
 		t.Errorf("bare document: %v", err)
 	}
-	if _, err := e.ExecuteSQL("SELECT * FROM person"); err != nil {
+	if _, err := e.ExecuteSQL(context.Background(), "SELECT * FROM person"); err != nil {
 		t.Errorf("bare graph: %v", err)
 	}
-	if _, err := e.ExecuteSQL("SELECT * FROM ghost"); err == nil {
+	if _, err := e.ExecuteSQL(context.Background(), "SELECT * FROM ghost"); err == nil {
 		t.Error("unknown source should error")
 	}
-	if _, err := e.ExecuteSQL("SELECT * FROM bad:orders"); err == nil {
+	if _, err := e.ExecuteSQL(context.Background(), "SELECT * FROM bad:orders"); err == nil {
 		t.Error("unknown prefix should error")
 	}
 }
@@ -193,21 +195,21 @@ func TestPredicateOnUnprojectedColumn(t *testing.T) {
 	// Regression: predicates must work on columns that are not in the
 	// SELECT list, for every member store.
 	e := NewEngine(setupPoly(t))
-	res, err := e.ExecuteSQL("SELECT kind FROM doc:events WHERE n >= 2")
+	res, err := e.ExecuteSQL(context.Background(), "SELECT kind FROM doc:events WHERE n >= 2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.NumRows() != 2 || res.NumCols() != 1 {
 		t.Errorf("doc result = %dx%d\n%s", res.NumRows(), res.NumCols(), tableCSV(res))
 	}
-	res, err = e.ExecuteSQL("SELECT name FROM graph:person WHERE age > 26")
+	res, err = e.ExecuteSQL(context.Background(), "SELECT name FROM graph:person WHERE age > 26")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.NumRows() != 1 || res.Row(0)[0] != "alice" {
 		t.Errorf("graph result:\n%s", tableCSV(res))
 	}
-	res, err = e.ExecuteSQL("SELECT id FROM rel:orders WHERE status = 'open'")
+	res, err = e.ExecuteSQL(context.Background(), "SELECT id FROM rel:orders WHERE status = 'open'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +220,7 @@ func TestPredicateOnUnprojectedColumn(t *testing.T) {
 
 func TestLimit(t *testing.T) {
 	e := NewEngine(setupPoly(t))
-	res, err := e.ExecuteSQL("SELECT * FROM rel:orders LIMIT 2")
+	res, err := e.ExecuteSQL(context.Background(), "SELECT * FROM rel:orders LIMIT 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,5 +288,27 @@ func TestParseRenderRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestErrorSentinels(t *testing.T) {
+	e := NewEngine(setupPoly(t))
+	if _, err := Parse("SELEKT a FROM t"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("parse error = %v, want ErrSyntax", err)
+	}
+	if _, err := e.ExecuteSQL(context.Background(), "SELECT * FROM ghost"); !errors.Is(err, ErrUnknownSource) {
+		t.Errorf("unknown source = %v, want ErrUnknownSource", err)
+	}
+	if _, err := e.ExecuteSQL(context.Background(), "SELECT * FROM bad:orders"); !errors.Is(err, ErrUnknownSource) {
+		t.Errorf("unknown prefix = %v, want ErrUnknownSource", err)
+	}
+}
+
+func TestExecuteCanceled(t *testing.T) {
+	e := NewEngine(setupPoly(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecuteSQL(ctx, "SELECT * FROM rel:orders"); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled execute = %v", err)
 	}
 }

@@ -223,6 +223,11 @@ func (p *Poly) Placements() []Placement {
 	return out
 }
 
+// DerivedName is the model-store name an ingested path will take:
+// "raw/orders.csv" -> "orders". Exposed so callers can detect name
+// collisions between distinct paths before ingesting.
+func DerivedName(path string) string { return tableName(path) }
+
 // tableName derives a model-store name from an object path:
 // "raw/orders.csv" -> "orders".
 func tableName(path string) string {

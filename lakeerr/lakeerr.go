@@ -1,0 +1,94 @@
+// Package lakeerr defines the typed error taxonomy of the public lake
+// API. Every tier returns *Error values (usually wrapping a
+// lower-level sentinel), so callers classify failures with errors.As /
+// CodeOf instead of matching message substrings, and the REST layer
+// maps them onto stable HTTP statuses and a structured envelope.
+package lakeerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Code classifies a lake error. Codes are part of the wire contract:
+// the REST v1 envelope carries them verbatim.
+type Code string
+
+// The taxonomy. CodeInternal is the fallback for unclassified errors.
+const (
+	CodeNotFound     Code = "not_found"
+	CodeUnauthorized Code = "unauthorized"
+	CodeInvalidQuery Code = "invalid_query"
+	CodeConflict     Code = "conflict"
+	CodeUnavailable  Code = "unavailable"
+	CodeInternal     Code = "internal"
+)
+
+// Error is a classified lake error. It wraps the underlying cause, so
+// errors.Is against package sentinels keeps working through it.
+type Error struct {
+	Code Code
+	Err  error
+}
+
+// Error returns the underlying message; the code is metadata, not
+// message decoration.
+func (e *Error) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// New builds a classified error from a plain message.
+func New(code Code, msg string) *Error {
+	return &Error{Code: code, Err: errors.New(msg)}
+}
+
+// Errorf builds a classified error with fmt.Errorf semantics; %w
+// wrapping works as usual.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Err: fmt.Errorf(format, args...)}
+}
+
+// Wrap classifies an existing error. It is nil-safe and always
+// re-tags: the new code becomes the outermost classification, which is
+// what CodeOf reports (an inner code stays reachable via errors.As on
+// the unwrapped chain but no longer decides the classification).
+func Wrap(code Code, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, Err: err}
+}
+
+// CodeOf extracts the classification of err: the code of the outermost
+// *Error, CodeUnavailable for context cancellation/deadline, and
+// CodeInternal for everything else (nil maps to the empty code).
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return CodeUnavailable
+	}
+	return CodeInternal
+}
+
+// IsNotFound reports whether err is classified CodeNotFound.
+func IsNotFound(err error) bool { return CodeOf(err) == CodeNotFound }
+
+// IsUnauthorized reports whether err is classified CodeUnauthorized.
+func IsUnauthorized(err error) bool { return CodeOf(err) == CodeUnauthorized }
+
+// IsInvalidQuery reports whether err is classified CodeInvalidQuery.
+func IsInvalidQuery(err error) bool { return CodeOf(err) == CodeInvalidQuery }
+
+// IsConflict reports whether err is classified CodeConflict.
+func IsConflict(err error) bool { return CodeOf(err) == CodeConflict }
+
+// IsUnavailable reports whether err is classified CodeUnavailable.
+func IsUnavailable(err error) bool { return CodeOf(err) == CodeUnavailable }

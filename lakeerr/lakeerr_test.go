@@ -1,0 +1,84 @@
+package lakeerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestWrapKeepsSentinelChain(t *testing.T) {
+	sentinel := errors.New("core: unknown user")
+	err := Wrap(CodeUnauthorized, fmt.Errorf("%w: mallory", sentinel))
+	if !errors.Is(err, sentinel) {
+		t.Error("errors.Is lost the sentinel through Wrap")
+	}
+	if CodeOf(err) != CodeUnauthorized {
+		t.Errorf("CodeOf = %q", CodeOf(err))
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Code != CodeUnauthorized {
+		t.Errorf("errors.As = %v, %+v", errors.As(err, &e), e)
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(CodeNotFound, nil) != nil {
+		t.Error("Wrap(nil) should be nil")
+	}
+	if CodeOf(nil) != "" {
+		t.Errorf("CodeOf(nil) = %q", CodeOf(nil))
+	}
+}
+
+func TestCodeOfFallbacks(t *testing.T) {
+	if CodeOf(errors.New("mystery")) != CodeInternal {
+		t.Error("unclassified error should map to internal")
+	}
+	if CodeOf(context.Canceled) != CodeUnavailable {
+		t.Error("canceled context should map to unavailable")
+	}
+	if CodeOf(fmt.Errorf("op: %w", context.DeadlineExceeded)) != CodeUnavailable {
+		t.Error("deadline should map to unavailable")
+	}
+}
+
+func TestOuterClassificationWins(t *testing.T) {
+	inner := New(CodeNotFound, "no table")
+	outer := Wrap(CodeInvalidQuery, fmt.Errorf("planning: %w", inner))
+	if CodeOf(outer) != CodeInvalidQuery {
+		t.Errorf("CodeOf = %q, want outer invalid_query", CodeOf(outer))
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		err  error
+		pred func(error) bool
+	}{
+		{New(CodeNotFound, "x"), IsNotFound},
+		{New(CodeUnauthorized, "x"), IsUnauthorized},
+		{New(CodeInvalidQuery, "x"), IsInvalidQuery},
+		{New(CodeConflict, "x"), IsConflict},
+		{New(CodeUnavailable, "x"), IsUnavailable},
+	}
+	for i, c := range cases {
+		if !c.pred(c.err) {
+			t.Errorf("case %d: predicate rejected its own code", i)
+		}
+	}
+	if IsNotFound(New(CodeConflict, "x")) {
+		t.Error("IsNotFound matched conflict")
+	}
+}
+
+func TestErrorfWrapsThroughFormat(t *testing.T) {
+	sentinel := errors.New("base")
+	err := Errorf(CodeConflict, "ingest %s: %w", "raw/a.csv", sentinel)
+	if !errors.Is(err, sentinel) {
+		t.Error("Errorf lost %w wrapping")
+	}
+	if err.Error() != "ingest raw/a.csv: base" {
+		t.Errorf("message = %q", err.Error())
+	}
+}
