@@ -310,3 +310,74 @@ func BenchmarkFederatedQueryPushdown(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMaintainIncremental measures the steady-state per-ingest
+// maintenance cost with incremental reindexing: each iteration ingests
+// one new dataset into an already-maintained lake and runs the
+// incremental pass, which must reindex exactly that dataset.
+func BenchmarkMaintainIncremental(b *testing.B) {
+	ctx := context.Background()
+	lake, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lake.AddUser("dana", RoleDataScientist)
+	c := benchCorpus()
+	for _, tbl := range c.Tables {
+		if _, err := lake.Ingest(ctx, "raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "gen", "dana"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := lake.Maintain(ctx); err != nil {
+		b.Fatal(err)
+	}
+	csv := table.ToCSV(c.Tables[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := lake.Ingest(ctx, fmt.Sprintf("raw/fresh_%d.csv", i), []byte(csv), "gen", "dana"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := lake.MaintainIncremental(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.DatasetsReindexed != 1 {
+			b.Fatalf("reindexed %d datasets, want 1", rep.DatasetsReindexed)
+		}
+	}
+}
+
+// BenchmarkMaintainFullRebuild is the pre-incremental baseline: the
+// same one-new-dataset workload paying the O(lake) full rebuild every
+// pass.
+func BenchmarkMaintainFullRebuild(b *testing.B) {
+	ctx := context.Background()
+	lake, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lake.AddUser("dana", RoleDataScientist)
+	c := benchCorpus()
+	for _, tbl := range c.Tables {
+		if _, err := lake.Ingest(ctx, "raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "gen", "dana"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := lake.Maintain(ctx); err != nil {
+		b.Fatal(err)
+	}
+	csv := table.ToCSV(c.Tables[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := lake.Ingest(ctx, fmt.Sprintf("raw/full_%d.csv", i), []byte(csv), "gen", "dana"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := lake.Maintain(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,8 +10,13 @@
 //	lakectl -data DIR query 'SQL'             federated query, CSV on stdout
 //	lakectl -data DIR swamp                   metadata-coverage audit
 //	lakectl -data DIR lineage ENTITY          upstream provenance
+//	lakectl -data DIR serve [ADDR]            REST v1 API server
 //	lakectl registry                          the Table 1 function registry
 //	lakectl demo                              synthetic end-to-end walkthrough
+//
+// With -auto-maintain INTERVAL, serve runs background maintenance:
+// data ingested over POST /v1/datasets becomes explorable without an
+// operator-triggered pass (status on GET /v1/maintenance).
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"golake"
 	"golake/internal/bench"
@@ -39,6 +45,8 @@ import (
 func main() {
 	dataDir := flag.String("data", "", "directory of raw files to ingest")
 	user := flag.String("user", "cli", "acting user")
+	autoMaintain := flag.Duration("auto-maintain", 0,
+		"run background maintenance at this interval (serve mode; 0 disables)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -60,30 +68,36 @@ func main() {
 	if *dataDir == "" {
 		fatal(fmt.Errorf("command %q needs -data DIR", cmd))
 	}
-	lake, err := loadLake(ctx, *dataDir, *user)
+	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain)
 	if err != nil {
 		fatal(err)
 	}
+	defer lake.Close()
 	if err := dispatch(ctx, lake, *user, cmd, args[1:]); err != nil {
 		fatal(err)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-auto-maintain 5s] COMMAND [ARGS]")
 	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage serve registry demo")
 	os.Exit(2)
 }
 
 // loadLake bulk-ingests every regular file under dir and runs
 // maintenance.
-func loadLake(ctx context.Context, dir, user string) (*golake.Lake, error) {
+func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration) (*golake.Lake, error) {
 	workdir, err := os.MkdirTemp("", "golake-lakectl-*")
 	if err != nil {
 		return nil, err
 	}
-	lake, err := golake.Open(workdir,
-		golake.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	opts := []golake.Option{
+		golake.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))),
+	}
+	if autoMaintain > 0 {
+		opts = append(opts, golake.WithAutoMaintain(autoMaintain))
+	}
+	lake, err := golake.Open(workdir, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +160,10 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 		fmt.Print(table.ToCSV(res))
 		return nil
 	case "swamp":
-		rep := lake.SwampCheck()
+		rep, err := lake.SwampAudit(ctx)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("datasets=%d with-metadata=%d healthy=%v\n", rep.Datasets, rep.WithMetadata, rep.Healthy())
 		for _, s := range rep.Swamp {
 			fmt.Println("swamp:", s)
@@ -168,6 +185,9 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 		addr := ":8080"
 		if len(args) > 0 {
 			addr = args[0]
+		}
+		if st := lake.MaintenanceStatus(); st.Auto {
+			fmt.Println("background maintenance on: ingested data becomes explorable without a manual pass (GET /v1/maintenance for status)")
 		}
 		fmt.Printf("serving lake REST v1 API on %s under /v1/* (X-Lake-User header selects the user; unversioned routes are deprecated aliases)\n", addr)
 		srv := &http.Server{Addr: addr, Handler: lake.HTTPHandler()}

@@ -100,7 +100,10 @@ func main() {
 	}
 
 	// Governance: is the lake turning into a swamp?
-	swamp := lake.SwampCheck()
+	swamp, err := lake.SwampAudit(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("swamp check: %d/%d datasets carry metadata (healthy=%v)\n",
 		swamp.WithMetadata, swamp.Datasets, swamp.Healthy())
 }

@@ -41,9 +41,31 @@
 //	rows, err := lake.QuerySQL(ctx, "dana", "SELECT id, total FROM rel:orders WHERE total > 10")
 //	if lakeerr.IsInvalidQuery(err) { /* bad SQL, not a lake failure */ }
 //
+// # Background maintenance
+//
+// The manual Maintain call above can be replaced by an always-on
+// scheduler, the operating mode of continuously-running catalog
+// systems (GOODS-style post-hoc cataloging): open the lake with
+// WithAutoMaintain and ingested data becomes explorable on its own —
+// no operator in the loop. Passes are incremental, so a new dataset in
+// a maintained lake of N costs O(1 dataset) to index, not O(N):
+//
+//	lake, _ := golake.Open(dir, golake.WithAutoMaintain(5*time.Second))
+//	defer lake.Close()
+//	lake.AddUser("dana", golake.RoleDataScientist)
+//	lake.Ingest(ctx, "raw/orders.csv", csvBytes, "erp", "dana")
+//	// ...within an interval the scheduler indexes it:
+//	related, _ := lake.RelatedTables(ctx, "dana", "orders", 5)
+//
+// Lake.MaintenanceStatus snapshots the subsystem (passes run,
+// failures, last pass, next firing); Lake.MaintainIncremental runs one
+// incremental pass by hand; Lake.TriggerMaintain is the conflict-aware
+// variant behind POST /v1/maintenance.
+//
 // The same surface is served over REST by Lake.HTTPHandler: a
 // versioned /v1 API with a structured error envelope (see
-// internal/core's route table).
+// internal/core's route table), including GET/POST /v1/maintenance for
+// the maintenance subsystem.
 package golake
 
 import (
@@ -53,6 +75,7 @@ import (
 	"golake/internal/core"
 	"golake/internal/discovery"
 	"golake/internal/explore"
+	"golake/internal/maintain"
 	"golake/internal/table"
 )
 
@@ -106,8 +129,15 @@ const (
 	TaskClean    = discovery.TaskClean
 )
 
+// MaintenanceReport summarizes one maintenance pass.
+type MaintenanceReport = core.MaintenanceReport
+
+// MaintenanceStatus is the maintenance-subsystem snapshot returned by
+// Lake.MaintenanceStatus and served by GET /v1/maintenance.
+type MaintenanceStatus = maintain.Status
+
 // Option configures an assembled lake (see WithClock, WithPushdown,
-// WithMaxResults, WithLogger).
+// WithMaxResults, WithLogger, WithAutoMaintain).
 type Option = core.Option
 
 // WithClock substitutes the lake's time source (tests, replays).
@@ -123,6 +153,12 @@ func WithMaxResults(n int) Option { return core.WithMaxResults(n) }
 
 // WithLogger installs a structured logger for REST request logging.
 func WithLogger(l *slog.Logger) Option { return core.WithLogger(l) }
+
+// WithAutoMaintain starts a background maintenance scheduler: every
+// interval the lake checks for new data and runs an incremental
+// maintenance pass, so ingests become explorable without a manual
+// Maintain call. Call Lake.Close to stop it.
+func WithAutoMaintain(interval time.Duration) Option { return core.WithAutoMaintain(interval) }
 
 // Open assembles a data lake rooted at dir.
 func Open(dir string, opts ...Option) (*Lake, error) { return core.Open(dir, opts...) }

@@ -88,8 +88,8 @@ func TestEndToEndPublicAPI(t *testing.T) {
 	}
 
 	// Swamp check is healthy: all three datasets carry metadata.
-	if s := lake.SwampCheck(); !s.Healthy() {
-		t.Errorf("swamp = %+v", s)
+	if s, err := lake.SwampAudit(ctx); err != nil || !s.Healthy() {
+		t.Errorf("swamp = %+v, %v", s, err)
 	}
 }
 

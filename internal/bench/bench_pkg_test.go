@@ -171,3 +171,18 @@ func TestEKGSummary(t *testing.T) {
 		t.Errorf("rows = %d", len(rep.Rows))
 	}
 }
+
+func TestMaintenanceIncrementalReport(t *testing.T) {
+	rep, err := MaintenanceIncremental(t.TempDir(), []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// The incremental pass covers 1 dataset while the rebuild covers
+	// the whole corpus.
+	if rep.Rows[0][1] != "1 vs 11" || rep.Rows[1][1] != "1 vs 21" {
+		t.Errorf("reindexed columns = %q, %q", rep.Rows[0][1], rep.Rows[1][1])
+	}
+}

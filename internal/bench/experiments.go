@@ -291,7 +291,10 @@ func Fig2(dir string) (*Report, error) {
 		}
 	}
 	ingestTime := time.Since(start)
-	swamp := lake.SwampCheck()
+	swamp, err := lake.SwampAudit(context.Background())
+	if err != nil {
+		return nil, err
+	}
 	rep.Add("storage+ingestion", "polystore routing, extraction, modeling, cataloging",
 		fmt.Sprintf("%d datasets, %d with metadata", swamp.Datasets, swamp.WithMetadata),
 		ingestTime.Round(time.Millisecond).String())
@@ -698,6 +701,68 @@ func firstLine(s string) string {
 	return s
 }
 
+// MaintenanceIncremental measures the incremental-maintenance win: a
+// lake of N maintained datasets receives 1 new dataset; the
+// incremental pass must reindex only that dataset (O(new data)) while
+// the full rebuild re-profiles everything (O(lake)). The speedup is
+// the scaling argument behind background auto-maintenance: per-ingest
+// cost stays flat as the lake grows.
+func MaintenanceIncremental(dir string, sizes []int) (*Report, error) {
+	rep := &Report{
+		Title:  "Maintenance: incremental reindexing vs full rebuild (1 new dataset into N maintained)",
+		Header: []string{"Tables", "Reindexed", "Incremental", "Full rebuild", "Speedup"},
+	}
+	for _, n := range sizes {
+		lake, err := core.Open(fmt.Sprintf("%s/maint-%d", dir, n))
+		if err != nil {
+			return nil, err
+		}
+		lake.AddUser("dana", core.RoleDataScientist)
+		c := workload.GenerateCorpus(workload.CorpusSpec{
+			NumTables: n, JoinGroups: n / 5, RowsPerTable: 100,
+			ExtraCols: 1, KeyVocab: 300, KeySample: 100, Seed: 17,
+		})
+		ctx := context.Background()
+		for _, tbl := range c.Tables {
+			if _, err := lake.Ingest(ctx, "raw/"+tbl.Name+".csv", []byte(table.ToCSV(tbl)), "generator", "dana"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := lake.Maintain(ctx); err != nil {
+			return nil, err
+		}
+		// One new dataset: the incremental pass covers it alone.
+		if _, err := lake.Ingest(ctx, "raw/fresh_one.csv", []byte(table.ToCSV(c.Tables[0])), "generator", "dana"); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		inc, err := lake.MaintainIncremental(ctx)
+		if err != nil {
+			return nil, err
+		}
+		incTime := time.Since(start)
+		if inc.Mode != "incremental" || inc.DatasetsReindexed != 1 {
+			return nil, fmt.Errorf("bench: incremental pass reindexed %d datasets in mode %q", inc.DatasetsReindexed, inc.Mode)
+		}
+		// The comparison baseline: a forced full rebuild of the same
+		// corpus.
+		start = time.Now()
+		full, err := lake.Maintain(ctx)
+		if err != nil {
+			return nil, err
+		}
+		fullTime := time.Since(start)
+		speedup := float64(fullTime) / float64(incTime)
+		rep.Add(fmt.Sprintf("%d", full.Tables),
+			fmt.Sprintf("%d vs %d", inc.DatasetsReindexed, full.DatasetsReindexed),
+			incTime.Round(time.Microsecond).String(),
+			fullTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", speedup))
+	}
+	rep.Note("incremental pass indexes only datasets ingested since the covered generation; full rebuild re-profiles the whole corpus")
+	return rep, nil
+}
+
 // LSHShapeAblation sweeps the LSH banding shape (bands x rows at fixed
 // signature length) and reports discovery quality and candidate
 // counts — the precision/recall knob behind Aurum and D3L that
@@ -785,6 +850,7 @@ func All(dir string) (string, error) {
 		EKGSummary,
 		func() (*Report, error) { return LakehouseReport(dir+"/lakehouse", 8, 2000) },
 		LSHShapeAblation,
+		func() (*Report, error) { return MaintenanceIncremental(dir+"/maintenance", []int{20, 40, 80}) },
 	}
 	for _, g := range gens {
 		rep, err := g()

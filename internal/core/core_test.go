@@ -564,3 +564,342 @@ func TestDeriveRespectsNameIndexAndStaleness(t *testing.T) {
 		t.Errorf("post-derive Maintain = %+v, %v, stale=%v", rep, err, l.Stale())
 	}
 }
+
+func TestMaintainIncrementalReindexesOnlyNewDataset(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	c := ingestCorpus(t, l)
+	// First pass has no coverage: full rebuild over the whole corpus.
+	rep, err := l.MaintainIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "full" || rep.Reason != "first-pass" || rep.DatasetsReindexed != len(c.Tables) {
+		t.Fatalf("first pass = %q/%q datasets=%d, want full/first-pass/%d",
+			rep.Mode, rep.Reason, rep.DatasetsReindexed, len(c.Tables))
+	}
+	// One new dataset into a maintained lake of N: the incremental pass
+	// must reindex exactly that one dataset, not the whole lake.
+	extra := table.ToCSV(c.Tables[0])
+	if _, err := l.Ingest(ctx, "raw/extra.csv", []byte(extra), "generator", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = l.MaintainIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "incremental" || rep.DatasetsReindexed != 1 {
+		t.Fatalf("incremental pass = %q datasets=%d, want incremental/1", rep.Mode, rep.DatasetsReindexed)
+	}
+	if rep.Tables != len(c.Tables)+1 {
+		t.Errorf("corpus size = %d, want %d", rep.Tables, len(c.Tables)+1)
+	}
+	if l.Stale() {
+		t.Error("lake stale after incremental pass")
+	}
+	// The incrementally indexed dataset is fully explorable: it shares
+	// its content with c.Tables[0], so its partners must surface.
+	res, err := l.RelatedTables(ctx, "dana", "extra", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no discovery results for incrementally indexed dataset")
+	}
+	// Steady state: nothing new, the pass is an O(1) no-op.
+	rep, err = l.MaintainIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "incremental" || rep.DatasetsReindexed != 0 {
+		t.Errorf("steady-state pass = %q datasets=%d, want incremental/0", rep.Mode, rep.DatasetsReindexed)
+	}
+}
+
+func TestMaintainIncrementalFullRebuildAfterDerive(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	c := ingestCorpus(t, l)
+	if _, err := l.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := table.New("derived_pick")
+	src, err := l.Poly.Rel.Table(c.Tables[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Columns = src.Columns[:1]
+	if err := l.Derive(ctx, "dana", "select", []string{c.Tables[0].Name}, out); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.MaintainIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "full" || rep.Reason != "derive" {
+		t.Errorf("post-derive pass = %q/%q, want full/derive", rep.Mode, rep.Reason)
+	}
+	if rep.DatasetsReindexed != len(c.Tables)+1 {
+		t.Errorf("datasets = %d, want %d", rep.DatasetsReindexed, len(c.Tables)+1)
+	}
+}
+
+func TestMaintainIsAlwaysFull(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	c := ingestCorpus(t, l)
+	if _, err := l.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Ingest(ctx, "raw/extra.csv", []byte(table.ToCSV(c.Tables[0])), "generator", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.Maintain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "full" || rep.Reason != "requested" || rep.DatasetsReindexed != len(c.Tables)+1 {
+		t.Errorf("explicit Maintain = %q/%q datasets=%d, want a requested full rebuild",
+			rep.Mode, rep.Reason, rep.DatasetsReindexed)
+	}
+}
+
+func TestMaintenanceStatusCounters(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	st := l.MaintenanceStatus()
+	if st.Auto || !st.Stale || st.PassesRun != 0 || st.LastPass != nil {
+		t.Fatalf("fresh status = %+v", st)
+	}
+	c := ingestCorpus(t, l)
+	if _, err := l.MaintainIncremental(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st = l.MaintenanceStatus()
+	if st.PassesRun != 1 || st.Stale || st.LastPass == nil || st.Covered != len(c.Tables) {
+		t.Fatalf("post-pass status = %+v", st)
+	}
+	if st.LastPass.Mode != "full" || st.LastPassTime == nil {
+		t.Errorf("last pass = %+v time=%v", st.LastPass, st.LastPassTime)
+	}
+	// A failed pass increments Failures and records the error.
+	pre, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := l.MaintainIncremental(pre); err == nil {
+		t.Fatal("canceled pass should fail")
+	}
+	st = l.MaintenanceStatus()
+	if st.Failures != 1 || st.LastError == "" {
+		t.Errorf("post-failure status = %+v", st)
+	}
+	// The next successful pass clears the error but keeps the count.
+	if _, err := l.MaintainIncremental(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st = l.MaintenanceStatus()
+	if st.Failures != 1 || st.LastError != "" || st.PassesRun != 2 {
+		t.Errorf("recovered status = %+v", st)
+	}
+}
+
+func TestTriggerMaintainConflictsWhileRunning(t *testing.T) {
+	l := testLake(t)
+	ingestCorpus(t, l)
+	// Simulate an in-flight pass by holding the pass lock.
+	l.maintMu.Lock()
+	_, err := l.TriggerMaintain(context.Background())
+	l.maintMu.Unlock()
+	if !lakeerr.IsConflict(err) {
+		t.Fatalf("trigger during pass = %v, want conflict", err)
+	}
+	// With the lock free it runs normally.
+	rep, err := l.TriggerMaintain(context.Background())
+	if err != nil || rep.Mode != "full" {
+		t.Errorf("trigger = %+v, %v", rep, err)
+	}
+}
+
+func TestSwampAuditHonorsContext(t *testing.T) {
+	l := testLake(t)
+	ingestCorpus(t, l)
+	rep, err := l.SwampAudit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy := l.SwampCheck(); rep.Datasets != legacy.Datasets || rep.WithMetadata != legacy.WithMetadata {
+		t.Errorf("SwampAudit %+v != SwampCheck %+v", rep, legacy)
+	}
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.SwampAudit(pre); !lakeerr.IsUnavailable(err) {
+		t.Errorf("canceled SwampAudit = %v", err)
+	}
+}
+
+// TestAutoMaintainMakesIngestExplorable is the subsystem's reason to
+// exist: with WithAutoMaintain, ingested data becomes explorable with
+// no manual Maintain call.
+func TestAutoMaintainMakesIngestExplorable(t *testing.T) {
+	l, err := Open(t.TempDir(), WithAutoMaintain(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.AddUser("dana", RoleDataScientist)
+	ctx := context.Background()
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n2,20\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.MaintenanceStatus(); !st.Auto {
+		t.Fatal("status does not report auto-maintenance")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := l.RelatedTables(ctx, "dana", "orders", 2); err == nil {
+			break
+		} else if !errors.Is(err, ErrNotMaintained) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ingest never became explorable under auto-maintenance")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A second ingest is picked up incrementally by the scheduler:
+	// staleness clears without any manual pass, and the new dataset is
+	// discoverable as a corpus member (not just as a query).
+	if _, err := l.Ingest(ctx, "raw/payments.csv", []byte("id,amount\n1,5\n2,6\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	for l.Stale() {
+		if time.Now().After(deadline) {
+			t.Fatal("second ingest never covered by the scheduler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res, err := l.RelatedTables(ctx, "dana", "orders", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPayments := false
+	for _, r := range res {
+		if r.Table == "payments" {
+			foundPayments = true
+		}
+	}
+	if !foundPayments {
+		t.Errorf("incrementally indexed payments not discoverable from orders: %+v", res)
+	}
+	st := l.MaintenanceStatus()
+	if st.PassesRun < 2 || st.NextRun == nil {
+		t.Errorf("scheduler status = %+v", st)
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Open(t.TempDir(), WithAutoMaintain(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auto.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := auto.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTriggerConflictKicksScheduler: a POST that conflicts with a
+// running pass must kick the scheduler so the racing data is covered
+// right after the pass drains — not a full interval (here: an hour)
+// later.
+func TestTriggerConflictKicksScheduler(t *testing.T) {
+	l, err := Open(t.TempDir(), WithAutoMaintain(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.AddUser("dana", RoleDataScientist)
+	ctx := context.Background()
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an in-flight pass, conflict against it, then release.
+	l.maintMu.Lock()
+	if _, err := l.TriggerMaintain(ctx); !lakeerr.IsConflict(err) {
+		l.maintMu.Unlock()
+		t.Fatalf("trigger during pass = %v, want conflict", err)
+	}
+	l.maintMu.Unlock()
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Stale() {
+		if time.Now().After(deadline) {
+			t.Fatal("kicked scheduler never covered the lake (would have waited an hour)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMaintenanceStatusAfterClose(t *testing.T) {
+	l, err := Open(t.TempDir(), WithAutoMaintain(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.MaintenanceStatus(); !st.Auto {
+		t.Fatal("open lake should report auto-maintenance")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A closed scheduler never fires again: the snapshot must not
+	// advertise it.
+	st := l.MaintenanceStatus()
+	if st.Auto || st.NextRun != nil {
+		t.Errorf("post-Close status = %+v, want manual mode with no next run", st)
+	}
+}
+
+// TestIncrementalPassPromotesZones: zone promotion in an incremental
+// pass covers just-ingested datasets — including non-relational ones
+// that add no table to the discovery corpus — without rescanning the
+// lake.
+func TestIncrementalPassPromotesZones(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	c := ingestCorpus(t, l)
+	if _, err := l.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	curated := len(l.Handle.DataInZone(ZoneCurated))
+	if curated != len(c.Tables) {
+		t.Fatalf("curated after full pass = %d", curated)
+	}
+	if _, err := l.Ingest(ctx, "raw/extra.csv", []byte(table.ToCSV(c.Tables[0])), "generator", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Ingest(ctx, "raw/events.jsonl", []byte("{\"user\":\"a\",\"n\":1}\n{\"user\":\"b\",\"n\":2}\n"), "generator", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.MaintainIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the CSV joined the discovery corpus, but both datasets moved
+	// to the curated zone.
+	if rep.Mode != "incremental" || rep.DatasetsReindexed != 1 {
+		t.Fatalf("pass = %q datasets=%d", rep.Mode, rep.DatasetsReindexed)
+	}
+	if got := len(l.Handle.DataInZone(ZoneCurated)); got != curated+2 {
+		t.Errorf("curated after incremental pass = %d, want %d", got, curated+2)
+	}
+}

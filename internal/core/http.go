@@ -10,6 +10,7 @@ import (
 
 	"golake/internal/discovery"
 	"golake/internal/explore"
+	"golake/internal/maintain"
 	"golake/internal/table"
 	"golake/lakeerr"
 )
@@ -32,6 +33,8 @@ import (
 //	GET  /v1/lineage?entity=NAME         upstream provenance, paginated
 //	GET  /v1/audit?entity=NAME           access log (governance role)
 //	GET  /v1/swamp                       metadata-coverage report
+//	GET  /v1/maintenance                 maintenance status snapshot
+//	POST /v1/maintenance                 run a pass now (409 if running)
 //
 // The unversioned routes of the first release (/datasets, /metadata,
 // /related, /query, /lineage, /audit, /swamp) remain as deprecated
@@ -49,6 +52,8 @@ func (l *Lake) HTTPHandler() http.Handler {
 	mux.HandleFunc("GET /v1/lineage", l.handleLineageV1)
 	mux.HandleFunc("GET /v1/audit", l.handleAuditV1)
 	mux.HandleFunc("GET /v1/swamp", l.handleSwamp)
+	mux.HandleFunc("GET /v1/maintenance", l.handleMaintenanceStatus)
+	mux.HandleFunc("POST /v1/maintenance", l.handleMaintenanceTrigger)
 	// Deprecated pre-v1 aliases.
 	mux.HandleFunc("GET /datasets", deprecated("/v1/datasets", l.handleDatasetsLegacy))
 	mux.HandleFunc("GET /metadata", deprecated("/v1/metadata", l.handleMetadata))
@@ -473,5 +478,36 @@ func (l *Lake) handleAuditLegacy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (l *Lake) handleSwamp(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, l.SwampCheck())
+	rep, err := l.SwampAudit(r.Context())
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (l *Lake) handleMaintenanceStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, l.MaintenanceStatus())
+}
+
+// handleMaintenanceTrigger runs one synchronous incremental pass on
+// behalf of a registered user. A pass already in flight is a conflict
+// (409) rather than a queue: the running pass — or the scheduler's
+// next tick — already covers the data.
+func (l *Lake) handleMaintenanceTrigger(w http.ResponseWriter, r *http.Request) {
+	if _, err := l.roleOf(userOf(r)); err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	rep, err := l.TriggerMaintain(r.Context())
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	// Same wire projection as the status endpoint's last_pass, plus
+	// whether ingests raced the pass.
+	writeJSON(w, http.StatusOK, struct {
+		maintain.PassStats
+		Stale bool `json:"stale"`
+	}{rep.stats(), rep.Stale})
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func apiLake(t *testing.T) *httptest.Server {
@@ -520,5 +521,158 @@ func TestV1IngestThenExploreRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "orders") {
 		t.Errorf("orders not discovered from HTTP-ingested payments: %s", body)
+	}
+}
+
+func TestV1MaintenanceStatusEndpoint(t *testing.T) {
+	srv := apiLake(t)
+	resp, body := get(t, srv, "/v1/maintenance", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		Auto      bool   `json:"auto"`
+		Running   bool   `json:"running"`
+		Stale     bool   `json:"stale"`
+		PassesRun uint64 `json:"passes_run"`
+		LastPass  *struct {
+			Mode     string `json:"mode"`
+			Datasets int    `json:"datasets"`
+		} `json:"last_pass"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Auto || st.Running || st.Stale || st.PassesRun != 1 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.LastPass == nil || st.LastPass.Mode != "full" || st.LastPass.Datasets != 2 {
+		t.Errorf("last pass = %+v", st.LastPass)
+	}
+}
+
+func TestV1MaintenanceTrigger(t *testing.T) {
+	l := testLake(t)
+	ctx := context.Background()
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n2,20\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(l.HTTPHandler())
+	t.Cleanup(srv.Close)
+	// Unregistered callers may not trigger passes.
+	resp, _ := do(t, srv, http.MethodPost, "/v1/maintenance", "ghost", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unregistered trigger = %d", resp.StatusCode)
+	}
+	// First trigger runs the first-pass full rebuild.
+	resp, body := do(t, srv, http.MethodPost, "/v1/maintenance", "dana", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trigger = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Mode     string `json:"mode"`
+		Datasets int    `json:"datasets"`
+		Stale    bool   `json:"stale"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != "full" || out.Datasets != 1 || out.Stale {
+		t.Errorf("first trigger = %+v", out)
+	}
+	// Second trigger finds nothing new: an O(1) incremental pass.
+	_, body = do(t, srv, http.MethodPost, "/v1/maintenance", "dana", "")
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != "incremental" || out.Datasets != 0 {
+		t.Errorf("second trigger = %+v", out)
+	}
+}
+
+func TestV1MaintenanceTriggerConflictsWhileRunning(t *testing.T) {
+	l := testLake(t)
+	srv := httptest.NewServer(l.HTTPHandler())
+	t.Cleanup(srv.Close)
+	// Hold the pass lock to simulate an in-flight pass.
+	l.maintMu.Lock()
+	resp, body := do(t, srv, http.MethodPost, "/v1/maintenance", "dana", "")
+	l.maintMu.Unlock()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("trigger during pass = %d: %s", resp.StatusCode, body)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "conflict" {
+		t.Errorf("error code = %q, want conflict", env.Error.Code)
+	}
+}
+
+// TestAutoMaintainHTTPIngestExplorable is the serve-mode acceptance
+// path: a dataset ingested over REST becomes explorable over REST with
+// no manual maintenance anywhere.
+func TestAutoMaintainHTTPIngestExplorable(t *testing.T) {
+	l, err := Open(t.TempDir(), WithAutoMaintain(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	l.AddUser("dana", RoleDataScientist)
+	srv := httptest.NewServer(l.HTTPHandler())
+	t.Cleanup(srv.Close)
+	for path, csv := range map[string]string{
+		"raw/orders.csv":   `id,total\n1,10\n2,20\n`,
+		"raw/payments.csv": `id,amount\n1,5\n2,6\n`,
+	} {
+		body := `{"path":"` + path + `","content":"` + csv + `"}`
+		resp, data := do(t, srv, http.MethodPost, "/v1/datasets", "dana", body)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("ingest %s = %d: %s", path, resp.StatusCode, data)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, data := get(t, srv, "/v1/related?table=orders&k=2", "dana")
+		if resp.StatusCode == http.StatusOK {
+			var res []struct {
+				Table string `json:"Table"`
+			}
+			if err := json.Unmarshal(data, &res); err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, r := range res {
+				if r.Table == "payments" {
+					found = true
+				}
+			}
+			if found {
+				break
+			}
+		} else if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("related = %d: %s", resp.StatusCode, data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("HTTP-ingested dataset never became explorable under auto-maintenance")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, data := get(t, srv, "/v1/maintenance", "")
+	var st struct {
+		Auto      bool   `json:"auto"`
+		PassesRun uint64 `json:"passes_run"`
+		NextRun   string `json:"next_run"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Auto || st.PassesRun == 0 || st.NextRun == "" {
+		t.Errorf("maintenance status = %+v", st)
 	}
 }

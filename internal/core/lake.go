@@ -25,10 +25,12 @@ import (
 	"sync"
 	"time"
 
+	"golake/internal/clean"
 	"golake/internal/discovery"
 	"golake/internal/enrich"
 	"golake/internal/explore"
 	"golake/internal/extract"
+	"golake/internal/maintain"
 	"golake/internal/metamodel"
 	"golake/internal/organize"
 	"golake/internal/provenance"
@@ -70,10 +72,11 @@ var (
 type Option func(*options)
 
 type options struct {
-	clock      func() time.Time
-	pushdown   bool
-	maxResults int
-	logger     *slog.Logger
+	clock        func() time.Time
+	pushdown     bool
+	maxResults   int
+	logger       *slog.Logger
+	autoMaintain time.Duration
 }
 
 // WithClock substitutes the lake's time source (tests, replays).
@@ -97,6 +100,15 @@ func WithMaxResults(n int) Option {
 // logging middleware uses it. Nil (the default) disables logging.
 func WithLogger(l *slog.Logger) Option {
 	return func(o *options) { o.logger = l }
+}
+
+// WithAutoMaintain starts a background maintenance scheduler when the
+// lake opens: every interval it checks Stale and, when new data
+// arrived, runs an incremental pass — so ingested data becomes
+// explorable without an operator calling Maintain. Failed passes retry
+// with jittered exponential backoff. Call Close to stop the scheduler.
+func WithAutoMaintain(interval time.Duration) Option {
+	return func(o *options) { o.autoMaintain = interval }
 }
 
 // Lake is one assembled data lake instance.
@@ -127,9 +139,30 @@ type Lake struct {
 	// collection) back to ingest paths, so per-query provenance
 	// resolution is O(1) instead of O(placements).
 	nameToPath map[string]string
+	// pendingPromote accumulates paths ingested since the last
+	// maintenance pass, so an incremental pass promotes zones in
+	// O(new data) instead of rescanning every placement.
+	pendingPromote []string
 
 	maintMu  sync.Mutex // serializes Maintain passes
 	ingestMu sync.Mutex // makes the duplicate-path check atomic
+
+	// Incremental-maintenance state. planner tracks per-dataset
+	// coverage; knn is the persistent DS-kNN categorizer incremental
+	// passes extend (both guarded by maintMu). sched is the background
+	// scheduler WithAutoMaintain starts (set once in Open, nil without).
+	planner *maintain.Planner
+	knn     *organize.DSKNN
+	sched   *maintain.Scheduler
+
+	// Pass bookkeeping for the maintenance status snapshot (guarded by
+	// mu).
+	maintRunning  bool
+	passesRun     uint64
+	maintFailures uint64
+	lastMaintErr  string
+	lastPass      *maintain.PassStats
+	lastPassTime  time.Time
 
 	clock      func() time.Time
 	maxResults int
@@ -156,6 +189,8 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 		Catalog:    organize.NewCatalog(o.clock),
 		Tracker:    provenance.NewTracker(o.clock),
 		Explorer:   explore.NewExplorer(),
+		planner:    maintain.NewPlanner(),
+		knn:        organize.NewDSKNN(),
 		users:      map[string]Role{},
 		nameToPath: map[string]string{},
 		clock:      o.clock,
@@ -164,7 +199,46 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 	}
 	l.Engine = query.NewEngine(poly)
 	l.Engine.PushDown = o.pushdown
+	if o.autoMaintain > 0 {
+		l.sched = maintain.NewScheduler(schedTarget{l}, maintain.Config{
+			Interval: o.autoMaintain,
+			Clock:    o.clock,
+		})
+		l.sched.Start()
+	}
 	return l, nil
+}
+
+// Close stops the background maintenance scheduler, waiting for any
+// in-flight pass to observe cancellation and drain. Safe to call more
+// than once; a lake opened without WithAutoMaintain closes trivially.
+func (l *Lake) Close() error {
+	if l.sched != nil {
+		l.sched.Stop()
+	}
+	return nil
+}
+
+// schedTarget adapts the Lake to the scheduler's Target interface and
+// routes pass outcomes into the configured logger.
+type schedTarget struct{ l *Lake }
+
+func (t schedTarget) Stale() bool { return t.l.Stale() }
+
+func (t schedTarget) Pass(ctx context.Context) (maintain.PassStats, error) {
+	rep, err := t.l.MaintainIncremental(ctx)
+	if err != nil {
+		if t.l.logger != nil && ctx.Err() == nil {
+			t.l.logger.Warn("maintenance pass failed", "error", err)
+		}
+		return maintain.PassStats{}, err
+	}
+	if t.l.logger != nil {
+		t.l.logger.Info("maintenance pass",
+			"mode", rep.Mode, "datasets", rep.DatasetsReindexed,
+			"tables", rep.Tables, "duration", rep.Duration)
+	}
+	return rep.stats(), nil
 }
 
 // AddUser registers a user with a role.
@@ -255,6 +329,7 @@ func (l *Lake) Ingest(ctx context.Context, path string, data []byte, source, use
 	l.Tracker.Ingest(path, source, user)
 	l.mu.Lock()
 	l.ingestGen++
+	l.pendingPromote = append(l.pendingPromote, path)
 	if pl.TableName != "" {
 		l.nameToPath[pl.TableName] = path
 	}
@@ -290,73 +365,181 @@ func (l *Lake) IngestBatch(ctx context.Context, user string, items []IngestItem)
 
 // MaintenanceReport summarizes one maintenance pass.
 type MaintenanceReport struct {
-	Tables      int
-	Categories  map[int][]string
-	RFDs        []enrich.RFD
-	IndexedCols int
+	// Mode is "full" or "incremental"; Reason says why a pass went full
+	// ("first-pass", "eviction", "derive", "requested", "recovery").
+	Mode   string
+	Reason string
+	// Tables is the corpus size after the pass; DatasetsReindexed is
+	// how many datasets the pass actually profiled and indexed — the
+	// incremental win: 1 new dataset in a maintained lake of N costs
+	// O(1 dataset), not O(N).
+	Tables            int
+	DatasetsReindexed int
+	Categories        map[int][]string
+	RFDs              []enrich.RFD
+	IndexedCols       int
+	// CleanViolations counts CLAMS constraint violations found in the
+	// datasets this pass profiled (cleaning-function triage input).
+	CleanViolations int
 	// Generation is the ingest generation this pass covered; Stale
-	// reports whether new ingests arrived while the pass ran (run
-	// Maintain again to cover them).
+	// reports whether new ingests arrived while the pass ran (the next
+	// pass covers them).
 	Generation uint64
 	Stale      bool
+	// Duration is the wall-clock cost of the pass.
+	Duration time.Duration
 }
 
-// Maintain runs the maintenance tier over all relational datasets:
-// builds the exploration indexes, categorizes datasets (DS-kNN),
-// discovers relaxed FDs, and promotes profiled datasets to the curated
-// zone. Concurrent Maintain calls serialize; ingests racing the pass
-// are detected via the ingest generation and surface as Stale in the
-// report rather than being silently claimed as indexed.
+// stats projects the report onto the wire-level pass summary.
+func (r *MaintenanceReport) stats() maintain.PassStats {
+	return maintain.PassStats{
+		Mode: r.Mode, Reason: r.Reason,
+		Datasets: r.DatasetsReindexed, Tables: r.Tables,
+		Generation: r.Generation, Duration: r.Duration,
+	}
+}
+
+// Maintain runs a full maintenance pass over all relational datasets:
+// rebuilds the exploration indexes, categorizes datasets (DS-kNN),
+// discovers relaxed FDs, flags cleaning candidates (CLAMS), and
+// promotes profiled datasets to the curated zone. Concurrent passes
+// serialize; ingests racing the pass are detected via the ingest
+// generation and surface as Stale in the report rather than being
+// silently claimed as indexed. Prefer MaintainIncremental unless a
+// from-scratch rebuild is the point.
 func (l *Lake) Maintain(ctx context.Context) (*MaintenanceReport, error) {
 	l.maintMu.Lock()
 	defer l.maintMu.Unlock()
+	return l.maintainLocked(ctx, true)
+}
+
+// MaintainIncremental runs the cheapest correct maintenance pass:
+// datasets ingested since the last covered generation are indexed
+// incrementally — O(new data) instead of O(lake) — while the first
+// pass, evictions, derived tables, and recovery after a failed pass
+// fall back to a full rebuild. This is what the background scheduler
+// runs.
+func (l *Lake) MaintainIncremental(ctx context.Context) (*MaintenanceReport, error) {
+	l.maintMu.Lock()
+	defer l.maintMu.Unlock()
+	return l.maintainLocked(ctx, false)
+}
+
+// TriggerMaintain runs an incremental pass unless one is already in
+// flight, in which case it reports a conflict instead of queueing.
+// On conflict with auto-maintenance enabled, the scheduler is kicked
+// so any data the running pass misses is covered right after it
+// drains, not an interval later. This is the POST /v1/maintenance
+// entry point.
+func (l *Lake) TriggerMaintain(ctx context.Context) (*MaintenanceReport, error) {
+	if !l.maintMu.TryLock() {
+		if l.sched != nil {
+			l.sched.Trigger()
+		}
+		return nil, lakeerr.Errorf(lakeerr.CodeConflict, "core: a maintenance pass is already running")
+	}
+	defer l.maintMu.Unlock()
+	return l.maintainLocked(ctx, false)
+}
+
+// maintainLocked executes one pass and updates the status bookkeeping;
+// maintMu must be held.
+func (l *Lake) maintainLocked(ctx context.Context, wantFull bool) (*MaintenanceReport, error) {
+	start := time.Now()
+	l.mu.Lock()
+	l.maintRunning = true
+	l.mu.Unlock()
+	rep, err := l.runPass(ctx, wantFull)
+	l.mu.Lock()
+	l.maintRunning = false
+	if err != nil {
+		l.maintFailures++
+		l.lastMaintErr = err.Error()
+	} else {
+		rep.Duration = time.Since(start)
+		l.passesRun++
+		l.lastMaintErr = ""
+		stats := rep.stats()
+		l.lastPass = &stats
+		l.lastPassTime = l.clock()
+	}
+	l.mu.Unlock()
+	return rep, err
+}
+
+// runPass plans and executes one maintenance pass; maintMu must be
+// held.
+func (l *Lake) runPass(ctx context.Context, wantFull bool) (*MaintenanceReport, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	l.mu.RLock()
+	// Snapshot the planner's force counter before anything else: a
+	// Derive landing after this point keeps its forced rebuild across
+	// this pass's commit (its table may be missing from our listing).
+	forceSeq := l.planner.Snapshot()
+	// Snapshot the generation and drain the pending zone promotions
+	// together: ingests racing the pass land after this point and stay
+	// pending for the next one.
+	l.mu.Lock()
 	gen := l.ingestGen
-	l.mu.RUnlock()
+	pending := l.pendingPromote
+	l.pendingPromote = nil
+	l.mu.Unlock()
+	// A failed pass gives its drained promotions back so the recovery
+	// pass still covers them.
+	restorePending := func() {
+		l.mu.Lock()
+		l.pendingPromote = append(pending, l.pendingPromote...)
+		l.mu.Unlock()
+	}
 	tables, err := l.relationalTables()
 	if err != nil {
+		restorePending()
 		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
 	}
-	rep := &MaintenanceReport{Tables: len(tables), Generation: gen}
-	// Index into a fresh Explorer and swap it in at the end: in-flight
-	// Explore calls keep reading the previous (immutable once built)
-	// index instead of racing the rebuild.
-	ex := explore.NewExplorer()
-	if err := ex.Index(tables); err != nil {
-		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
+	names := make([]string, len(tables))
+	byName := make(map[string]*table.Table, len(tables))
+	for i, t := range tables {
+		names[i] = t.Name
+		byName[t.Name] = t
 	}
-	if err := ctxErr(ctx); err != nil {
+	plan := l.planner.PlanAt(forceSeq, names)
+	if wantFull && !plan.Full {
+		plan = l.planner.FullPlanAt(forceSeq, "requested", names)
+	}
+	var rep *MaintenanceReport
+	var ex *explore.Explorer
+	if plan.Full {
+		// The full pass rescans every placement for zone promotion, a
+		// superset of the drained pending paths.
+		rep, ex, err = l.fullPass(ctx, tables)
+	} else {
+		fresh := make([]*table.Table, len(plan.New))
+		for i, name := range plan.New {
+			fresh[i] = byName[name]
+		}
+		rep, err = l.incrementalPass(ctx, len(tables), fresh, pending)
+	}
+	if err != nil {
+		restorePending()
+		if !plan.Full {
+			// An aborted incremental pass may have left the live
+			// indexes half-updated; rebuild from scratch next time.
+			l.planner.ForceFull("recovery")
+		}
 		return nil, err
 	}
-	knn := organize.NewDSKNN()
-	for _, t := range tables {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		knn.Add(t)
-		rep.IndexedCols += t.NumCols()
+	rep.Mode = "incremental"
+	if plan.Full {
+		rep.Mode = "full"
 	}
-	rep.Categories = knn.Categories()
-	for _, t := range tables {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		rep.RFDs = append(rep.RFDs, enrich.DiscoverRFDs(t, 0.95)...)
-	}
-	// Zone promotion for every dataset that has metadata.
-	for _, pl := range l.Poly.Placements() {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		if _, err := l.GEMMS.Object(pl.Path); err == nil {
-			_ = l.Handle.MoveZone(pl.Path, ZoneCurated)
-		}
-	}
+	rep.Reason = plan.Reason
+	rep.Generation = gen
+	l.planner.Commit(plan, names)
 	l.mu.Lock()
-	l.Explorer = ex
+	if ex != nil {
+		l.Explorer = ex
+	}
 	l.maintained = true
 	if gen > l.maintainedGen {
 		l.maintainedGen = gen
@@ -366,11 +549,148 @@ func (l *Lake) Maintain(ctx context.Context) (*MaintenanceReport, error) {
 	return rep, nil
 }
 
+// fullPass rebuilds every index from scratch. It indexes into a fresh
+// Explorer and returns it for runPass to swap in atomically with the
+// generation bookkeeping: in-flight Explore calls keep reading the
+// previous index instead of racing the rebuild.
+func (l *Lake) fullPass(ctx context.Context, tables []*table.Table) (*MaintenanceReport, *explore.Explorer, error) {
+	rep := &MaintenanceReport{Tables: len(tables), DatasetsReindexed: len(tables)}
+	ex := explore.NewExplorer()
+	if err := ex.Index(tables); err != nil {
+		return nil, nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	knn := organize.NewDSKNN()
+	for _, t := range tables {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
+		knn.Add(t)
+		rep.IndexedCols += t.NumCols()
+	}
+	rep.Categories = knn.Categories()
+	for _, t := range tables {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
+		rep.RFDs = append(rep.RFDs, enrich.DiscoverRFDs(t, 0.95)...)
+		rep.CleanViolations += cleanViolations(t)
+	}
+	if err := l.promoteCurated(ctx); err != nil {
+		return nil, nil, err
+	}
+	l.knn = knn
+	return rep, ex, nil
+}
+
+// incrementalPass indexes only the fresh datasets into the live
+// structures: the Explorer adds them under its internal lock (readers
+// keep answering), DS-kNN classifies them against the existing
+// categories, RFD/clean profiling runs per new dataset only, and zone
+// promotion covers just the drained pending ingests — every step is
+// O(new data), not O(lake).
+func (l *Lake) incrementalPass(ctx context.Context, corpusSize int, fresh []*table.Table, pending []string) (*MaintenanceReport, error) {
+	rep := &MaintenanceReport{Tables: corpusSize, DatasetsReindexed: len(fresh)}
+	l.mu.RLock()
+	ex := l.Explorer
+	l.mu.RUnlock()
+	if err := ex.Add(fresh...); err != nil {
+		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
+	}
+	for _, t := range fresh {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		l.knn.Add(t)
+		rep.IndexedCols += t.NumCols()
+		rep.RFDs = append(rep.RFDs, enrich.DiscoverRFDs(t, 0.95)...)
+		rep.CleanViolations += cleanViolations(t)
+	}
+	rep.Categories = l.knn.Categories()
+	if err := l.promotePaths(ctx, pending); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// promoteCurated moves every dataset with extracted metadata into the
+// curated zone — the full pass's O(placements) rescan.
+func (l *Lake) promoteCurated(ctx context.Context) error {
+	paths := make([]string, 0)
+	for _, pl := range l.Poly.Placements() {
+		paths = append(paths, pl.Path)
+	}
+	return l.promotePaths(ctx, paths)
+}
+
+// promotePaths promotes the given datasets into the curated zone when
+// they carry extracted metadata. Idempotent (zone moves are map
+// updates); datasets without metadata stay raw and are re-audited by
+// SwampAudit instead.
+func (l *Lake) promotePaths(ctx context.Context, paths []string) error {
+	for _, path := range paths {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		if _, err := l.GEMMS.Object(path); err == nil {
+			_ = l.Handle.MoveZone(path, ZoneCurated)
+		}
+	}
+	return nil
+}
+
+// cleanViolations runs the CLAMS cleaning-function triage over one
+// dataset: discover functional denial constraints from the data and
+// count the triples violating them.
+func cleanViolations(t *table.Table) int {
+	return len(clean.RankViolations(t, clean.DiscoverConstraints(t, 0.9)))
+}
+
+// MaintenanceStatus snapshots the maintenance subsystem: pass counters
+// and the last pass summary, plus the scheduler's next firing when
+// auto-maintenance is on.
+func (l *Lake) MaintenanceStatus() maintain.Status {
+	l.mu.RLock()
+	st := maintain.Status{
+		Running:   l.maintRunning,
+		Stale:     l.staleLocked(),
+		PassesRun: l.passesRun,
+		Failures:  l.maintFailures,
+		LastError: l.lastMaintErr,
+	}
+	if l.lastPass != nil {
+		cp := *l.lastPass
+		st.LastPass = &cp
+	}
+	if !l.lastPassTime.IsZero() {
+		tt := l.lastPassTime
+		st.LastPassTime = &tt
+	}
+	l.mu.RUnlock()
+	st.Covered = l.planner.CoveredCount()
+	// A closed lake's scheduler will never fire again; report it as
+	// manual mode instead of advertising a stale next-run time.
+	if l.sched != nil && !l.sched.Stopped() {
+		st.Auto = true
+		if nr := l.sched.NextRun(); !nr.IsZero() {
+			st.NextRun = &nr
+		}
+	}
+	return st
+}
+
 // Stale reports whether ingests have happened since the last completed
 // maintenance pass (or no pass has run at all).
 func (l *Lake) Stale() bool {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	return l.staleLocked()
+}
+
+// staleLocked is the staleness definition; l.mu must be held.
+func (l *Lake) staleLocked() bool {
 	return !l.maintained || l.ingestGen > l.maintainedGen
 }
 
@@ -544,8 +864,21 @@ type SwampReport struct {
 // Healthy reports whether every dataset carries metadata.
 func (r SwampReport) Healthy() bool { return len(r.Swamp) == 0 }
 
+// SwampAudit audits metadata coverage across the lake.
+func (l *Lake) SwampAudit(ctx context.Context) (SwampReport, error) {
+	if err := ctxErr(ctx); err != nil {
+		return SwampReport{}, err
+	}
+	return l.swampCheck(), nil
+}
+
 // SwampCheck audits metadata coverage across the lake.
-func (l *Lake) SwampCheck() SwampReport {
+//
+// Deprecated: use SwampAudit, which takes a context like every other
+// Lake operation.
+func (l *Lake) SwampCheck() SwampReport { return l.swampCheck() }
+
+func (l *Lake) swampCheck() SwampReport {
 	rep := SwampReport{Swamp: []string{}}
 	for _, pl := range l.Poly.Placements() {
 		rep.Datasets++
@@ -636,6 +969,12 @@ func (l *Lake) Derive(ctx context.Context, user, activity string, inputs []strin
 	l.nameToPath[output.Name] = output.Name
 	l.ingestGen++
 	l.mu.Unlock()
+	// Derived tables are query outputs over already-indexed data; their
+	// columns shift the corpus statistics the discovery indexes were
+	// trained on (D3L's corpus-trained embeddings, Juneau provenance),
+	// so the next pass rebuilds from scratch instead of approximating
+	// an incremental add.
+	l.planner.ForceFull("derive")
 	if err := l.Tracker.Derive(activity, "lake", user, inputs, output.Name); err != nil {
 		return lakeerr.Wrap(lakeerr.CodeInternal, err)
 	}

@@ -410,18 +410,14 @@ func TestPEXESOGridMatchesBruteForce(t *testing.T) {
 			return 0
 		}
 		matched := 0
-		qi := 0
-		for v := range q.exact {
+		for i, v := range q.values {
 			if _, ok := cand.exact[v]; ok {
 				matched++
-				qi++
 				continue
 			}
-			vec := q.vectors[qi]
-			qi++
 			found := false
 			for _, cv := range cand.vectors {
-				if cosine(vec, cv) >= p.Tau {
+				if cosine(q.vectors[i], cv) >= p.Tau {
 					found = true
 					break
 				}
@@ -430,7 +426,7 @@ func TestPEXESOGridMatchesBruteForce(t *testing.T) {
 				matched++
 			}
 		}
-		return float64(matched) / float64(len(q.exact))
+		return float64(matched) / float64(len(q.values))
 	}
 	keys := make([]string, 0, len(p.columns))
 	for k := range p.columns {

@@ -32,7 +32,10 @@ type PEXESO struct {
 }
 
 type pexColumn struct {
-	key     string
+	key string
+	// values[i] embeds to vectors[i]; exact is the same distinct value
+	// set as a lookup map for the exact-match short-circuit.
+	values  []string
 	vectors [][]float64
 	exact   map[string]struct{}
 	// grid buckets vector indices by their cell to prune comparisons.
@@ -89,6 +92,7 @@ func (p *PEXESO) embedColumn(tableName string, c *table.Column) *pexColumn {
 		pc.exact[v] = struct{}{}
 		vec := p.model.Vector(v)
 		idx := len(pc.vectors)
+		pc.values = append(pc.values, v)
 		pc.vectors = append(pc.vectors, vec)
 		pc.grid[p.cell(vec)] = append(pc.grid[p.cell(vec)], idx)
 	}
@@ -136,21 +140,17 @@ func (p *PEXESO) Joinability(q, cand *pexColumn) float64 {
 		return 0
 	}
 	matched := 0
-	qi := 0
-	for v := range q.exact {
+	for i, v := range q.values {
 		// Exact value match short-circuits the vector search.
 		if _, ok := cand.exact[v]; ok {
 			matched++
-			qi++
 			continue
 		}
-		vec := q.vectors[qi]
-		qi++
-		if p.hasVectorMatch(vec, cand) {
+		if p.hasVectorMatch(q.vectors[i], cand) {
 			matched++
 		}
 	}
-	return float64(matched) / float64(len(q.exact))
+	return float64(matched) / float64(len(q.values))
 }
 
 func (p *PEXESO) hasVectorMatch(vec []float64, cand *pexColumn) bool {

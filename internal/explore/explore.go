@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"golake/internal/discovery"
 	"golake/internal/metamodel"
@@ -60,8 +61,11 @@ type Result struct {
 	Via string
 }
 
-// Explorer serves exploration queries over pre-built indexes.
+// Explorer serves exploration queries over pre-built indexes. Queries
+// and incremental Add calls may run concurrently: reads take the
+// internal lock shared, index mutation takes it exclusive.
 type Explorer struct {
+	mu      sync.RWMutex
 	corpus  map[string]*table.Table
 	josie   *discovery.JOSIE
 	d3l     *discovery.D3L
@@ -77,13 +81,49 @@ func NewExplorer() *Explorer {
 	}
 }
 
-// Index builds all mode indexes over the corpus.
-func (e *Explorer) Index(tables []*table.Table) error {
+// reset discards every index, leaving the explorer empty.
+func (e *Explorer) reset() {
+	e.corpus = map[string]*table.Table{}
 	e.josie = discovery.NewJOSIE()
 	e.d3l = discovery.NewD3L()
+	e.juneau = map[discovery.SearchTask]*discovery.Juneau{}
 	for _, task := range []discovery.SearchTask{discovery.TaskAugment, discovery.TaskFeatures, discovery.TaskClean} {
 		e.juneau[task] = discovery.NewJuneau(task)
 	}
+}
+
+// Index rebuilds all mode indexes from scratch over the corpus.
+func (e *Explorer) Index(tables []*table.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reset()
+	return e.addLocked(tables)
+}
+
+// Add indexes additional tables incrementally — O(new tables) instead
+// of O(corpus) — for maintenance passes covering freshly ingested
+// datasets. Tables already indexed are skipped, so a retried pass
+// cannot double-index. The D3L embedding model is corpus-trained;
+// incremental adds extend it without re-embedding older columns, an
+// approximation the next full rebuild squares up.
+func (e *Explorer) Add(tables ...*table.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.josie == nil {
+		e.reset()
+	}
+	fresh := make([]*table.Table, 0, len(tables))
+	for _, t := range tables {
+		if _, ok := e.corpus[t.Name]; !ok {
+			fresh = append(fresh, t)
+		}
+	}
+	return e.addLocked(fresh)
+}
+
+// addLocked indexes tables into the live structures; e.mu must be held
+// exclusively.
+func (e *Explorer) addLocked(tables []*table.Table) error {
 	for _, t := range tables {
 		e.corpus[t.Name] = t
 	}
@@ -102,8 +142,17 @@ func (e *Explorer) Index(tables []*table.Table) error {
 	return nil
 }
 
+// Size reports how many tables the indexes cover.
+func (e *Explorer) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.corpus)
+}
+
 // Explore answers a request in its mode.
 func (e *Explorer) Explore(req Request) ([]Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if !e.indexed {
 		return nil, ErrNotIndexed
 	}

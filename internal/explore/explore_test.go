@@ -127,3 +127,114 @@ func TestPopulateCoverageExtension(t *testing.T) {
 		t.Errorf("coverage extension missing: %+v", res)
 	}
 }
+
+func TestAddIndexesIncrementally(t *testing.T) {
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 12, JoinGroups: 3, RowsPerTable: 80,
+		ExtraCols: 1, KeyVocab: 120, KeySample: 70, NoiseRate: 0.01, Seed: 23,
+	})
+	e := NewExplorer()
+	// Index everything except the last table, then add it incrementally.
+	last := c.Tables[len(c.Tables)-1]
+	if err := e.Index(c.Tables[:len(c.Tables)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(last); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Size(); got != len(c.Tables) {
+		t.Fatalf("size = %d, want %d", got, len(c.Tables))
+	}
+	// The added table is discoverable both as a query and as a result.
+	res, err := e.Explore(Request{Mode: ModePopulate, Query: last, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results for incrementally added query table")
+	}
+	var partner *table.Table
+	for _, tbl := range c.Tables[:len(c.Tables)-1] {
+		if c.Joinable[workload.NewPair(last.Name, tbl.Name)] {
+			partner = tbl
+			break
+		}
+	}
+	if partner == nil {
+		t.Fatal("corpus has no joinable partner for the last table")
+	}
+	res, err = e.Explore(Request{Mode: ModePopulate, Query: partner, K: len(c.Tables)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.Table == last.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added table %s not discoverable from %s: %+v", last.Name, partner.Name, res)
+	}
+}
+
+func TestAddSkipsAlreadyIndexedTables(t *testing.T) {
+	a, _ := table.ParseCSV("a", "k\nv1\nv2\n")
+	e := NewExplorer()
+	if err := e.Index([]*table.Table{a}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding must not double-index (a retried pass hits this path).
+	if err := e.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Size(); got != 1 {
+		t.Errorf("size after duplicate add = %d", got)
+	}
+}
+
+func TestAddOnEmptyExplorerIndexes(t *testing.T) {
+	a, _ := table.ParseCSV("a", "k\nv1\nv2\n")
+	e := NewExplorer()
+	if err := e.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Explore(Request{Mode: ModePopulate, Query: a, K: 1}); err != nil {
+		t.Errorf("explore after bare Add = %v", err)
+	}
+}
+
+// TestConcurrentAddAndExplore exercises the shared/exclusive locking:
+// exploration keeps answering while tables stream in.
+func TestConcurrentAddAndExplore(t *testing.T) {
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: 20, JoinGroups: 4, RowsPerTable: 40,
+		ExtraCols: 1, KeyVocab: 100, KeySample: 40, Seed: 7,
+	})
+	e := NewExplorer()
+	if err := e.Index(c.Tables[:4]); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for _, tbl := range c.Tables[4:] {
+			if err := e.Add(tbl); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	q := c.Tables[0]
+	for i := 0; i < 50; i++ {
+		if _, err := e.Explore(Request{Mode: ModePopulate, Query: q, K: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Size(); got != len(c.Tables) {
+		t.Errorf("size = %d, want %d", got, len(c.Tables))
+	}
+}
