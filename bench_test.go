@@ -311,6 +311,80 @@ func BenchmarkFederatedQueryPushdown(b *testing.B) {
 	}
 }
 
+// streamBenchEngine builds a query engine over one n-row relational
+// table, registered directly in the polystore (ingest is not under
+// measurement).
+func streamBenchEngine(b *testing.B, rows int) *query.Engine {
+	b.Helper()
+	p, err := polystore.New(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	big := table.New("big")
+	big.Columns = []*table.Column{{Name: "id"}, {Name: "site"}, {Name: "v"}}
+	for i := 0; i < rows; i++ {
+		if err := big.AppendRow([]string{fmt.Sprint(i), fmt.Sprintf("s%d", i%50), fmt.Sprint(i % 997)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Rel.Create(big)
+	return query.NewEngine(p)
+}
+
+// queryStreamSizes are the corpus sizes of the streaming-vs-
+// materialized comparison; the LIMIT stays fixed so the streamed cost
+// should stay flat while the materialized cost grows with the corpus.
+var queryStreamSizes = []int{1000, 100000}
+
+// BenchmarkQueryStream measures the iterator pipeline on a LIMIT 10
+// query: the scan stops after 10 rows, so latency and allocs/op must
+// be O(limit), independent of corpus size.
+func BenchmarkQueryStream(b *testing.B) {
+	for _, rows := range queryStreamSizes {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			e := streamBenchEngine(b, rows)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			out := 0
+			for i := 0; i < b.N; i++ {
+				res, err := e.ExecuteSQL(ctx, "SELECT id FROM rel:big LIMIT 10")
+				if err != nil {
+					b.Fatal(err)
+				}
+				out = res.NumRows()
+			}
+			b.ReportMetric(float64(out)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkQueryMaterialized is the pre-streaming baseline for the
+// same LIMIT 10 query: materialize the full scan, then truncate — the
+// execution model the row-iterator pipeline replaced. Its latency and
+// allocs/op grow with the corpus.
+func BenchmarkQueryMaterialized(b *testing.B) {
+	for _, rows := range queryStreamSizes {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			e := streamBenchEngine(b, rows)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			out := 0
+			for i := 0; i < b.N; i++ {
+				full, err := e.ExecuteSQL(ctx, "SELECT id FROM rel:big")
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				got := full.Filter(func([]string) bool { n++; return n <= 10 })
+				out = got.NumRows()
+			}
+			b.ReportMetric(float64(out)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
 // BenchmarkMaintainIncremental measures the steady-state per-ingest
 // maintenance cost with incremental reindexing: each iteration ingests
 // one new dataset into an already-maintained lake and runs the

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchreport [-only table1|table2|table3|fig2|scaling|ablation|
-//	             datamaran|modes|pushdown|semantic|ekg]
+//	             datamaran|modes|pushdown|streaming|semantic|ekg]
 //
 // Without -only, every experiment runs in DESIGN.md order.
 package main
@@ -44,6 +44,7 @@ func main() {
 		"datamaran": bench.Datamaran,
 		"modes":     func() (*bench.Report, error) { return bench.ExplorationModes(3) },
 		"pushdown":  func() (*bench.Report, error) { return bench.Pushdown(dir, 20000) },
+		"streaming": func() (*bench.Report, error) { return bench.QueryStreaming(dir, []int{1000, 100000}) },
 		"semantic":  bench.JoinabilityVsSemantic,
 		"ekg":       bench.EKGSummary,
 	}

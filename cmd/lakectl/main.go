@@ -7,7 +7,7 @@
 //	lakectl -data DIR catalog                 catalog entries
 //	lakectl -data DIR discover TABLE [K]      related tables (populate mode)
 //	lakectl -data DIR join TABLE COLUMN [K]   joinable tables on a column
-//	lakectl -data DIR query 'SQL'             federated query, CSV on stdout
+//	lakectl -data DIR query 'SQL'             federated query, CSV streamed to stdout
 //	lakectl -data DIR swamp                   metadata-coverage audit
 //	lakectl -data DIR lineage ENTITY          upstream provenance
 //	lakectl -data DIR serve [ADDR]            REST v1 API server
@@ -21,9 +21,11 @@ package main
 
 import (
 	"context"
+	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"log/slog"
 	"net/http"
@@ -153,12 +155,7 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 		if len(args) < 1 {
 			return fmt.Errorf("query needs SQL")
 		}
-		res, err := lake.QuerySQL(ctx, user, strings.Join(args, " "))
-		if err != nil {
-			return err
-		}
-		fmt.Print(table.ToCSV(res))
-		return nil
+		return streamQuery(ctx, lake, user, strings.Join(args, " "))
 	case "swamp":
 		rep, err := lake.SwampAudit(ctx)
 		if err != nil {
@@ -205,6 +202,42 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 		usage()
 		return nil
 	}
+}
+
+// streamQuery executes a federated query through the streaming
+// pipeline, printing CSV rows as they arrive instead of buffering the
+// full result — a LIMIT n query over a huge corpus emits n rows and
+// stops, and Ctrl-C aborts between rows.
+func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string) error {
+	it, err := lake.QueryStream(ctx, user, sql)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	w := csv.NewWriter(os.Stdout)
+	if err := w.Write(it.Columns()); err != nil {
+		return err
+	}
+	for n := 0; ; n++ {
+		row, err := it.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			w.Flush()
+			return err
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+		// Flush in small batches so rows reach the terminal (or a
+		// downstream pipe) while the scan is still running.
+		if n%64 == 63 {
+			w.Flush()
+		}
+	}
+	w.Flush()
+	return w.Error()
 }
 
 func argK(args []string, i int) int {

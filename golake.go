@@ -41,6 +41,33 @@
 //	rows, err := lake.QuerySQL(ctx, "dana", "SELECT id, total FROM rel:orders WHERE total > 10")
 //	if lakeerr.IsInvalidQuery(err) { /* bad SQL, not a lake failure */ }
 //
+// # Streaming queries
+//
+// Query execution is a pull-based iterator pipeline: per-source scans
+// feed a streaming union-merge with predicates, projection and LIMIT
+// as stages, so memory stays bounded by rows in flight instead of the
+// full federated result. Lake.QueryStream exposes it directly:
+//
+//	it, err := lake.QueryStream(ctx, "dana", "SELECT id FROM rel:orders LIMIT 10")
+//	if err != nil {
+//		return err
+//	}
+//	defer it.Close()
+//	for {
+//		row, err := it.Next(ctx)
+//		if errors.Is(err, io.EOF) {
+//			break
+//		}
+//		if err != nil {
+//			return err
+//		}
+//		use(row) // []string ordered like it.Columns()
+//	}
+//
+// Over REST, POST /v1/query streams chunked NDJSON when the request
+// carries Accept: application/x-ndjson (header line, one JSON row per
+// line, a final {"error":{...}} line on mid-stream failure).
+//
 // # Background maintenance
 //
 // The manual Maintain call above can be replaced by an always-on
@@ -76,6 +103,7 @@ import (
 	"golake/internal/discovery"
 	"golake/internal/explore"
 	"golake/internal/maintain"
+	"golake/internal/query"
 	"golake/internal/table"
 )
 
@@ -102,6 +130,16 @@ const (
 
 // Table is the tabular dataset model.
 type Table = table.Table
+
+// RowIterator is the pull-based row stream returned by
+// Lake.QueryStream: Columns is the header, Next yields one row at a
+// time (io.EOF at the end, cancellation honored between rows), Close
+// releases the source scans. QuerySQL remains the materializing
+// collector over the same pipeline.
+type RowIterator = query.RowIterator
+
+// Row is one streamed result record.
+type Row = query.Row
 
 // IngestItem is one object of an IngestBatch bulk load.
 type IngestItem = core.IngestItem

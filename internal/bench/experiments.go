@@ -701,6 +701,66 @@ func firstLine(s string) string {
 	return s
 }
 
+// QueryStreaming compares the row-iterator query pipeline against the
+// materialize-then-truncate execution model it replaced, on a LIMIT 10
+// query per corpus size: the streamed cost must stay flat while the
+// materialized cost grows with the corpus.
+func QueryStreaming(dir string, sizes []int) (*Report, error) {
+	rep := &Report{
+		Title:  "Streaming query pipeline: LIMIT 10 latency vs corpus size",
+		Header: []string{"Corpus rows", "Execution", "Rows out", "Latency"},
+	}
+	for _, rows := range sizes {
+		p, err := polystore.New(fmt.Sprintf("%s/stream-%d", dir, rows))
+		if err != nil {
+			return nil, err
+		}
+		big := table.New("big")
+		big.Columns = []*table.Column{{Name: "id"}, {Name: "site"}, {Name: "v"}}
+		for i := 0; i < rows; i++ {
+			if err := big.AppendRow([]string{fmt.Sprint(i), fmt.Sprintf("s%d", i%50), fmt.Sprint(i % 997)}); err != nil {
+				return nil, err
+			}
+		}
+		p.Rel.Create(big)
+		e := query.NewEngine(p)
+		const reps = 5
+		run := func(label string, exec func() (*table.Table, error)) error {
+			start := time.Now()
+			var got *table.Table
+			for i := 0; i < reps; i++ {
+				var err error
+				if got, err = exec(); err != nil {
+					return err
+				}
+			}
+			dur := time.Since(start) / reps
+			rep.Add(fmt.Sprint(rows), label, fmt.Sprint(got.NumRows()),
+				dur.Round(time.Microsecond).String())
+			return nil
+		}
+		err = run("stream (LIMIT as stage)", func() (*table.Table, error) {
+			return e.ExecuteSQL(context.Background(), "SELECT id FROM rel:big LIMIT 10")
+		})
+		if err != nil {
+			return nil, err
+		}
+		err = run("materialize, then truncate", func() (*table.Table, error) {
+			full, err := e.ExecuteSQL(context.Background(), "SELECT id FROM rel:big")
+			if err != nil {
+				return nil, err
+			}
+			n := 0
+			return full.Filter(func([]string) bool { n++; return n <= 10 }), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Note("the pull-based pipeline stops the scan after LIMIT rows, so cost is O(limit); the old model paid O(corpus) before truncating")
+	return rep, nil
+}
+
 // MaintenanceIncremental measures the incremental-maintenance win: a
 // lake of N maintained datasets receives 1 new dataset; the
 // incremental pass must reindex only that dataset (O(new data)) while
@@ -851,6 +911,7 @@ func All(dir string) (string, error) {
 		func() (*Report, error) { return LakehouseReport(dir+"/lakehouse", 8, 2000) },
 		LSHShapeAblation,
 		func() (*Report, error) { return MaintenanceIncremental(dir+"/maintenance", []int{20, 40, 80}) },
+		func() (*Report, error) { return QueryStreaming(dir+"/streaming", []int{1000, 100000}) },
 	}
 	for _, g := range gens {
 		rep, err := g()

@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
+	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -11,6 +14,7 @@ import (
 	"golake/internal/discovery"
 	"golake/internal/explore"
 	"golake/internal/maintain"
+	"golake/internal/query"
 	"golake/internal/table"
 	"golake/lakeerr"
 )
@@ -24,17 +28,23 @@ import (
 // envelope {"error":{"code","message"}} with the code drawn from the
 // lakeerr taxonomy.
 //
-//	GET  /v1/datasets?limit=&offset=     paginated catalog entries
+//	GET  /v1/datasets?cursor=&limit=     paginated catalog entries
 //	POST /v1/datasets                    ingest one object (JSON body)
 //	GET  /v1/metadata?id=PATH            one GEMMS metadata object
 //	GET  /v1/related?table=NAME&k=5      populate-mode discovery
 //	POST /v1/explore                     any discovery mode (JSON body)
-//	POST /v1/query                       body: {"sql": ...}; JSON rows
+//	POST /v1/query                       body: {"sql": ...}; JSON rows,
+//	                                     or chunked NDJSON streaming
+//	                                     with Accept: application/x-ndjson
 //	GET  /v1/lineage?entity=NAME         upstream provenance, paginated
 //	GET  /v1/audit?entity=NAME           access log (governance role)
 //	GET  /v1/swamp                       metadata-coverage report
 //	GET  /v1/maintenance                 maintenance status snapshot
 //	POST /v1/maintenance                 run a pass now (409 if running)
+//
+// List endpoints paginate with an opaque cursor (next_cursor in the
+// envelope); limit/offset remain as deprecated aliases of the first
+// release.
 //
 // The unversioned routes of the first release (/datasets, /metadata,
 // /related, /query, /lineage, /audit, /swamp) remain as deprecated
@@ -82,9 +92,14 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // recoverMW turns handler panics into a structured internal error
-// instead of a dropped connection.
+// instead of a dropped connection. It wraps the response writer so a
+// panic after the body started — e.g. mid-stream — never appends an
+// error envelope to a partial payload: an NDJSON stream gets the
+// trailer error line, anything else is left truncated (the client sees
+// the broken body, not a corrupted one).
 func (l *Lake) recoverMW(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if rec := recover(); rec != nil {
 				if l.logger != nil {
@@ -96,22 +111,46 @@ func (l *Lake) recoverMW(next http.Handler) http.Handler {
 				if !strings.HasPrefix(r.URL.Path, "/v1/") {
 					r = r.WithContext(context.WithValue(r.Context(), legacyKey, true))
 				}
-				writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInternal, "internal error"))
+				err := lakeerr.Errorf(lakeerr.CodeInternal, "internal error")
+				if sw.started && strings.HasPrefix(sw.Header().Get("Content-Type"), ndjsonContentType) {
+					writeNDJSONError(sw, err)
+					return
+				}
+				writeErr(sw, r, err)
 			}
 		}()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(sw, r)
 	})
 }
 
-// statusWriter records the status code for request logging.
+// statusWriter records the status code for request logging and whether
+// the response body has started, so error paths know when sending an
+// envelope is no longer possible.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status  int
+	started bool
 }
 
 func (s *statusWriter) WriteHeader(code int) {
-	s.status = code
+	if !s.started {
+		s.status = code
+		s.started = true
+	}
 	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	s.started = true
+	return s.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so chunked streaming works
+// through the middleware chain.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // logMW logs one line per request when a logger is configured.
@@ -120,7 +159,10 @@ func (l *Lake) logMW(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw, wrapped := w.(*statusWriter)
+		if !wrapped {
+			sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		l.logger.Info("request",
@@ -157,8 +199,14 @@ type errBody struct {
 // structured envelope. Classification comes from the lakeerr taxonomy
 // (errors.As under the hood) — never from message text. Requests
 // through deprecated aliases keep the pre-v1 flat {"error": "msg"}
-// shape.
+// shape. Once the response body has started, the envelope can no
+// longer be framed — writeErr becomes a no-op instead of interleaving
+// an error object into a partial payload (streaming handlers emit
+// their own in-band trailer).
 func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	if sw, ok := w.(*statusWriter); ok && sw.started {
+		return
+	}
 	code := lakeerr.CodeOf(err)
 	if r != nil && r.Context().Value(legacyKey) != nil {
 		writeJSON(w, httpStatus(code), map[string]string{"error": err.Error()})
@@ -195,12 +243,16 @@ func orEmpty[T any](s []T) []T {
 	return s
 }
 
-// page is the paginated v1 list envelope.
+// page is the paginated v1 list envelope. NextCursor, when present, is
+// the opaque token of the following page; clients should prefer it
+// over computing offsets (limit/offset remain supported but are
+// deprecated — offsets shift under concurrent ingest, cursors do not).
 type page[T any] struct {
-	Items  []T `json:"items"`
-	Total  int `json:"total"`
-	Limit  int `json:"limit"`
-	Offset int `json:"offset"`
+	Items      []T    `json:"items"`
+	Total      int    `json:"total"`
+	Limit      int    `json:"limit"`
+	Offset     int    `json:"offset"`
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 const (
@@ -208,41 +260,129 @@ const (
 	maxPageLimit     = 1000
 )
 
-// parsePage reads limit/offset query parameters, applying the default
-// and maximum bounds. Malformed or negative values are invalid
+// pageParams are the decoded pagination inputs of one list request.
+// Cursor is the decoded opaque payload ("" when absent); when set it
+// takes precedence over Offset.
+type pageParams struct {
+	limit, offset int
+	cursor        string
+}
+
+// parsePage reads limit/offset/cursor query parameters, applying the
+// default and maximum bounds. Malformed or negative values are invalid
 // queries, not silent defaults; an explicit limit=0 is honored (an
 // empty page carrying only the total).
-func parsePage(r *http.Request) (limit, offset int, err error) {
-	limit = defaultPageLimit
+func parsePage(r *http.Request) (pageParams, error) {
+	p := pageParams{limit: defaultPageLimit}
+	var err error
 	if s := r.URL.Query().Get("limit"); s != "" {
-		limit, err = strconv.Atoi(s)
-		if err != nil || limit < 0 {
-			return 0, 0, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad limit %q", s)
+		p.limit, err = strconv.Atoi(s)
+		if err != nil || p.limit < 0 {
+			return pageParams{}, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad limit %q", s)
 		}
-		if limit > maxPageLimit {
-			limit = maxPageLimit
+		if p.limit > maxPageLimit {
+			p.limit = maxPageLimit
 		}
 	}
 	if s := r.URL.Query().Get("offset"); s != "" {
-		offset, err = strconv.Atoi(s)
-		if err != nil || offset < 0 {
-			return 0, 0, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad offset %q", s)
+		p.offset, err = strconv.Atoi(s)
+		if err != nil || p.offset < 0 {
+			return pageParams{}, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad offset %q", s)
 		}
 	}
-	return limit, offset, nil
+	if s := r.URL.Query().Get("cursor"); s != "" {
+		p.cursor, err = decodeCursor(s)
+		if err != nil {
+			return pageParams{}, err
+		}
+	}
+	return p, nil
 }
 
-// paginate slices items into the page envelope.
-func paginate[T any](items []T, limit, offset int) page[T] {
-	total := len(items)
-	if offset > total {
-		offset = total
+// Cursor payloads are one of two forms behind the base64 opacity:
+// "k:<key>" resumes a keyset walk strictly after key (stable under
+// concurrent writes for sorted listings: datasets, lineage), "p:<pos>"
+// resumes a positional walk (append-only listings: audit logs).
+const (
+	cursorKeyset     = "k:"
+	cursorPositional = "p:"
+)
+
+func encodeCursor(payload string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(payload))
+}
+
+func decodeCursor(s string) (string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return "", lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad cursor %q", s)
 	}
-	end := offset + limit
+	payload := string(raw)
+	if !strings.HasPrefix(payload, cursorKeyset) && !strings.HasPrefix(payload, cursorPositional) {
+		return "", lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad cursor %q", s)
+	}
+	return payload, nil
+}
+
+// paginateKeyset pages key-sorted items, resuming strictly after the
+// cursor's key — a new item landing before the cursor shifts offsets
+// but never repeats or skips what keyset pages already covered. Pages
+// link forward through keyset next-cursors even when the first page
+// was addressed by offset, so clients migrate off offsets by following
+// next_cursor once.
+func paginateKeyset[T any](items []T, key func(T) string, p pageParams) (page[T], error) {
+	total := len(items)
+	start := p.offset
+	if p.cursor != "" {
+		after, ok := strings.CutPrefix(p.cursor, cursorKeyset)
+		if !ok {
+			return page[T]{}, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "cursor does not address this listing")
+		}
+		start = sort.Search(total, func(i int) bool { return key(items[i]) > after })
+	}
+	if start > total {
+		start = total
+	}
+	end := start + p.limit
 	if end > total {
 		end = total
 	}
-	return page[T]{Items: orEmpty(items[offset:end]), Total: total, Limit: limit, Offset: offset}
+	pg := page[T]{Items: orEmpty(items[start:end]), Total: total, Limit: p.limit, Offset: start}
+	if end < total && end > start {
+		pg.NextCursor = encodeCursor(cursorKeyset + key(items[end-1]))
+	}
+	return pg, nil
+}
+
+// paginatePositional pages items by position, carrying the resume
+// point in the cursor; appropriate for append-only listings where
+// positions are stable.
+func paginatePositional[T any](items []T, p pageParams) (page[T], error) {
+	total := len(items)
+	start := p.offset
+	if p.cursor != "" {
+		pos, ok := strings.CutPrefix(p.cursor, cursorPositional)
+		if !ok {
+			return page[T]{}, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "cursor does not address this listing")
+		}
+		n, err := strconv.Atoi(pos)
+		if err != nil || n < 0 {
+			return page[T]{}, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "bad cursor position")
+		}
+		start = n
+	}
+	if start > total {
+		start = total
+	}
+	end := start + p.limit
+	if end > total {
+		end = total
+	}
+	pg := page[T]{Items: orEmpty(items[start:end]), Total: total, Limit: p.limit, Offset: start}
+	if end < total && end > start {
+		pg.NextCursor = encodeCursor(cursorPositional + strconv.Itoa(end))
+	}
+	return pg, nil
 }
 
 // datasetEntry is one catalog row on the wire.
@@ -264,12 +404,19 @@ func (l *Lake) listDatasets() []datasetEntry {
 }
 
 func (l *Lake) handleDatasetsV1(w http.ResponseWriter, r *http.Request) {
-	limit, offset, err := parsePage(r)
+	p, err := parsePage(r)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, paginate(l.listDatasets(), limit, offset))
+	// Catalog listings are ID-sorted, so dataset pages walk the keyset:
+	// concurrent ingests shift offsets but not cursors.
+	pg, err := paginateKeyset(l.listDatasets(), func(e datasetEntry) string { return e.ID }, p)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pg)
 }
 
 func (l *Lake) handleDatasetsLegacy(w http.ResponseWriter, r *http.Request) {
@@ -402,6 +549,14 @@ func (l *Lake) handleExplore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, orEmpty(res))
 }
 
+// ndjsonContentType selects chunked streaming on POST /v1/query via
+// the Accept header.
+const ndjsonContentType = "application/x-ndjson"
+
+// ndjsonFlushEvery bounds how many rows may sit in the response buffer
+// before a chunk is flushed to the client.
+const ndjsonFlushEvery = 64
+
 func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		SQL string `json:"sql"`
@@ -410,12 +565,82 @@ func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: bad request body"))
 		return
 	}
+	// Streaming is a /v1 capability only: deprecated aliases keep their
+	// pre-v1 wire shapes even when a proxy-widened Accept header
+	// mentions NDJSON.
+	if strings.Contains(r.Header.Get("Accept"), ndjsonContentType) && r.Context().Value(legacyKey) == nil {
+		// Open the stream before committing to the NDJSON wire shape,
+		// so resolution failures (bad SQL, unknown sources, auth) still
+		// get a proper status code and error envelope.
+		it, err := l.QueryStream(r.Context(), userOf(r), body.SQL)
+		if err != nil {
+			writeErr(w, r, err)
+			return
+		}
+		streamNDJSON(w, r.Context(), it)
+		return
+	}
 	res, err := l.QuerySQL(r.Context(), userOf(r), body.SQL)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tableJSON(res))
+}
+
+// streamNDJSON writes a query stream as chunked NDJSON: a header
+// object {"columns":[...]}, then one JSON array per row, flushed every
+// ndjsonFlushEvery rows so the first rows reach the client while the
+// scan is still running. A mid-stream failure terminates the stream
+// with a final {"error":{...}} line instead of a silent truncation —
+// clients distinguish rows (arrays) from the header and trailer
+// (objects) by the first byte of each line.
+func streamNDJSON(w http.ResponseWriter, ctx context.Context, it query.RowIterator) {
+	defer it.Close()
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]any{"columns": orEmpty(it.Columns())}); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	n := 0
+	for {
+		row, err := it.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeNDJSONError(w, err)
+			return
+		}
+		if err := enc.Encode(row); err != nil {
+			// The client is gone; nobody is left to read a trailer.
+			return
+		}
+		n++
+		if n%ndjsonFlushEvery == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// writeNDJSONError emits the in-band trailer error line of a broken
+// stream (the NDJSON analogue of the error envelope).
+func writeNDJSONError(w http.ResponseWriter, err error) {
+	_ = json.NewEncoder(w).Encode(errEnvelope{Error: errBody{
+		Code:    string(lakeerr.CodeOf(err)),
+		Message: err.Error(),
+	}})
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // tableJSON renders a table as {columns: [...], rows: [[...], ...]}.
@@ -432,7 +657,7 @@ func (l *Lake) lineageOf(r *http.Request) ([]string, error) {
 }
 
 func (l *Lake) handleLineageV1(w http.ResponseWriter, r *http.Request) {
-	limit, offset, err := parsePage(r)
+	p, err := parsePage(r)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -442,7 +667,14 @@ func (l *Lake) handleLineageV1(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, paginate(up, limit, offset))
+	// Upstream listings come back sorted, so pages walk the keyset: a
+	// derivation recorded mid-walk shifts positions but not cursors.
+	pg, err := paginateKeyset(up, func(e string) string { return e }, p)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pg)
 }
 
 func (l *Lake) handleLineageLegacy(w http.ResponseWriter, r *http.Request) {
@@ -455,7 +687,7 @@ func (l *Lake) handleLineageLegacy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (l *Lake) handleAuditV1(w http.ResponseWriter, r *http.Request) {
-	limit, offset, err := parsePage(r)
+	p, err := parsePage(r)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -465,7 +697,12 @@ func (l *Lake) handleAuditV1(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, paginate(events, limit, offset))
+	pg, err := paginatePositional(events, p)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pg)
 }
 
 func (l *Lake) handleAuditLegacy(w http.ResponseWriter, r *http.Request) {

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"sort"
 	"strings"
@@ -739,17 +740,31 @@ func (l *Lake) Explore(ctx context.Context, user string, req explore.Request) ([
 }
 
 // QuerySQL executes a federated query on behalf of a user and records
-// the access in provenance.
+// the access in provenance. It is a collector over QueryStream: rows
+// are pulled through the streaming pipeline into one table, so the
+// WithMaxResults cap bounds the work done, not just the rows returned.
 func (l *Lake) QuerySQL(ctx context.Context, user, sql string) (*table.Table, error) {
+	it, err := l.QueryStream(ctx, user, sql)
+	if err != nil {
+		return nil, err
+	}
+	return query.Collect(ctx, it)
+}
+
+// QueryStream opens a federated query as a pull-based row stream: the
+// header is available immediately from Columns, rows arrive one Next
+// call at a time, and cancellation is honored between rows, not just
+// between sources. WithMaxResults is enforced as a limit stage on the
+// stream, the access is recorded in provenance when the stream opens,
+// and row-level failures carry lakeerr codes. The caller must Close
+// the iterator.
+func (l *Lake) QueryStream(ctx context.Context, user, sql string) (query.RowIterator, error) {
 	if _, err := l.roleOf(user); err != nil {
 		return nil, err
 	}
-	res, err := l.Engine.ExecuteSQL(ctx, sql)
+	it, err := l.Engine.StreamSQL(ctx, sql)
 	if err != nil {
 		return nil, classifyQueryErr(err)
-	}
-	if l.maxResults > 0 && res.NumRows() > l.maxResults {
-		res = head(res, l.maxResults)
 	}
 	q, _ := query.Parse(sql)
 	if q != nil {
@@ -770,22 +785,27 @@ func (l *Lake) QuerySQL(ctx context.Context, user, sql string) (*table.Table, er
 			_ = l.Tracker.Query(entity, "sql", user)
 		}
 	}
-	return res, nil
+	return &classifiedIterator{in: query.Limit(it, l.maxResults)}, nil
 }
 
-// head copies the first n rows of a table in O(columns × n), without
-// scanning the tail.
-func head(t *table.Table, n int) *table.Table {
-	out := table.New(t.Name)
-	for _, c := range t.Columns {
-		out.Columns = append(out.Columns, &table.Column{
-			Name:  c.Name,
-			Kind:  c.Kind,
-			Cells: append([]string(nil), c.Cells[:n]...),
-		})
-	}
-	return out
+// classifiedIterator maps row-level stream failures onto the lakeerr
+// taxonomy, so streaming consumers dispatch on codes exactly like
+// materialized ones.
+type classifiedIterator struct {
+	in query.RowIterator
 }
+
+func (c *classifiedIterator) Columns() []string { return c.in.Columns() }
+
+func (c *classifiedIterator) Next(ctx context.Context) ([]string, error) {
+	row, err := c.in.Next(ctx)
+	if err != nil && err != io.EOF {
+		return nil, classifyQueryErr(err)
+	}
+	return row, err
+}
+
+func (c *classifiedIterator) Close() error { return c.in.Close() }
 
 // classifyQueryErr maps engine failures onto the taxonomy: syntax
 // errors are invalid queries, missing sources/tables are not-found,

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"golake/internal/query"
+	"golake/internal/table"
+	"golake/lakeerr"
+)
+
+// bigTableLake registers a wide relational table directly in the
+// polystore (bypassing ingestion, which is not under test) so
+// streaming behavior is observable at a size exceeding socket buffers.
+func bigTableLake(t *testing.T, rows int) *Lake {
+	t.Helper()
+	l := testLake(t)
+	big := table.New("big")
+	big.Columns = []*table.Column{{Name: "id"}, {Name: "payload"}}
+	for i := 0; i < rows; i++ {
+		_ = big.AppendRow([]string{fmt.Sprint(i), "payload-0123456789abcdef-0123456789abcdef"})
+	}
+	l.Poly.Rel.Create(big)
+	return l
+}
+
+func TestV1QueryNDJSONFramingRoundTrip(t *testing.T) {
+	srv := apiLake(t)
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/query",
+		strings.NewReader(`{"sql":"SELECT id, total FROM rel:orders"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Lake-User", "dana")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("missing header line")
+	}
+	var header struct {
+		Columns []string `json:"columns"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil || len(header.Columns) != 2 {
+		t.Fatalf("header line = %q (%v)", sc.Text(), err)
+	}
+	var rows [][]string
+	for sc.Scan() {
+		var row []string
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("row line = %q (%v)", sc.Text(), err)
+		}
+		if len(row) != len(header.Columns) {
+			t.Fatalf("row %v does not match header %v", row, header.Columns)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("streamed %d rows, want 2", len(rows))
+	}
+	// The same query over the default JSON envelope must agree.
+	_, body := do(t, srv, http.MethodPost, "/v1/query", "dana",
+		`{"sql":"SELECT id, total FROM rel:orders"}`)
+	var env struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(env.Columns) != fmt.Sprint(header.Columns) || fmt.Sprint(env.Rows) != fmt.Sprint(rows) {
+		t.Errorf("NDJSON %v %v disagrees with JSON envelope %v %v",
+			header.Columns, rows, env.Columns, env.Rows)
+	}
+}
+
+// TestNDJSONStreamsBeforeHandlerFinishes is the incremental-delivery
+// guarantee: the client reads the first row while the handler is still
+// writing the rest of a multi-megabyte result.
+func TestNDJSONStreamsBeforeHandlerFinishes(t *testing.T) {
+	l := bigTableLake(t, 100000) // ~4 MB on the wire, well past socket buffers
+	var handlerDone atomic.Bool
+	inner := l.HTTPHandler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(w, r)
+		handlerDone.Store(true)
+	}))
+	defer srv.Close()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/query",
+		strings.NewReader(`{"sql":"SELECT id, payload FROM rel:big"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Lake-User", "dana")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	if _, err := r.ReadString('\n'); err != nil { // header
+		t.Fatal(err)
+	}
+	first, err := r.ReadString('\n') // first row
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(first, "[") {
+		t.Fatalf("first row line = %q", first)
+	}
+	if handlerDone.Load() {
+		t.Fatal("handler finished before the client read the first row: response was buffered, not streamed")
+	}
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failingIterator streams a few rows, then breaks — the mid-stream
+// failure case.
+type failingIterator struct {
+	rows int
+	err  error
+}
+
+func (f *failingIterator) Columns() []string { return []string{"a"} }
+
+func (f *failingIterator) Next(ctx context.Context) ([]string, error) {
+	if f.rows == 0 {
+		return nil, f.err
+	}
+	f.rows--
+	return []string{"x"}, nil
+}
+
+func (f *failingIterator) Close() error { return nil }
+
+func TestNDJSONMidStreamErrorEmitsTrailerLine(t *testing.T) {
+	rec := httptest.NewRecorder()
+	it := &failingIterator{rows: 2, err: lakeerr.Errorf(lakeerr.CodeUnavailable, "store went away")}
+	streamNDJSON(rec, context.Background(), query.RowIterator(it))
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 4 { // header + 2 rows + trailer
+		t.Fatalf("lines = %q", lines)
+	}
+	var trailer struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &trailer); err != nil {
+		t.Fatalf("trailer = %q (%v)", lines[3], err)
+	}
+	if trailer.Error.Code != "unavailable" || !strings.Contains(trailer.Error.Message, "store went away") {
+		t.Errorf("trailer = %+v", trailer.Error)
+	}
+	// The stream already committed a 200; the failure is in-band only.
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+// TestLegacyQueryAliasNeverStreams pins the alias contract: the
+// deprecated POST /query keeps its pre-v1 JSON wire shape even when
+// the request's Accept header mentions NDJSON.
+func TestLegacyQueryAliasNeverStreams(t *testing.T) {
+	srv := apiLake(t)
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/query",
+		strings.NewReader(`{"sql":"SELECT id FROM rel:orders"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Lake-User", "dana")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("legacy Content-Type = %q, want application/json", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var env struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || len(env.Rows) != 2 {
+		t.Errorf("legacy query body = %s (%v), want the JSON envelope", body, err)
+	}
+}
+
+func TestNDJSONOpenErrorKeepsEnvelope(t *testing.T) {
+	srv := apiLake(t)
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/query",
+		strings.NewReader(`{"sql":"SELECT * FROM rel:ghost"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Lake-User", "dana")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 before the stream commits", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if code, _ := envelope(t, body); code != "not_found" {
+		t.Errorf("code = %q", code)
+	}
+}
+
+// TestQueryStreamCancellationReleasesCleanly covers the streaming API
+// contract under cancellation: Next surfaces a typed unavailable
+// error, Close is clean, and no goroutines are left behind (the
+// pipeline is pull-based — nothing to leak, pinned here under -race).
+func TestQueryStreamCancellationReleasesCleanly(t *testing.T) {
+	l := bigTableLake(t, 10000)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := l.QueryStream(ctx, "dana", "SELECT id FROM rel:big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatalf("first row: %v", err)
+	}
+	cancel()
+	if _, err := it.Next(ctx); lakeerr.CodeOf(err) != lakeerr.CodeUnavailable {
+		t.Fatalf("Next after cancel = %v, want unavailable", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines %d -> %d after canceled stream", before, after)
+	}
+}
+
+func TestQueryStreamHonorsMaxResults(t *testing.T) {
+	l, err := Open(t.TempDir(), WithMaxResults(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddUser("dana", RoleDataScientist)
+	big := table.New("big")
+	big.Columns = []*table.Column{{Name: "id"}}
+	for i := 0; i < 1000; i++ {
+		_ = big.AppendRow([]string{fmt.Sprint(i)})
+	}
+	l.Poly.Rel.Create(big)
+	it, err := l.QueryStream(context.Background(), "dana", "SELECT id FROM rel:big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for {
+		_, err := it.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("streamed %d rows, want the WithMaxResults cap of 5", n)
+	}
+}
+
+// TestV1DatasetsCursorStableUnderConcurrentIngest is the reason
+// cursors exist: an ingest landing between two pages shifts offsets
+// but must not make the cursor walk repeat or skip datasets.
+func TestV1DatasetsCursorStableUnderConcurrentIngest(t *testing.T) {
+	srv := apiLake(t) // raw/orders.csv, raw/payments.csv
+	_, body := get(t, srv, "/v1/datasets?limit=1", "dana")
+	var pg struct {
+		Items []struct {
+			ID string `json:"id"`
+		} `json:"items"`
+		NextCursor string `json:"next_cursor"`
+	}
+	if err := json.Unmarshal(body, &pg); err != nil || len(pg.Items) != 1 {
+		t.Fatalf("page 1 = %s (%v)", body, err)
+	}
+	if pg.Items[0].ID != "raw/orders.csv" || pg.NextCursor == "" {
+		t.Fatalf("page 1 = %+v", pg)
+	}
+	// A new dataset sorting before the cursor lands mid-walk.
+	resp, _ := do(t, srv, http.MethodPost, "/v1/datasets", "dana",
+		`{"path":"raw/aaa.csv","content":"id\n1\n"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	_, body = get(t, srv, "/v1/datasets?limit=1&cursor="+pg.NextCursor, "dana")
+	var pg2 struct {
+		Items []struct {
+			ID string `json:"id"`
+		} `json:"items"`
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal(body, &pg2); err != nil || len(pg2.Items) != 1 {
+		t.Fatalf("page 2 = %s (%v)", body, err)
+	}
+	if pg2.Items[0].ID != "raw/payments.csv" {
+		t.Errorf("cursor page repeated/skipped: got %q, want raw/payments.csv", pg2.Items[0].ID)
+	}
+	if pg2.Total != 3 {
+		t.Errorf("total = %d, want 3 after the concurrent ingest", pg2.Total)
+	}
+	// The offset walk, by contrast, re-serves orders.csv after the
+	// shift — the instability cursors remove.
+	_, body = get(t, srv, "/v1/datasets?limit=1&offset=1", "dana")
+	if err := json.Unmarshal(body, &pg2); err != nil || len(pg2.Items) != 1 {
+		t.Fatalf("offset page = %s (%v)", body, err)
+	}
+	if pg2.Items[0].ID != "raw/orders.csv" {
+		t.Errorf("offset page = %q (expected the shifted duplicate)", pg2.Items[0].ID)
+	}
+}
+
+func TestV1CursorValidation(t *testing.T) {
+	srv := apiLake(t)
+	// Undecodable cursors are invalid queries.
+	resp, body := get(t, srv, "/v1/datasets?cursor=%21%21%21", "dana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor status = %d", resp.StatusCode)
+	}
+	if code, _ := envelope(t, body); code != "invalid_query" {
+		t.Errorf("code = %q", code)
+	}
+	// A positional cursor does not address the keyset-paged listing.
+	pos := "cDox" // base64url("p:1")
+	resp, _ = get(t, srv, "/v1/datasets?cursor="+pos, "dana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("cross-listing cursor status = %d", resp.StatusCode)
+	}
+}
+
+func TestV1AuditCursorPagination(t *testing.T) {
+	srv := apiLake(t)
+	// Two queries log two access events on orders.
+	for i := 0; i < 2; i++ {
+		resp, _ := do(t, srv, http.MethodPost, "/v1/query", "dana", `{"sql":"SELECT id FROM rel:orders"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status = %d", resp.StatusCode)
+		}
+	}
+	var seen int
+	cursor := ""
+	for hops := 0; hops < 10; hops++ {
+		path := "/v1/audit?entity=raw/orders.csv&limit=1"
+		if cursor != "" {
+			path += "&cursor=" + cursor
+		}
+		_, body := get(t, srv, path, "gov")
+		var pg struct {
+			Items      []json.RawMessage `json:"items"`
+			NextCursor string            `json:"next_cursor"`
+		}
+		if err := json.Unmarshal(body, &pg); err != nil {
+			t.Fatalf("audit page = %s (%v)", body, err)
+		}
+		seen += len(pg.Items)
+		if pg.NextCursor == "" {
+			break
+		}
+		cursor = pg.NextCursor
+	}
+	if seen < 2 {
+		t.Errorf("cursor walk saw %d audit events, want >= 2", seen)
+	}
+}
+
+func TestLegacyAliasSuccessorLinks(t *testing.T) {
+	srv := apiLake(t)
+	aliases := []struct{ method, path, user, body, successor string }{
+		{http.MethodGet, "/datasets", "dana", "", "/v1/datasets"},
+		{http.MethodGet, "/metadata?id=raw/orders.csv", "dana", "", "/v1/metadata"},
+		{http.MethodGet, "/related?table=orders&k=2", "dana", "", "/v1/related"},
+		{http.MethodPost, "/query", "dana", `{"sql":"SELECT id FROM rel:orders"}`, "/v1/query"},
+		{http.MethodGet, "/lineage?entity=raw/orders.csv", "dana", "", "/v1/lineage"},
+		{http.MethodGet, "/audit?entity=raw/orders.csv", "gov", "", "/v1/audit"},
+		{http.MethodGet, "/swamp", "dana", "", "/v1/swamp"},
+	}
+	for _, a := range aliases {
+		resp, _ := do(t, srv, a.method, a.path, a.user, a.body)
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s %s: missing Deprecation header", a.method, a.path)
+		}
+		link := resp.Header.Get("Link")
+		if !strings.Contains(link, "<"+a.successor+">") || !strings.Contains(link, `rel="successor-version"`) {
+			t.Errorf("%s %s: Link = %q, want successor %s", a.method, a.path, link, a.successor)
+		}
+	}
+}
+
+// TestWriteErrNeverFiresAfterPartialBody pins the envelope-integrity
+// rule: once a handler has started the body, writeErr is a no-op
+// rather than interleaving an error object into the partial payload.
+func TestWriteErrNeverFiresAfterPartialBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+	_, _ = sw.Write([]byte(`{"columns":["a"],`))
+	req := httptest.NewRequest(http.MethodGet, "/v1/datasets", nil)
+	writeErr(sw, req, lakeerr.Errorf(lakeerr.CodeInternal, "boom"))
+	if got := rec.Body.String(); got != `{"columns":["a"],` {
+		t.Errorf("body after late writeErr = %q, want the partial body untouched", got)
+	}
+}
+
+// TestRecoverMidStreamPanicEmitsNDJSONTrailer covers the panic path of
+// the audit: a handler dying mid-NDJSON terminates the stream with the
+// trailer error line instead of a second status line or silence.
+func TestRecoverMidStreamPanicEmitsNDJSONTrailer(t *testing.T) {
+	l := testLake(t)
+	h := l.recoverMW(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ndjsonContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("{\"columns\":[\"a\"]}\n"))
+		panic("mid-stream")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/query", nil))
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"error"`) || !strings.Contains(last, "internal") {
+		t.Errorf("stream after panic = %q, want a trailer error line", rec.Body.String())
+	}
+}

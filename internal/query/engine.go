@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"golake/internal/storage/docstore"
+	"golake/internal/storage/filestore"
+	"golake/internal/storage/graphstore"
 	"golake/internal/storage/polystore"
 	"golake/internal/table"
 )
@@ -16,7 +19,12 @@ import (
 // store (or carry an unrecognized prefix).
 var ErrUnknownSource = errors.New("query: unknown source")
 
-// Engine executes parsed queries over a polystore.
+// Engine executes parsed queries over a polystore. Execution is a
+// pull-based row-iterator pipeline: per-source scan iterators feed a
+// streaming union-merge, with predicates, projection, and LIMIT as
+// composable stages — so a LIMIT n query stops pulling from the source
+// scans after n rows, and memory stays bounded by one row per stage
+// rather than the full federated result.
 type Engine struct {
 	Poly *polystore.Poly
 	// PushDown controls whether selection predicates and projections
@@ -31,8 +39,8 @@ func NewEngine(p *polystore.Poly) *Engine {
 	return &Engine{Poly: p, PushDown: true}
 }
 
-// ExecuteSQL parses and executes a statement. The context cancels
-// execution between per-store subqueries and during the merge.
+// ExecuteSQL parses and executes a statement, materializing the full
+// result. The context cancels execution between rows.
 func (e *Engine) ExecuteSQL(ctx context.Context, sql string) (*table.Table, error) {
 	q, err := Parse(sql)
 	if err != nil {
@@ -41,56 +49,78 @@ func (e *Engine) ExecuteSQL(ctx context.Context, sql string) (*table.Table, erro
 	return e.Execute(ctx, q)
 }
 
-// Execute runs a query: one subquery per source, results merged by
-// union over the projected columns (missing columns null-padded), then
-// limited.
-func (e *Engine) Execute(ctx context.Context, q *Query) (*table.Table, error) {
-	var parts []*table.Table
-	for _, src := range q.Sources {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		part, err := e.executeSource(src, q)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, part)
-	}
-	merged, err := mergeUnion(ctx, parts, q.Columns)
+// StreamSQL parses a statement and opens its streaming execution.
+func (e *Engine) StreamSQL(ctx context.Context, sql string) (RowIterator, error) {
+	q, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	if q.Limit > 0 && merged.NumRows() > q.Limit {
-		merged = truncate(merged, q.Limit)
-	}
-	merged.InferTypes()
-	return merged, nil
+	return e.Stream(ctx, q)
 }
 
-// executeSource routes one FROM item to its member store.
-func (e *Engine) executeSource(src string, q *Query) (*table.Table, error) {
+// Execute runs a query and collects the streamed rows into a table —
+// the thin materializing wrapper over Stream that keeps table-shaped
+// callers working.
+func (e *Engine) Execute(ctx context.Context, q *Query) (*table.Table, error) {
+	it, err := e.Stream(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(ctx, it)
+}
+
+// Stream opens the query's iterator pipeline: one scan iterator per
+// source, unioned over the projected columns (missing columns
+// null-padded on the fly), capped by LIMIT. Source resolution errors
+// surface here, before any rows flow; row-level failures (including
+// cancellation) surface from Next.
+func (e *Engine) Stream(ctx context.Context, q *Query) (RowIterator, error) {
+	sources := make([]RowIterator, 0, len(q.Sources))
+	closeAll := func() {
+		for _, s := range sources {
+			_ = s.Close()
+		}
+	}
+	for _, src := range q.Sources {
+		if err := ctx.Err(); err != nil {
+			closeAll()
+			return nil, err
+		}
+		it, err := e.streamSource(src, q)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		sources = append(sources, it)
+	}
+	return Limit(Union(sources, q.Columns), q.Limit), nil
+}
+
+// streamSource routes one FROM item to its member store's scan
+// iterator.
+func (e *Engine) streamSource(src string, q *Query) (RowIterator, error) {
 	kind, name := splitSource(src)
 	switch kind {
 	case "rel":
-		return e.execRelational(name, q)
+		return e.scanRelational(name, q)
 	case "doc":
-		return e.execDocument(name, q)
+		return e.scanDocument(name, q)
 	case "graph":
-		return e.execGraph(name, q)
+		return e.scanGraph(name, q)
 	case "file":
-		return e.execFiles(name, q)
+		return e.scanFiles(name, q)
 	case "":
 		// Resolve bare names: relational, then document, then graph.
 		if e.Poly.Rel.Has(name) {
-			return e.execRelational(name, q)
+			return e.scanRelational(name, q)
 		}
 		for _, coll := range e.Poly.Docs.Collections() {
 			if coll == name {
-				return e.execDocument(name, q)
+				return e.scanDocument(name, q)
 			}
 		}
 		if len(e.Poly.Graph.NodesByLabel(name)) > 0 {
-			return e.execGraph(name, q)
+			return e.scanGraph(name, q)
 		}
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSource, name)
 	default:
@@ -105,24 +135,54 @@ func splitSource(src string) (kind, name string) {
 	return "", src
 }
 
-func (e *Engine) execRelational(name string, q *Query) (*table.Table, error) {
+// central wraps a source scan with the engine-side stages a store
+// could not evaluate: predicate filtering, then projection onto the
+// requested columns (null-padding the missing ones so union aligns).
+func central(it RowIterator, q *Query) RowIterator {
+	return Project(Filter(it, q.Where), q.Columns)
+}
+
+// relCursorIterator adapts a relational store cursor to the pipeline.
+type relCursorIterator struct {
+	cur *polystore.Cursor
+}
+
+func (r *relCursorIterator) Columns() []string { return r.cur.Columns() }
+
+func (r *relCursorIterator) Next(ctx context.Context) (Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	row, ok := r.cur.Next()
+	if !ok {
+		return nil, io.EOF
+	}
+	return row, nil
+}
+
+func (r *relCursorIterator) Close() error { return r.cur.Close() }
+
+// scanRelational streams a relational table. With pushdown the store
+// evaluates compiled predicates and the projection during the scan;
+// without it, every row is pulled and filtered centrally.
+func (e *Engine) scanRelational(name string, q *Query) (RowIterator, error) {
 	if e.PushDown {
-		// Compile each conjunct to a per-column cell predicate; the
-		// store resolves columns to indexes and projects during the
-		// scan.
 		preds := make([]polystore.CellPredicate, len(q.Where))
 		for i, p := range q.Where {
 			pred := p
 			preds[i] = polystore.CellPredicate{Column: p.Column, Match: pred.Matches}
 		}
-		return e.Poly.Rel.SelectWhere(name, preds, pushableColumns(name, q, e))
+		cur, err := e.Poly.Rel.ScanWhere(name, preds, pushableColumns(name, q, e))
+		if err != nil {
+			return nil, err
+		}
+		return &relCursorIterator{cur: cur}, nil
 	}
-	// No pushdown: fetch everything, filter centrally.
-	t, err := e.Poly.Rel.Table(name)
+	cur, err := e.Poly.Rel.ScanWhere(name, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	return centralFilter(t, q), nil
+	return central(&relCursorIterator{cur: cur}, q), nil
 }
 
 // pushableColumns returns the projection to push into the store: the
@@ -149,7 +209,11 @@ func pushableColumns(name string, q *Query, e *Engine) []string {
 	return cols
 }
 
-func (e *Engine) execDocument(name string, q *Query) (*table.Table, error) {
+// scanDocument streams a document collection: pushable predicates are
+// evaluated by the store's Find, the matched documents are flattened
+// into rows one Next at a time, and unpushed predicates plus the
+// projection run as central stages.
+func (e *Engine) scanDocument(name string, q *Query) (RowIterator, error) {
 	coll := e.Poly.Docs.Collection(name)
 	var docs []docstore.Doc
 	if e.PushDown {
@@ -166,10 +230,17 @@ func (e *Engine) execDocument(name string, q *Query) (*table.Table, error) {
 	} else {
 		docs = coll.All()
 	}
-	// Materialize requested plus predicate columns; centralFilter
-	// evaluates any unpushed predicates and projects the extras away.
-	t := docsToTable(name, docs, withPredicateColumns(q))
-	return centralFilter(t, q), nil
+	fields := docFields(docs, withPredicateColumns(q))
+	it := indexIterator(fields, len(docs), func(i int) Row {
+		row := make(Row, len(fields))
+		for j, f := range fields {
+			if v, ok := docs[i][f]; ok {
+				row[j] = fmt.Sprintf("%v", v)
+			}
+		}
+		return row
+	})
+	return central(it, q), nil
 }
 
 // withPredicateColumns returns the projection extended with predicate
@@ -223,9 +294,10 @@ func docFilter(p Predicate) (docstore.Filter, bool) {
 	return docstore.Filter{Path: p.Column, Op: op, Value: val}, true
 }
 
-// docsToTable flattens documents into a table over the union of their
-// top-level scalar fields (or the requested columns).
-func docsToTable(name string, docs []docstore.Doc, want []string) *table.Table {
+// docFields computes the row header for a document scan: the requested
+// columns, or the sorted union of the documents' top-level scalar
+// fields.
+func docFields(docs []docstore.Doc, want []string) []string {
 	fieldSet := map[string]bool{}
 	if len(want) > 0 {
 		for _, c := range want {
@@ -250,23 +322,12 @@ func docsToTable(name string, docs []docstore.Doc, want []string) *table.Table {
 		fields = append(fields, f)
 	}
 	sort.Strings(fields)
-	t := table.New(name)
-	for _, f := range fields {
-		t.Columns = append(t.Columns, &table.Column{Name: f})
-	}
-	for _, d := range docs {
-		row := make([]string, len(fields))
-		for i, f := range fields {
-			if v, ok := d[f]; ok {
-				row[i] = fmt.Sprintf("%v", v)
-			}
-		}
-		_ = t.AppendRow(row)
-	}
-	return t
+	return fields
 }
 
-func (e *Engine) execGraph(label string, q *Query) (*table.Table, error) {
+// scanGraph streams the nodes of one label, flattening id + properties
+// into rows on the fly.
+func (e *Engine) scanGraph(label string, q *Query) (RowIterator, error) {
 	nodes := e.Poly.Graph.NodesByLabel(label)
 	fieldSet := map[string]bool{}
 	if cols := withPredicateColumns(q); cols != nil {
@@ -286,140 +347,36 @@ func (e *Engine) execGraph(label string, q *Query) (*table.Table, error) {
 		fields = append(fields, f)
 	}
 	sort.Strings(fields)
-	t := table.New(label)
-	for _, f := range fields {
-		t.Columns = append(t.Columns, &table.Column{Name: f})
-	}
-	for _, n := range nodes {
-		row := make([]string, len(fields))
-		for i, f := range fields {
-			if f == "id" {
-				row[i] = n.ID
-				continue
-			}
-			if v, ok := n.Props[f]; ok {
-				row[i] = fmt.Sprintf("%v", v)
-			}
-		}
-		_ = t.AppendRow(row)
-	}
-	return centralFilter(t, q), nil
-}
-
-// execFiles lists raw objects under a prefix as (path, size, format).
-func (e *Engine) execFiles(prefix string, q *Query) (*table.Table, error) {
-	t := table.New("files")
-	t.Columns = []*table.Column{{Name: "path"}, {Name: "size"}, {Name: "format"}}
-	for _, info := range e.Poly.Files.List(prefix) {
-		_ = t.AppendRow([]string{info.Path, fmt.Sprintf("%d", info.Size), string(info.Format)})
-	}
-	return centralFilter(t, q), nil
-}
-
-// centralFilter applies predicates and projection in the engine (used
-// when pushdown is off or a store cannot evaluate them).
-func centralFilter(t *table.Table, q *Query) *table.Table {
-	names := t.ColumnNames()
-	out := t.Filter(func(row []string) bool {
-		m := make(map[string]string, len(names))
-		for i, n := range names {
-			m[n] = row[i]
-		}
-		return rowMatches(m, q.Where)
+	it := indexIterator(fields, len(nodes), func(i int) Row {
+		return graphRow(nodes[i], fields)
 	})
-	if len(q.Columns) == 0 {
-		return out
-	}
-	var present []string
-	for _, c := range q.Columns {
-		if out.HasColumn(c) {
-			present = append(present, c)
-		}
-	}
-	proj, err := out.Project(present...)
-	if err != nil {
-		return out
-	}
-	// Null-pad requested-but-missing columns so union aligns.
-	for _, c := range q.Columns {
-		if !proj.HasColumn(c) {
-			proj.Columns = append(proj.Columns, &table.Column{
-				Name:  c,
-				Cells: make([]string, proj.NumRows()),
-			})
-		}
-	}
-	reordered, err := proj.Project(q.Columns...)
-	if err != nil {
-		return proj
-	}
-	return reordered
+	return central(it, q), nil
 }
 
-func rowMatches(row map[string]string, preds []Predicate) bool {
-	for _, p := range preds {
-		cell, ok := row[p.Column]
-		if !ok {
-			return false
+func graphRow(n graphstore.Node, fields []string) Row {
+	row := make(Row, len(fields))
+	for j, f := range fields {
+		if f == "id" {
+			row[j] = n.ID
+			continue
 		}
-		if !p.Matches(cell) {
-			return false
+		if v, ok := n.Props[f]; ok {
+			row[j] = fmt.Sprintf("%v", v)
 		}
 	}
-	return true
+	return row
 }
 
-// mergeUnion unions the parts over the projected columns (or the union
-// of all part columns when projecting *). The merge is the central
-// post-retrieval loop, so it honors cancellation between parts and
-// every few thousand rows.
-func mergeUnion(ctx context.Context, parts []*table.Table, want []string) (*table.Table, error) {
-	cols := want
-	if len(cols) == 0 {
-		seen := map[string]bool{}
-		for _, p := range parts {
-			for _, c := range p.ColumnNames() {
-				if !seen[c] {
-					seen[c] = true
-					cols = append(cols, c)
-				}
-			}
-		}
-	}
-	out := table.New("result")
-	for _, c := range cols {
-		out.Columns = append(out.Columns, &table.Column{Name: c})
-	}
-	for _, p := range parts {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		names := p.ColumnNames()
-		idx := map[string]int{}
-		for i, n := range names {
-			idx[n] = i
-		}
-		for r := 0; r < p.NumRows(); r++ {
-			if r%4096 == 0 && ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			row := p.Row(r)
-			rec := make([]string, len(cols))
-			for i, c := range cols {
-				if j, ok := idx[c]; ok {
-					rec[i] = row[j]
-				}
-			}
-			_ = out.AppendRow(rec)
-		}
-	}
-	return out, nil
-}
-
-func truncate(t *table.Table, n int) *table.Table {
-	i := 0
-	return t.Filter(func([]string) bool {
-		i++
-		return i <= n
+// scanFiles streams raw objects under a prefix as (path, size, format)
+// rows.
+func (e *Engine) scanFiles(prefix string, q *Query) (RowIterator, error) {
+	infos := e.Poly.Files.List(prefix)
+	it := indexIterator([]string{"path", "size", "format"}, len(infos), func(i int) Row {
+		return fileRow(infos[i])
 	})
+	return central(it, q), nil
+}
+
+func fileRow(info filestore.ObjectInfo) Row {
+	return Row{info.Path, fmt.Sprintf("%d", info.Size), string(info.Format)}
 }

@@ -1,0 +1,207 @@
+package query
+
+import (
+	"context"
+	"io"
+	"reflect"
+	"testing"
+
+	"golake/internal/storage/polystore"
+	"golake/internal/table"
+)
+
+// countingIterator counts how many rows downstream stages pull — the
+// probe for LIMIT short-circuiting.
+type countingIterator struct {
+	cols   []string
+	rows   int
+	pulled int
+	closed bool
+}
+
+func (c *countingIterator) Columns() []string { return c.cols }
+
+func (c *countingIterator) Next(ctx context.Context) (Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.pulled >= c.rows {
+		return nil, io.EOF
+	}
+	c.pulled++
+	return Row{"x"}, nil
+}
+
+func (c *countingIterator) Close() error {
+	c.closed = true
+	return nil
+}
+
+func drain(t *testing.T, it RowIterator) [][]string {
+	t.Helper()
+	var out [][]string
+	for {
+		row, err := it.Next(context.Background())
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, row)
+	}
+}
+
+func TestLimitShortCircuitsSource(t *testing.T) {
+	src := &countingIterator{cols: []string{"a"}, rows: 100000}
+	it := Limit(Union([]RowIterator{src}, nil), 10)
+	rows := drain(t, it)
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	if src.pulled != 10 {
+		t.Errorf("source scanned %d rows for LIMIT 10, want exactly 10", src.pulled)
+	}
+	if !src.closed {
+		t.Error("reaching the limit must close the source scan eagerly")
+	}
+}
+
+func TestUnionNullPadsAndOrdersColumns(t *testing.T) {
+	a := NewSliceIterator([]string{"city", "price"}, [][]string{{"ams", "10"}})
+	b := NewSliceIterator([]string{"price", "stars"}, [][]string{{"20", "4"}})
+	it := Union([]RowIterator{a, b}, nil)
+	if got, want := it.Columns(), []string{"city", "price", "stars"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("union header = %v, want %v", got, want)
+	}
+	rows := drain(t, it)
+	want := [][]string{{"ams", "10", ""}, {"", "20", "4"}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("union rows = %v, want %v", rows, want)
+	}
+}
+
+func TestUnionProjectsExplicitColumns(t *testing.T) {
+	a := NewSliceIterator([]string{"city", "price"}, [][]string{{"ams", "10"}})
+	b := NewSliceIterator([]string{"stars"}, [][]string{{"4"}})
+	it := Union([]RowIterator{a, b}, []string{"price", "stars"})
+	rows := drain(t, it)
+	want := [][]string{{"10", ""}, {"", "4"}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("projected union = %v, want %v", rows, want)
+	}
+}
+
+func TestFilterMissingColumnMatchesNothing(t *testing.T) {
+	in := NewSliceIterator([]string{"a"}, [][]string{{"1"}, {"2"}})
+	it := Filter(in, []Predicate{{Column: "ghost", Op: OpEq, Value: "1"}})
+	if rows := drain(t, it); len(rows) != 0 {
+		t.Errorf("predicate on missing column yielded %v, want nothing", rows)
+	}
+}
+
+func TestCancellationStopsStreamBetweenRows(t *testing.T) {
+	src := &countingIterator{cols: []string{"a"}, rows: 1000}
+	it := Union([]RowIterator{src}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatalf("first row: %v", err)
+	}
+	cancel()
+	if _, err := it.Next(ctx); err != context.Canceled {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !src.closed {
+		t.Error("Close must release the source scan")
+	}
+}
+
+func TestCloseMidStreamReleasesAllSources(t *testing.T) {
+	a := &countingIterator{cols: []string{"a"}, rows: 10}
+	b := &countingIterator{cols: []string{"a"}, rows: 10}
+	it := Limit(Union([]RowIterator{a, b}, nil), 100)
+	if _, err := it.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.closed || !b.closed {
+		t.Errorf("Close released a=%v b=%v, want both", a.closed, b.closed)
+	}
+}
+
+// TestExecuteMatchesStreamCollect pins the contract that Execute is a
+// pure collector over Stream: both paths must agree on a federated
+// union with heterogeneous columns, predicates, and a limit.
+func TestExecuteMatchesStreamCollect(t *testing.T) {
+	p, err := polystore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest("raw/hotels_a.csv", []byte("city,price\nams,10\nparis,30\nrome,20\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest("raw/hotels_b.jsonl", []byte("{\"city\":\"oslo\",\"price\":15,\"stars\":4}\n{\"city\":\"bern\",\"price\":50}\n")); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(p)
+	for _, sql := range []string{
+		"SELECT * FROM rel:hotels_a, doc:hotels_b",
+		"SELECT city, price FROM rel:hotels_a, doc:hotels_b WHERE price > 12 LIMIT 2",
+		"SELECT city, stars FROM rel:hotels_a, doc:hotels_b",
+	} {
+		res, err := e.ExecuteSQL(context.Background(), sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		it, err := e.StreamSQL(context.Background(), sql)
+		if err != nil {
+			t.Fatalf("%s: stream: %v", sql, err)
+		}
+		if got, want := it.Columns(), res.ColumnNames(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: stream header %v, execute header %v", sql, got, want)
+		}
+		rows := drain(t, it)
+		if len(rows) != res.NumRows() {
+			t.Fatalf("%s: stream %d rows, execute %d", sql, len(rows), res.NumRows())
+		}
+		for i, row := range rows {
+			if !reflect.DeepEqual(row, res.Row(i)) {
+				t.Errorf("%s: row %d stream %v, execute %v", sql, i, row, res.Row(i))
+			}
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStreamLimitBoundsRelationalScan proves LIMIT is enforced as an
+// iterator stage over the real relational scan: the collected result
+// is O(limit) even though the source table is large, and the engine
+// never materializes the corpus (guarded indirectly by the benchmarks'
+// allocs/op).
+func TestStreamLimitBoundsRelationalScan(t *testing.T) {
+	p, err := polystore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := table.New("big")
+	big.Columns = []*table.Column{{Name: "id"}}
+	for i := 0; i < 50000; i++ {
+		_ = big.AppendRow([]string{"x"})
+	}
+	p.Rel.Create(big)
+	it, err := NewEngine(p).StreamSQL(context.Background(), "SELECT id FROM rel:big LIMIT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if rows := drain(t, it); len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+}

@@ -128,28 +128,102 @@ type CellPredicate struct {
 // SelectWhere scans a table with compiled per-column predicates and a
 // projection, both evaluated inside the store: predicate columns are
 // resolved to indexes once, and only projected columns are copied out.
-// This is the fast path the federated engine pushes down to; Select
-// remains for callers wanting arbitrary row predicates.
+// This is the materialized form of ScanWhere; Select remains for
+// callers wanting arbitrary row predicates.
 func (r *RelStore) SelectWhere(name string, preds []CellPredicate, cols []string) (*table.Table, error) {
+	cur, err := r.ScanWhere(name, preds, cols)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	out := table.New(name)
+	for i, n := range cur.Columns() {
+		out.Columns = append(out.Columns, &table.Column{Name: n, Kind: cur.kinds[i]})
+	}
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			return out, nil
+		}
+		for j, v := range row {
+			out.Columns[j].Cells = append(out.Columns[j].Cells, v)
+		}
+	}
+}
+
+// Cursor streams matching rows out of one relational table, one Next
+// call per row — the store-side scan unit of the streaming query
+// pipeline. It reads a snapshot taken at ScanWhere time (captured
+// column slices), so a scan is consistent under concurrent Insert and
+// Create without holding the store lock while the caller drains it.
+type Cursor struct {
+	names []string
+	kinds []table.Kind
+	// cells[j] backs output column j; preds carry their own snapshots
+	// so predicate columns need not survive the projection.
+	cells [][]string
+	preds []boundPredicate
+	n, at int
+}
+
+type boundPredicate struct {
+	cells []string
+	match func(string) bool
+}
+
+// Columns returns the cursor's output header.
+func (c *Cursor) Columns() []string { return c.names }
+
+// Next returns the next matching row, or false when the scan is done.
+// Each call allocates one fresh row slice.
+func (c *Cursor) Next() ([]string, bool) {
+rows:
+	for c.at < c.n {
+		i := c.at
+		c.at++
+		for _, bp := range c.preds {
+			if !bp.match(bp.cells[i]) {
+				continue rows
+			}
+		}
+		row := make([]string, len(c.cells))
+		for j, col := range c.cells {
+			row[j] = col[i]
+		}
+		return row, true
+	}
+	return nil, false
+}
+
+// Close releases the snapshot. Idempotent.
+func (c *Cursor) Close() error {
+	c.at = c.n
+	c.cells = nil
+	c.preds = nil
+	return nil
+}
+
+// ScanWhere opens a streaming scan with compiled per-column predicates
+// and a projection, both evaluated inside the store as rows are
+// pulled. A predicate on a missing column matches nothing (an empty
+// cursor keeping the projected header); projected columns that do not
+// exist are dropped. Empty cols projects every column.
+func (r *RelStore) ScanWhere(name string, preds []CellPredicate, cols []string) (*Cursor, error) {
 	r.mu.RLock()
+	defer r.mu.RUnlock()
 	t, ok := r.tables[name]
-	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
 	}
-	// Resolve predicate and projection columns to indexes once.
-	type boundPred struct {
-		col   *table.Column
-		match func(string) bool
-	}
-	bound := make([]boundPred, 0, len(preds))
+	n := t.NumRows()
+	cur := &Cursor{n: n}
 	for _, p := range preds {
 		c, err := t.Column(p.Column)
 		if err != nil {
 			// Predicate on a missing column matches nothing.
-			return emptyLike(t, cols), nil
+			return emptyCursorLike(t, cols), nil
 		}
-		bound = append(bound, boundPred{col: c, match: p.Match})
+		cur.preds = append(cur.preds, boundPredicate{cells: c.Cells[:n], match: p.Match})
 	}
 	outCols := t.Columns
 	if len(cols) > 0 {
@@ -162,35 +236,23 @@ func (r *RelStore) SelectWhere(name string, preds []CellPredicate, cols []string
 			outCols = append(outCols, c)
 		}
 	}
-	out := table.New(t.Name)
 	for _, c := range outCols {
-		out.Columns = append(out.Columns, &table.Column{Name: c.Name, Kind: c.Kind})
+		cur.names = append(cur.names, c.Name)
+		cur.kinds = append(cur.kinds, c.Kind)
+		// Capture the slice header up to the snapshot length: later
+		// Inserts append past n (or reallocate) without touching the
+		// cells this scan reads.
+		cur.cells = append(cur.cells, c.Cells[:n])
 	}
-	n := t.NumRows()
-rows:
-	for i := 0; i < n; i++ {
-		for _, bp := range bound {
-			if !bp.match(bp.col.Cells[i]) {
-				continue rows
-			}
-		}
-		for j, c := range outCols {
-			out.Columns[j].Cells = append(out.Columns[j].Cells, c.Cells[i])
-		}
-	}
-	return out, nil
+	return cur, nil
 }
 
-func emptyLike(t *table.Table, cols []string) *table.Table {
-	out := table.New(t.Name)
+func emptyCursorLike(t *table.Table, cols []string) *Cursor {
 	names := cols
 	if len(names) == 0 {
 		names = t.ColumnNames()
 	}
-	for _, n := range names {
-		out.Columns = append(out.Columns, &table.Column{Name: n})
-	}
-	return out
+	return &Cursor{names: names, kinds: make([]table.Kind, len(names))}
 }
 
 // Insert appends rows to an existing table.
