@@ -313,22 +313,15 @@ func BenchmarkFederatedQueryPushdown(b *testing.B) {
 
 // streamBenchEngine builds a query engine over one n-row relational
 // table, registered directly in the polystore (ingest is not under
-// measurement).
+// measurement); the corpus shape is shared with benchreport via
+// bench.BigEngine.
 func streamBenchEngine(b *testing.B, rows int) *query.Engine {
 	b.Helper()
-	p, err := polystore.New(b.TempDir())
+	e, err := bench.BigEngine(b.TempDir(), rows)
 	if err != nil {
 		b.Fatal(err)
 	}
-	big := table.New("big")
-	big.Columns = []*table.Column{{Name: "id"}, {Name: "site"}, {Name: "v"}}
-	for i := 0; i < rows; i++ {
-		if err := big.AppendRow([]string{fmt.Sprint(i), fmt.Sprintf("s%d", i%50), fmt.Sprint(i % 997)}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	p.Rel.Create(big)
-	return query.NewEngine(p)
+	return e
 }
 
 // queryStreamSizes are the corpus sizes of the streaming-vs-
@@ -381,6 +374,32 @@ func BenchmarkQueryMaterialized(b *testing.B) {
 				out = got.NumRows()
 			}
 			b.ReportMetric(float64(out)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkUnionParallel measures concurrent fan-in on the synthetic
+// slow-store federation (8 sources, one 10× slower per row): fanin=1 is
+// the sequential union paying the sum of source durations; wider
+// fan-ins overlap the waits behind bounded buffers, so wall-clock
+// approaches the slowest source. allocs/op must not grow over the
+// sequential baseline — the batch scratch amortizes the per-row remap.
+// The experiment body is shared with benchreport's FanIn report and the
+// -json trajectory results (bench.DrainFanIn), so they measure the same
+// thing.
+func BenchmarkUnionParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("fanin=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				n, err := bench.DrainFanIn(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = n
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
 }

@@ -4,9 +4,13 @@
 // Usage:
 //
 //	benchreport [-only table1|table2|table3|fig2|scaling|ablation|
-//	             datamaran|modes|pushdown|streaming|semantic|ekg]
+//	             datamaran|modes|pushdown|streaming|fanin|semantic|ekg]
+//	benchreport -json [-json-out FILE]
 //
-// Without -only, every experiment runs in DESIGN.md order.
+// Without -only, every experiment runs in DESIGN.md order. With -json,
+// the fan-in and streaming benchmarks run through testing.Benchmark and
+// their machine-readable results (ns/op, allocs/op, rows/s) are written
+// to BENCH_4.json (or -json-out) — the in-repo perf trajectory file.
 package main
 
 import (
@@ -20,12 +24,29 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment")
+	jsonOut := flag.Bool("json", false, "write machine-readable benchmark results instead of reports")
+	jsonPath := flag.String("json-out", "BENCH_4.json", "output path for -json")
 	flag.Parse()
 	dir, err := os.MkdirTemp("", "golake-benchreport-*")
 	if err != nil {
 		fatal(err)
 	}
 	defer os.RemoveAll(dir)
+	if *jsonOut {
+		results, err := bench.FanInBenchResults(dir + "/benchjson")
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteBenchJSON(*jsonPath, results); err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("%-28s %12d ns/op %8d allocs/op %12.0f rows/s\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.RowsPerSec)
+		}
+		fmt.Println("wrote", *jsonPath)
+		return
+	}
 	if *only == "" {
 		out, err := bench.All(dir)
 		fmt.Print(out)
@@ -45,6 +66,7 @@ func main() {
 		"modes":     func() (*bench.Report, error) { return bench.ExplorationModes(3) },
 		"pushdown":  func() (*bench.Report, error) { return bench.Pushdown(dir, 20000) },
 		"streaming": func() (*bench.Report, error) { return bench.QueryStreaming(dir, []int{1000, 100000}) },
+		"fanin":     func() (*bench.Report, error) { return bench.FanIn([]int{1, 2, 4, 8}) },
 		"semantic":  bench.JoinabilityVsSemantic,
 		"ekg":       bench.EKGSummary,
 	}

@@ -17,6 +17,12 @@
 // With -auto-maintain INTERVAL, serve runs background maintenance:
 // data ingested over POST /v1/datasets becomes explorable without an
 // operator-triggered pass (status on GET /v1/maintenance).
+//
+// With -fanin N (and optionally -fanin-buffer ROWS), federated queries
+// drain up to N member-store sources in parallel behind bounded
+// per-source buffers: identical result sets, rows interleaved in
+// completion order, wall-clock tracking the slowest source instead of
+// the sum.
 package main
 
 import (
@@ -49,6 +55,10 @@ func main() {
 	user := flag.String("user", "cli", "acting user")
 	autoMaintain := flag.Duration("auto-maintain", 0,
 		"run background maintenance at this interval (serve mode; 0 disables)")
+	fanIn := flag.Int("fanin", 0,
+		"drain up to N federated-query sources in parallel (<=1 sequential)")
+	fanInBuffer := flag.Int("fanin-buffer", 0,
+		"per-source fan-in buffer in rows (0 = default)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -70,7 +80,7 @@ func main() {
 	if *dataDir == "" {
 		fatal(fmt.Errorf("command %q needs -data DIR", cmd))
 	}
-	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain)
+	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain, *fanIn, *fanInBuffer)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,14 +91,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-auto-maintain 5s] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] COMMAND [ARGS]")
 	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage serve registry demo")
 	os.Exit(2)
 }
 
 // loadLake bulk-ingests every regular file under dir and runs
 // maintenance.
-func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration) (*golake.Lake, error) {
+func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration, fanIn, fanInBuffer int) (*golake.Lake, error) {
 	workdir, err := os.MkdirTemp("", "golake-lakectl-*")
 	if err != nil {
 		return nil, err
@@ -98,6 +108,13 @@ func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration)
 	}
 	if autoMaintain > 0 {
 		opts = append(opts, golake.WithAutoMaintain(autoMaintain))
+	}
+	if fanIn > 1 {
+		opts = append(opts, golake.WithFanIn(fanIn, fanInBuffer))
+	} else if fanInBuffer > 0 {
+		// WithFanIn(0, n) would be a silent no-op: the sequential union
+		// never consults the buffer size.
+		fmt.Fprintln(os.Stderr, "lakectl: -fanin-buffer has no effect without -fanin > 1")
 	}
 	lake, err := golake.Open(workdir, opts...)
 	if err != nil {

@@ -68,6 +68,27 @@
 // carries Accept: application/x-ndjson (header line, one JSON row per
 // line, a final {"error":{...}} line on mid-stream failure).
 //
+// # Parallel fan-in
+//
+// By default a federated query drains its member stores sequentially,
+// which keeps row order deterministic (source-concatenation order) but
+// means one slow store stalls the whole stream. WithFanIn turns on
+// concurrent, backpressure-aware fan-in: up to workers source scans are
+// opened and drained in parallel, each buffering roughly bufferRows
+// rows ahead of the consumer, so wall-clock latency tracks the slowest
+// source instead of the sum of sources:
+//
+//	lake, _ := golake.Open(dir, golake.WithFanIn(8, 256))
+//
+// Result sets are identical to the sequential union; only the
+// interleaving of rows across sources changes (completion order). The
+// exception is LIMIT (and the WithMaxResults cap): without an ORDER BY
+// there is no defined "first n", so a capped fan-in query keeps
+// whichever n rows arrive first — a different subset run to run.
+// Cancelling the query context or closing the iterator tears every
+// source puller down leak-free. Over REST, the POST /v1/query body
+// accepts per-request "fanin" and "buffer_rows" overrides.
+//
 // # Background maintenance
 //
 // The manual Maintain call above can be replaced by an always-on
@@ -191,6 +212,15 @@ func WithMaxResults(n int) Option { return core.WithMaxResults(n) }
 
 // WithLogger installs a structured logger for REST request logging.
 func WithLogger(l *slog.Logger) Option { return core.WithLogger(l) }
+
+// WithFanIn drains federated queries' member-store scans concurrently:
+// up to workers sources in parallel, each buffering roughly bufferRows
+// rows ahead of the consumer (0 = default window). Rows arrive in
+// completion order; result sets are unchanged, except that a LIMIT (or
+// WithMaxResults cap) keeps the first rows by arrival, so the kept
+// subset varies run to run. workers <= 1 keeps the sequential,
+// ordering-stable union (the default).
+func WithFanIn(workers, bufferRows int) Option { return core.WithFanIn(workers, bufferRows) }
 
 // WithAutoMaintain starts a background maintenance scheduler: every
 // interval the lake checks for new data and runs an incremental

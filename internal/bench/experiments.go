@@ -711,19 +711,10 @@ func QueryStreaming(dir string, sizes []int) (*Report, error) {
 		Header: []string{"Corpus rows", "Execution", "Rows out", "Latency"},
 	}
 	for _, rows := range sizes {
-		p, err := polystore.New(fmt.Sprintf("%s/stream-%d", dir, rows))
+		e, err := BigEngine(fmt.Sprintf("%s/stream-%d", dir, rows), rows)
 		if err != nil {
 			return nil, err
 		}
-		big := table.New("big")
-		big.Columns = []*table.Column{{Name: "id"}, {Name: "site"}, {Name: "v"}}
-		for i := 0; i < rows; i++ {
-			if err := big.AppendRow([]string{fmt.Sprint(i), fmt.Sprintf("s%d", i%50), fmt.Sprint(i % 997)}); err != nil {
-				return nil, err
-			}
-		}
-		p.Rel.Create(big)
-		e := query.NewEngine(p)
 		const reps = 5
 		run := func(label string, exec func() (*table.Table, error)) error {
 			start := time.Now()
@@ -912,6 +903,7 @@ func All(dir string) (string, error) {
 		LSHShapeAblation,
 		func() (*Report, error) { return MaintenanceIncremental(dir+"/maintenance", []int{20, 40, 80}) },
 		func() (*Report, error) { return QueryStreaming(dir+"/streaming", []int{1000, 100000}) },
+		func() (*Report, error) { return FanIn([]int{1, 2, 4, 8}) },
 	}
 	for _, g := range gens {
 		rep, err := g()

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"golake/internal/query"
+	"golake/internal/storage/polystore"
+	"golake/internal/table"
+)
+
+// The synthetic slow-store federation behind the fan-in benchmarks:
+// seven ordinary sources and one whose per-row latency is 10× higher
+// (the stand-in for a remote or overloaded member store). Sequential
+// union pays the sum of the source durations; parallel fan-in pays
+// roughly the slowest source.
+// Delays are multiples of a millisecond so time.Sleep granularity does
+// not silently flatten the fast/slow ratio.
+const (
+	fanInFastSources = 7
+	fanInFastRows    = 200
+	fanInFastDelay   = time.Millisecond
+	fanInSlowRows    = 20
+	fanInSlowDelay   = 10 * fanInFastDelay
+)
+
+// fanInTotalRows is the federation's total row count (rows/s metric).
+const fanInTotalRows = fanInFastSources*fanInFastRows + fanInSlowRows
+
+// SlowSource is a synthetic member-store scan with a fixed per-row
+// latency. Rows are pre-materialized so the source itself allocates
+// nothing per Next — the allocations a benchmark sees are the union
+// stage's own.
+type SlowSource struct {
+	cols  []string
+	rows  []query.Row
+	delay time.Duration
+	pos   int
+}
+
+// NewSlowSource builds a single-column source of n rows with the given
+// per-row latency.
+func NewSlowSource(prefix string, n int, delay time.Duration) *SlowSource {
+	rows := make([]query.Row, n)
+	for i := range rows {
+		rows[i] = query.Row{fmt.Sprintf("%s%d", prefix, i)}
+	}
+	return &SlowSource{cols: []string{"v"}, rows: rows, delay: delay}
+}
+
+// Columns implements query.RowIterator.
+func (s *SlowSource) Columns() []string { return s.cols }
+
+// Next implements query.RowIterator, sleeping the per-row latency.
+func (s *SlowSource) Next(ctx context.Context) (query.Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// Close implements query.RowIterator.
+func (s *SlowSource) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// SlowFederation builds the benchmark federation fresh (iterators are
+// single-use): fanInFastSources ordinary sources plus one 10×-slower
+// one.
+func SlowFederation() []query.RowIterator {
+	sources := make([]query.RowIterator, 0, fanInFastSources+1)
+	for i := 0; i < fanInFastSources; i++ {
+		sources = append(sources, NewSlowSource(fmt.Sprintf("f%d_", i), fanInFastRows, fanInFastDelay))
+	}
+	sources = append(sources, NewSlowSource("slow_", fanInSlowRows, fanInSlowDelay))
+	return sources
+}
+
+// BigEngine builds a query engine over one rows-row relational table
+// ("big": id/site/v) backed by a polystore in dir — the shared corpus
+// of the streaming benchmarks (go-test benches, the QueryStreaming
+// report, and the -json trajectory), so they all measure the same
+// table shape.
+func BigEngine(dir string, rows int) (*query.Engine, error) {
+	p, err := polystore.New(dir)
+	if err != nil {
+		return nil, err
+	}
+	big := table.New("big")
+	big.Columns = []*table.Column{{Name: "id"}, {Name: "site"}, {Name: "v"}}
+	for i := 0; i < rows; i++ {
+		if err := big.AppendRow([]string{fmt.Sprint(i), fmt.Sprintf("s%d", i%50), fmt.Sprint(i % 997)}); err != nil {
+			return nil, err
+		}
+	}
+	p.Rel.Create(big)
+	return query.NewEngine(p), nil
+}
+
+// DrainFanIn unions the federation at the given fan-in width and drains
+// it, returning the row count — the shared experiment body of the
+// BenchmarkUnionParallel go-test bench, the FanIn report, and the -json
+// trajectory results, so the three cannot silently measure different
+// things.
+func DrainFanIn(workers int) (int, error) {
+	ctx := context.Background()
+	it := query.ParallelUnion(ctx, SlowFederation(), nil, query.FanInOptions{Workers: workers})
+	defer it.Close()
+	n := 0
+	for {
+		_, err := it.Next(ctx)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// FanIn measures the parallel fan-in win on the slow-store federation:
+// wall-clock per width versus the sequential union (fan-in 1), which
+// pays the sum of the sources while parallel fan-in pays roughly the
+// slowest one.
+func FanIn(widths []int) (*Report, error) {
+	rep := &Report{
+		Title: fmt.Sprintf("Parallel fan-in: %d sources (one 10x slower per row), bounded buffers",
+			fanInFastSources+1),
+		Header: []string{"Fan-in", "Rows", "Wall-clock", "vs sequential"},
+	}
+	const reps = 3
+	var seqDur time.Duration
+	for _, w := range widths {
+		start := time.Now()
+		var rows int
+		for r := 0; r < reps; r++ {
+			var err error
+			if rows, err = DrainFanIn(w); err != nil {
+				return nil, err
+			}
+		}
+		dur := time.Since(start) / reps
+		if w <= 1 {
+			seqDur = dur
+		}
+		speedup := "1.0x (baseline)"
+		if w > 1 && dur > 0 && seqDur > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(seqDur)/float64(dur))
+		}
+		rep.Add(fmt.Sprintf("%d", w), fmt.Sprintf("%d", rows),
+			dur.Round(time.Millisecond).String(), speedup)
+	}
+	rep.Note("fan-in 1 is the sequential union (sum of source durations); wider fan-ins overlap the sources' waits behind bounded per-source buffers, so wall-clock approaches the slowest source")
+	return rep, nil
+}
+
+// BenchResult is one machine-readable benchmark row of the perf
+// trajectory file (BENCH_4.json and successors).
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	RowsPerSec  float64 `json:"rows_per_s"`
+}
+
+// benchResult projects a testing benchmark run onto the wire row.
+func benchResult(name string, rowsPerOp int, r testing.BenchmarkResult) BenchResult {
+	ns := r.NsPerOp()
+	rps := 0.0
+	if ns > 0 {
+		rps = float64(rowsPerOp) * float64(time.Second) / float64(ns)
+	}
+	return BenchResult{Name: name, NsPerOp: ns, AllocsPerOp: r.AllocsPerOp(), RowsPerSec: rps}
+}
+
+// FanInBenchResults runs the fan-in and streaming benchmarks through
+// testing.Benchmark and returns their machine-readable results — what
+// cmd/benchreport -json serializes. dir is a scratch directory for the
+// backing polystore (the caller owns its lifecycle).
+func FanInBenchResults(dir string) ([]BenchResult, error) {
+	var out []BenchResult
+	// b.Fatal inside testing.Benchmark only aborts the bench goroutine —
+	// the call returns a zero result instead of an error — so failures
+	// are re-surfaced here rather than silently written as zero rows
+	// into the trajectory file.
+	var benchErr error
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		name := fmt.Sprintf("union_parallel/fanin=%d", w)
+		if w == 1 {
+			name = "union_sequential"
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := DrainFanIn(w)
+				if err != nil {
+					benchErr = fmt.Errorf("%s: %w", name, err)
+					b.Fatal(err)
+				}
+				if n != fanInTotalRows {
+					benchErr = fmt.Errorf("%s: drained %d rows, want %d", name, n, fanInTotalRows)
+					b.Fatalf("drained %d rows, want %d", n, fanInTotalRows)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run", name)
+		}
+		out = append(out, benchResult(name, fanInTotalRows, r))
+	}
+	// The streaming-vs-materialized pair rides along so the trajectory
+	// file covers the whole query hot path, not just the union stage.
+	e, err := BigEngine(dir, 100000)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	runSQL := func(name, sql string, rowsPerOp int) error {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExecuteSQL(ctx, sql); err != nil {
+					benchErr = fmt.Errorf("%s: %w", name, err)
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		if r.N == 0 {
+			return fmt.Errorf("%s: benchmark did not run", name)
+		}
+		out = append(out, benchResult(name, rowsPerOp, r))
+		return nil
+	}
+	if err := runSQL("query_stream_limit10_100k", "SELECT id FROM rel:big LIMIT 10", 10); err != nil {
+		return nil, err
+	}
+	if err := runSQL("query_materialize_100k", "SELECT id FROM rel:big", 100000); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteBenchJSON writes benchmark results as indented JSON — the
+// in-repo perf trajectory format (BENCH_<pr>.json).
+func WriteBenchJSON(path string, results []BenchResult) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

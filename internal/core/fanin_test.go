@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"golake/internal/query"
+)
+
+// fanInLake assembles a lake with parallel fan-in on and three member
+// stores holding overlapping datasets.
+func fanInLake(t *testing.T, opts ...Option) *Lake {
+	t.Helper()
+	l, err := Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddUser("dana", RoleDataScientist)
+	ctx := context.Background()
+	var csv strings.Builder
+	csv.WriteString("city,price\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&csv, "c%d,%d\n", i, i%97)
+	}
+	if _, err := l.Ingest(ctx, "raw/hotels_rel.csv", []byte(csv.String()), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	var jsonl strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&jsonl, "{\"city\":\"d%d\",\"price\":%d}\n", i, i%89)
+	}
+	if _, err := l.Ingest(ctx, "raw/hotels_doc.jsonl", []byte(jsonl.String()), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func collectSorted(t *testing.T, it query.RowIterator) []string {
+	t.Helper()
+	var out []string
+	ctx := context.Background()
+	for {
+		row, err := it.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, strings.Join(row, "|"))
+	}
+	_ = it.Close()
+	sort.Strings(out)
+	return out
+}
+
+// TestLakeWithFanInMatchesSequential pins end-to-end equivalence at the
+// Lake level: WithFanIn changes interleaving, never the result set.
+func TestLakeWithFanInMatchesSequential(t *testing.T) {
+	seqLake := fanInLake(t)
+	parLake := fanInLake(t, WithFanIn(8, 64))
+	const sql = "SELECT city, price FROM rel:hotels_rel, doc:hotels_doc WHERE price > 40"
+	ctx := context.Background()
+	seqIt, err := seqLake.QueryStream(ctx, "dana", sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectSorted(t, seqIt)
+	if len(want) == 0 {
+		t.Fatal("fixture returned no rows")
+	}
+	parIt, err := parLake.QueryStream(ctx, "dana", sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectSorted(t, parIt)
+	if len(got) != len(want) {
+		t.Fatalf("parallel fan-in returned %d rows, sequential %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: parallel %q, sequential %q", i, got[i], want[i])
+		}
+	}
+	// The per-query override must win over the lake default both ways.
+	overrideIt, err := seqLake.QueryStreamFanIn(ctx, "dana", sql, query.FanInOptions{Workers: 4, BufferRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectSorted(t, overrideIt); len(got) != len(want) {
+		t.Fatalf("per-query fan-in override returned %d rows, want %d", len(got), len(want))
+	}
+}
+
+// fanInServer serves a fan-in fixture lake over the REST API.
+func fanInServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	l := fanInLake(t)
+	srv := httptest.NewServer(l.HTTPHandler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestV1QueryPerRequestFanInNDJSON drives the request-body fanin knob
+// through NDJSON streaming: full result set, valid framing.
+func TestV1QueryPerRequestFanInNDJSON(t *testing.T) {
+	srv := fanInServer(t)
+	body := `{"sql":"SELECT city, price FROM rel:hotels_rel, doc:hotels_doc","fanin":8,"buffer_rows":64}`
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/query", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Lake-User", "dana")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("missing header line")
+	}
+	rows := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) > 0 && line[0] == '{' {
+			t.Fatalf("unexpected object line (error trailer?): %s", line)
+		}
+		var row []string
+		if err := json.Unmarshal(line, &row); err != nil {
+			t.Fatalf("row line %q: %v", line, err)
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 600 {
+		t.Fatalf("streamed %d rows with fanin=8, want 600", rows)
+	}
+}
+
+// TestV1QueryFanInValidation: out-of-range knobs are invalid queries,
+// not silent clamps, on both the JSON and NDJSON paths.
+func TestV1QueryFanInValidation(t *testing.T) {
+	srv := fanInServer(t)
+	for _, body := range []string{
+		`{"sql":"SELECT city FROM rel:hotels_rel","fanin":-1}`,
+		`{"sql":"SELECT city FROM rel:hotels_rel","fanin":10000}`,
+		`{"sql":"SELECT city FROM rel:hotels_rel","buffer_rows":-5}`,
+		`{"sql":"SELECT city FROM rel:hotels_rel","buffer_rows":99999999}`,
+	} {
+		resp, data := do(t, srv, http.MethodPost, "/v1/query", "dana", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", body, resp.StatusCode, data)
+		}
+		var env struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(data, &env); err != nil || env.Error.Code != "invalid_query" {
+			t.Errorf("%s: envelope = %s (%v)", body, data, err)
+		}
+	}
+}
+
+// TestLegacyQueryAliasIgnoresFanInKnobs: the deprecated /query alias
+// keeps its frozen pre-v1 semantics — the fanin/buffer_rows fields are
+// ignored exactly as unknown fields always were, even at values the v1
+// route would reject.
+func TestLegacyQueryAliasIgnoresFanInKnobs(t *testing.T) {
+	srv := fanInServer(t)
+	resp, data := do(t, srv, http.MethodPost, "/query", "dana",
+		`{"sql":"SELECT city FROM rel:hotels_rel","fanin":10000,"buffer_rows":-1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy alias rejected ignored fields: %d %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil || len(out.Rows) != 300 {
+		t.Fatalf("legacy alias rows = %d (%v), want 300", len(out.Rows), err)
+	}
+}
+
+// TestV1QueryFanInJSONPath: the override also applies to the plain JSON
+// (materializing) response shape.
+func TestV1QueryFanInJSONPath(t *testing.T) {
+	srv := fanInServer(t)
+	resp, data := do(t, srv, http.MethodPost, "/v1/query", "dana",
+		`{"sql":"SELECT city, price FROM rel:hotels_rel, doc:hotels_doc","fanin":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 600 {
+		t.Fatalf("got %d rows with fanin=4, want 600", len(out.Rows))
+	}
+}
+
+// TestQueryStreamFanInCancelReleases: cancelling a fanned-in stream
+// mid-flight must not leak pullers (guarded by -race + the WaitGroup in
+// Close) and must surface a classified error.
+func TestQueryStreamFanInCancelReleases(t *testing.T) {
+	l := fanInLake(t, WithFanIn(8, 16))
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := l.QueryStream(ctx, "dana", "SELECT city FROM rel:hotels_rel, doc:hotels_doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.After(5 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := it.Next(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("stream did not observe cancellation")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -557,30 +557,76 @@ const ndjsonContentType = "application/x-ndjson"
 // before a chunk is flushed to the client.
 const ndjsonFlushEvery = 64
 
+// Per-request fan-in bounds: a request may widen concurrency only up to
+// these caps, so one query cannot ask the server for unbounded
+// goroutines or buffer memory.
+const (
+	maxQueryFanIn      = 64
+	maxQueryBufferRows = 1 << 16
+)
+
+// queryFanIn resolves the request's fan-in: absent knobs inherit the
+// lake-level WithFanIn configuration; present ones override it within
+// the server-side caps.
+func (l *Lake) queryFanIn(fanin, bufferRows *int) (query.FanInOptions, error) {
+	opts := l.Engine.FanIn
+	if fanin != nil {
+		if *fanin < 0 || *fanin > maxQueryFanIn {
+			return opts, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: fanin must be 0..%d", maxQueryFanIn)
+		}
+		opts.Workers = *fanin
+	}
+	if bufferRows != nil {
+		if *bufferRows < 0 || *bufferRows > maxQueryBufferRows {
+			return opts, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: buffer_rows must be 0..%d", maxQueryBufferRows)
+		}
+		opts.BufferRows = *bufferRows
+	}
+	return opts, nil
+}
+
 func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		SQL string `json:"sql"`
+		// FanIn > 1 drains this query's member-store scans concurrently
+		// (rows arrive in completion order); BufferRows sizes the
+		// per-source backpressure window. Absent, the lake's WithFanIn
+		// configuration applies.
+		FanIn      *int `json:"fanin"`
+		BufferRows *int `json:"buffer_rows"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.SQL == "" {
 		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: bad request body"))
+		return
+	}
+	// The fan-in knobs are a /v1 capability, like NDJSON streaming:
+	// deprecated aliases keep their frozen pre-v1 semantics and ignore
+	// the fields exactly as they always did.
+	if r.Context().Value(legacyKey) != nil {
+		body.FanIn, body.BufferRows = nil, nil
+	}
+	opts, err := l.queryFanIn(body.FanIn, body.BufferRows)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	// Open the stream before committing to either wire shape, so
+	// resolution failures (bad SQL, unknown sources, auth) still get a
+	// proper status code and error envelope. Both branches consume the
+	// same stream; they differ only in framing.
+	it, err := l.QueryStreamFanIn(r.Context(), userOf(r), body.SQL, opts)
+	if err != nil {
+		writeErr(w, r, err)
 		return
 	}
 	// Streaming is a /v1 capability only: deprecated aliases keep their
 	// pre-v1 wire shapes even when a proxy-widened Accept header
 	// mentions NDJSON.
 	if strings.Contains(r.Header.Get("Accept"), ndjsonContentType) && r.Context().Value(legacyKey) == nil {
-		// Open the stream before committing to the NDJSON wire shape,
-		// so resolution failures (bad SQL, unknown sources, auth) still
-		// get a proper status code and error envelope.
-		it, err := l.QueryStream(r.Context(), userOf(r), body.SQL)
-		if err != nil {
-			writeErr(w, r, err)
-			return
-		}
 		streamNDJSON(w, r.Context(), it)
 		return
 	}
-	res, err := l.QuerySQL(r.Context(), userOf(r), body.SQL)
+	res, err := query.Collect(r.Context(), it)
 	if err != nil {
 		writeErr(w, r, err)
 		return

@@ -78,6 +78,7 @@ type options struct {
 	maxResults   int
 	logger       *slog.Logger
 	autoMaintain time.Duration
+	fanIn        query.FanInOptions
 }
 
 // WithClock substitutes the lake's time source (tests, replays).
@@ -101,6 +102,22 @@ func WithMaxResults(n int) Option {
 // logging middleware uses it. Nil (the default) disables logging.
 func WithLogger(l *slog.Logger) Option {
 	return func(o *options) { o.logger = l }
+}
+
+// WithFanIn turns on concurrent fan-in for federated queries: up to
+// workers member-store scans are opened and drained in parallel, each
+// buffering roughly bufferRows rows ahead of the consumer (the
+// backpressure window, approximate by up to one in-flight batch; 0
+// means the default). Rows arrive in completion
+// order rather than source-concatenation order — result sets are
+// identical, ordering across sources is not; under a LIMIT or
+// WithMaxResults cap the kept subset is whichever rows arrived first,
+// so it varies run to run. workers <= 1 keeps the sequential,
+// ordering-stable union (the default).
+func WithFanIn(workers, bufferRows int) Option {
+	return func(o *options) {
+		o.fanIn = query.FanInOptions{Workers: workers, BufferRows: bufferRows}
+	}
 }
 
 // WithAutoMaintain starts a background maintenance scheduler when the
@@ -200,6 +217,7 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 	}
 	l.Engine = query.NewEngine(poly)
 	l.Engine.PushDown = o.pushdown
+	l.Engine.FanIn = o.fanIn
 	if o.autoMaintain > 0 {
 		l.sched = maintain.NewScheduler(schedTarget{l}, maintain.Config{
 			Interval: o.autoMaintain,
@@ -759,31 +777,43 @@ func (l *Lake) QuerySQL(ctx context.Context, user, sql string) (*table.Table, er
 // and row-level failures carry lakeerr codes. The caller must Close
 // the iterator.
 func (l *Lake) QueryStream(ctx context.Context, user, sql string) (query.RowIterator, error) {
+	return l.QueryStreamFanIn(ctx, user, sql, l.Engine.FanIn)
+}
+
+// QueryStreamFanIn is QueryStream with a per-query fan-in override:
+// opts.Workers > 1 drains the query's member-store scans concurrently
+// behind bounded buffers (rows arrive in completion order), regardless
+// of the lake-level WithFanIn setting. The REST layer threads the
+// request-body fanin/buffer_rows knobs through here.
+func (l *Lake) QueryStreamFanIn(ctx context.Context, user, sql string, opts query.FanInOptions) (query.RowIterator, error) {
 	if _, err := l.roleOf(user); err != nil {
 		return nil, err
 	}
-	it, err := l.Engine.StreamSQL(ctx, sql)
+	// Parse once: the engine streams the parsed query and the
+	// provenance loop below reuses it.
+	q, err := query.Parse(sql)
 	if err != nil {
 		return nil, classifyQueryErr(err)
 	}
-	q, _ := query.Parse(sql)
-	if q != nil {
-		for _, src := range q.Sources {
-			name := src
-			if _, rest, ok := strings.Cut(src, ":"); ok {
-				name = rest
-			}
-			// Queries address model-store names; provenance entities
-			// are ingest paths. Resolve through the placement index so
-			// the audit trail stays on the dataset.
-			l.mu.RLock()
-			entity, ok := l.nameToPath[name]
-			l.mu.RUnlock()
-			if !ok {
-				entity = name
-			}
-			_ = l.Tracker.Query(entity, "sql", user)
+	it, err := l.Engine.StreamFanIn(ctx, q, opts)
+	if err != nil {
+		return nil, classifyQueryErr(err)
+	}
+	for _, src := range q.Sources {
+		name := src
+		if _, rest, ok := strings.Cut(src, ":"); ok {
+			name = rest
 		}
+		// Queries address model-store names; provenance entities are
+		// ingest paths. Resolve through the placement index so the
+		// audit trail stays on the dataset.
+		l.mu.RLock()
+		entity, ok := l.nameToPath[name]
+		l.mu.RUnlock()
+		if !ok {
+			entity = name
+		}
+		_ = l.Tracker.Query(entity, "sql", user)
 	}
 	return &classifiedIterator{in: query.Limit(it, l.maxResults)}, nil
 }

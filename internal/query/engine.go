@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"golake/internal/storage/docstore"
 	"golake/internal/storage/filestore"
@@ -32,6 +33,13 @@ type Engine struct {
 	// Constance and Ontario apply) or centrally after full retrieval.
 	// The federated-query benchmark toggles this.
 	PushDown bool
+	// FanIn configures concurrent fan-in across member stores: with
+	// Workers > 1, source scans are opened and drained in parallel
+	// behind bounded per-source buffers (ParallelUnion), so a slow
+	// member store no longer stalls the whole federated stream. The
+	// zero value keeps the sequential union and its deterministic
+	// source-concatenation row order.
+	FanIn FanInOptions
 }
 
 // NewEngine creates an engine with pushdown enabled.
@@ -49,13 +57,21 @@ func (e *Engine) ExecuteSQL(ctx context.Context, sql string) (*table.Table, erro
 	return e.Execute(ctx, q)
 }
 
-// StreamSQL parses a statement and opens its streaming execution.
+// StreamSQL parses a statement and opens its streaming execution with
+// the engine's configured fan-in.
 func (e *Engine) StreamSQL(ctx context.Context, sql string) (RowIterator, error) {
+	return e.StreamSQLFanIn(ctx, sql, e.FanIn)
+}
+
+// StreamSQLFanIn parses a statement and opens its streaming execution
+// with an explicit fan-in configuration (per-query override of the
+// engine default).
+func (e *Engine) StreamSQLFanIn(ctx context.Context, sql string, opts FanInOptions) (RowIterator, error) {
 	q, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Stream(ctx, q)
+	return e.StreamFanIn(ctx, q, opts)
 }
 
 // Execute runs a query and collects the streamed rows into a table —
@@ -75,6 +91,29 @@ func (e *Engine) Execute(ctx context.Context, q *Query) (*table.Table, error) {
 // surface here, before any rows flow; row-level failures (including
 // cancellation) surface from Next.
 func (e *Engine) Stream(ctx context.Context, q *Query) (RowIterator, error) {
+	return e.StreamFanIn(ctx, q, e.FanIn)
+}
+
+// StreamFanIn opens the query's pipeline with an explicit fan-in
+// configuration. With Workers > 1 the source scans are both opened and
+// drained concurrently (ParallelUnion); otherwise the pipeline is the
+// sequential union with its deterministic row order.
+func (e *Engine) StreamFanIn(ctx context.Context, q *Query, opts FanInOptions) (RowIterator, error) {
+	var sources []RowIterator
+	var err error
+	if opts.sequential() || len(q.Sources) < 2 {
+		sources, err = e.openSources(ctx, q)
+	} else {
+		sources, err = e.openSourcesParallel(ctx, q, opts.Workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Limit(ParallelUnion(ctx, sources, q.Columns, opts), q.Limit), nil
+}
+
+// openSources resolves and opens every FROM item in order.
+func (e *Engine) openSources(ctx context.Context, q *Query) ([]RowIterator, error) {
 	sources := make([]RowIterator, 0, len(q.Sources))
 	closeAll := func() {
 		for _, s := range sources {
@@ -93,7 +132,44 @@ func (e *Engine) Stream(ctx context.Context, q *Query) (RowIterator, error) {
 		}
 		sources = append(sources, it)
 	}
-	return Limit(Union(sources, q.Columns), q.Limit), nil
+	return sources, nil
+}
+
+// openSourcesParallel opens the source scans concurrently, at most
+// workers at a time — member-store snapshots are taken under their
+// stores' read locks, so opening is safe to overlap, and a store that
+// is slow to open no longer delays the others. On failure every opened
+// iterator is closed and the error of the lowest-indexed failing source
+// is returned, matching the sequential open's first-error semantics.
+func (e *Engine) openSourcesParallel(ctx context.Context, q *Query, workers int) ([]RowIterator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sources := make([]RowIterator, len(q.Sources))
+	errs := make([]error, len(q.Sources))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(len(q.Sources))
+	for i, src := range q.Sources {
+		go func(i int, src string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sources[i], errs[i] = e.streamSource(src, q)
+		}(i, src)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, s := range sources {
+				if s != nil {
+					_ = s.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return sources, nil
 }
 
 // streamSource routes one FROM item to its member store's scan

@@ -275,6 +275,10 @@ type unionIterator struct {
 	src    []int
 	cur    int
 	closed bool
+	// err is the sticky mid-stream failure: once a source errors, every
+	// remaining source is closed eagerly and later Next calls replay the
+	// error instead of pulling from a half-torn-down stream.
+	err error
 }
 
 // Union merges sources by concatenation over a shared header: want
@@ -283,21 +287,9 @@ type unionIterator struct {
 // semantics). Rows are padded per source as they are pulled; nothing
 // is buffered.
 func Union(sources []RowIterator, want []string) RowIterator {
-	cols := want
-	if len(cols) == 0 {
-		seen := map[string]bool{}
-		for _, s := range sources {
-			for _, c := range s.Columns() {
-				if !seen[c] {
-					seen[c] = true
-					cols = append(cols, c)
-				}
-			}
-		}
-	}
-	u := &unionIterator{cols: cols, sources: sources}
+	u := &unionIterator{cols: unionColumns(sources, want), sources: sources}
 	if len(sources) > 0 {
-		u.src = columnMapping(sources[0].Columns(), cols)
+		u.src = columnMapping(sources[0].Columns(), u.cols)
 	}
 	return u
 }
@@ -305,6 +297,9 @@ func Union(sources []RowIterator, want []string) RowIterator {
 func (u *unionIterator) Columns() []string { return u.cols }
 
 func (u *unionIterator) Next(ctx context.Context) (Row, error) {
+	if u.err != nil {
+		return nil, u.err
+	}
 	if u.closed {
 		return nil, io.EOF
 	}
@@ -319,6 +314,21 @@ func (u *unionIterator) Next(ctx context.Context) (Row, error) {
 			continue
 		}
 		if err != nil {
+			// Per-call context cancellation is transient, not a source
+			// failure: surface it without tearing the stream down, so a
+			// later Next with a live context resumes. Gated on the
+			// caller's context — not the error value — so a source's own
+			// internal timeout still counts as a terminal failure,
+			// exactly as the parallel pullers classify it.
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			// Mid-stream failure: release every remaining source scan —
+			// including not-yet-reached ones — right away instead of
+			// relying on the caller's Close, and replay the error on
+			// later Next calls.
+			u.err = err
+			_ = u.Close()
 			return nil, err
 		}
 		return remap(row, u.src), nil

@@ -1,0 +1,353 @@
+package query
+
+import (
+	"context"
+	"io"
+	"slices"
+	"sync"
+)
+
+// DefaultFanInBufferRows is the per-source backpressure window of
+// ParallelUnion when FanInOptions.BufferRows is unset: how many rows a
+// puller may run ahead of the consumer before it blocks.
+const DefaultFanInBufferRows = 256
+
+// fanInBatchRows is how many rows ride one channel hop. Batching
+// amortizes the synchronization cost per row and lets the remap/null-pad
+// scratch be allocated once per batch instead of once per row.
+const fanInBatchRows = 64
+
+// FanInOptions configures how a federated union drains its member
+// sources.
+type FanInOptions struct {
+	// Workers caps how many sources are drained concurrently. 0 and 1
+	// select the sequential union (today's ordering-stable behavior);
+	// values above the source count are clamped to one puller per
+	// source.
+	Workers int
+	// BufferRows bounds how many rows each source may buffer ahead of
+	// the consumer (the backpressure window); the bound is approximate —
+	// a puller may additionally hold one partially built batch in hand,
+	// overshooting by up to one batch. 0 means DefaultFanInBufferRows.
+	BufferRows int
+}
+
+// sequential reports whether the options degenerate to the sequential
+// union.
+func (o FanInOptions) sequential() bool { return o.Workers <= 1 }
+
+// bufferRows resolves the per-source window.
+func (o FanInOptions) bufferRows() int {
+	if o.BufferRows <= 0 {
+		return DefaultFanInBufferRows
+	}
+	return o.BufferRows
+}
+
+// rowBatch is the unit crossing a puller→consumer channel hop: a run of
+// already-remapped rows, or the source's terminal state (io.EOF or a
+// real error) after its last rows were delivered.
+type rowBatch struct {
+	rows []Row
+	err  error
+}
+
+// ParallelUnion merges sources concurrently with bounded buffering: one
+// puller goroutine per source (at most opts.Workers running at once)
+// drains its source into a per-source channel of row batches, and the
+// consumer's Next serves batches in arrival order. Semantics match
+// Union except for row order, which is arrival order rather than
+// source-concatenation order:
+//
+//   - Backpressure: a source may run at most BufferRows rows ahead of
+//     the consumer; full buffers block the puller, not the consumer.
+//   - A slow source never stalls the others — their rows keep flowing
+//     while it blocks, so wall-clock tracks the slowest source instead
+//     of the sum of sources.
+//   - The first source error is propagated in-band from Next (sticky),
+//     and stops all pullers.
+//   - Close cancels every puller, waits for them to exit, and closes
+//     every source exactly as the sequential union does — leak-free
+//     even mid-stream.
+//
+// With Workers <= 1 (or fewer than two sources) it returns the
+// sequential Union unchanged, the fanin=1 degenerate case that keeps
+// ordering deterministic.
+//
+// ctx scopes the pullers: it is the stream-open context, and cancelling
+// it tears the fan-in down exactly like Close.
+func ParallelUnion(ctx context.Context, sources []RowIterator, want []string, opts FanInOptions) RowIterator {
+	if len(sources) < 2 || opts.sequential() {
+		return Union(sources, want)
+	}
+	cols := unionColumns(sources, want)
+	batchRows := fanInBatchRows
+	if w := opts.bufferRows(); w < batchRows {
+		batchRows = w
+	}
+	depth := opts.bufferRows() / batchRows
+	if depth < 1 {
+		depth = 1
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	p := &parallelUnion{
+		cols:   cols,
+		pctx:   pctx,
+		cancel: cancel,
+		queues: make([]chan rowBatch, len(sources)),
+		// A token is pushed only after its batch is queued, so tokens
+		// never outnumber queued batches and this capacity guarantees
+		// pullers never block on ready.
+		ready: make(chan int, len(sources)*depth),
+	}
+	var sem chan struct{}
+	if opts.Workers > 0 && opts.Workers < len(sources) {
+		sem = make(chan struct{}, opts.Workers)
+	}
+	p.wg.Add(len(sources))
+	for i, src := range sources {
+		p.queues[i] = make(chan rowBatch, depth)
+		go p.pull(pctx, i, src, sem, batchRows)
+	}
+	return p
+}
+
+// unionColumns computes the union header: want when projecting explicit
+// columns, otherwise the union of the source headers in first-seen
+// order (shared with the sequential Union).
+func unionColumns(sources []RowIterator, want []string) []string {
+	cols := want
+	if len(cols) == 0 {
+		seen := map[string]bool{}
+		for _, s := range sources {
+			for _, c := range s.Columns() {
+				if !seen[c] {
+					seen[c] = true
+					cols = append(cols, c)
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// parallelUnion is the consumer half of the concurrent fan-in.
+type parallelUnion struct {
+	cols []string
+	// pctx scopes the pullers: derived from the stream-open context,
+	// cancelled by Close and on the first source error. Next watches it
+	// so an open-scope cancellation surfaces instead of hanging a
+	// consumer whose per-call context is still live.
+	pctx   context.Context
+	cancel context.CancelFunc
+	queues []chan rowBatch
+	// ready carries source indexes in batch-arrival order; the consumer
+	// blocks here, then pops the announced queue.
+	ready chan int
+	wg    sync.WaitGroup
+
+	// closeMu guards closeErr, the first source-Close failure seen by
+	// any puller (the sequential union's Close reports the same).
+	closeMu  sync.Mutex
+	closeErr error
+
+	// Consumer-side state (single consumer, no locking needed).
+	cur    []Row
+	curPos int
+	done   int
+	err    error
+	closed bool
+}
+
+// pull drains one source into its queue: acquire a worker slot, batch
+// rows (remapped onto the union header), and finish with the source's
+// terminal state. The source is closed here, so every source is closed
+// exactly once no matter how the stream ends.
+func (p *parallelUnion) pull(ctx context.Context, i int, src RowIterator, sem chan struct{}, batchRows int) {
+	defer p.wg.Done()
+	defer func() {
+		if err := src.Close(); err != nil {
+			p.closeMu.Lock()
+			if p.closeErr == nil {
+				p.closeErr = err
+			}
+			p.closeMu.Unlock()
+		}
+	}()
+	if sem != nil {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-ctx.Done():
+			return
+		}
+	}
+	b := newBatcher(src.Columns(), p.cols, batchRows)
+	for {
+		row, err := src.Next(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Torn down by Close/cancel: nobody is reading anymore.
+				return
+			}
+			if rows := b.take(); len(rows) > 0 {
+				if !p.send(ctx, i, rowBatch{rows: rows}) {
+					return
+				}
+			}
+			p.send(ctx, i, rowBatch{err: err})
+			return
+		}
+		b.add(row)
+		if b.full() {
+			if !p.send(ctx, i, rowBatch{rows: b.take()}) {
+				return
+			}
+		}
+	}
+}
+
+// send queues one batch and announces its arrival; false means the
+// stream was torn down and the puller should exit.
+func (p *parallelUnion) send(ctx context.Context, i int, b rowBatch) bool {
+	select {
+	case p.queues[i] <- b:
+	case <-ctx.Done():
+		return false
+	}
+	select {
+	case p.ready <- i:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (p *parallelUnion) Columns() []string { return p.cols }
+
+func (p *parallelUnion) Next(ctx context.Context) (Row, error) {
+	// The sticky error outranks closed — a failed stream must keep
+	// replaying its error after the contractual Close, exactly like the
+	// sequential union, not read as cleanly ended.
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.closed {
+		return nil, io.EOF
+	}
+	// Check the per-call context even while a buffered batch is in hand,
+	// so cancellation surfaces on the next row — the sequential union's
+	// contract — not after up to a batch of buffered rows.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for {
+		if p.curPos < len(p.cur) {
+			row := p.cur[p.curPos]
+			p.curPos++
+			return row, nil
+		}
+		if p.done == len(p.queues) {
+			return nil, io.EOF
+		}
+		var i int
+		select {
+		case i = <-p.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-p.pctx.Done():
+			// The stream-open context was cancelled out from under a
+			// consumer whose per-call context is still live: pullers are
+			// exiting without terminal batches, so waiting on ready would
+			// hang forever. Serve anything already announced, then
+			// surface the cancellation (sticky).
+			select {
+			case i = <-p.ready:
+			default:
+				p.err = p.pctx.Err()
+				return nil, p.err
+			}
+		}
+		b := <-p.queues[i]
+		if b.err == io.EOF {
+			p.done++
+			continue
+		}
+		if b.err != nil {
+			// First source error: surface it in-band (sticky) and stop
+			// the remaining pullers, which close their sources on the
+			// way out.
+			p.err = b.err
+			p.cancel()
+			return nil, b.err
+		}
+		p.cur, p.curPos = b.rows, 0
+	}
+}
+
+func (p *parallelUnion) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.cancel()
+	p.wg.Wait()
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	return p.closeErr
+}
+
+// batcher accumulates remapped rows for one channel hop. The remap
+// scratch is one backing cell array per batch: rows are carved out of
+// it, so the steady state costs two allocations per batch (~batchRows
+// rows) instead of one per row, and null padding is free (fresh backing
+// is zero-valued). When the source header already matches the union
+// header, rows pass through untouched — zero copies, one allocation
+// per batch for the row slice itself.
+type batcher struct {
+	src      []int // nil when the mapping is the identity
+	width    int
+	capacity int
+	cells    []string
+	rows     []Row
+}
+
+func newBatcher(from, to []string, capacity int) *batcher {
+	b := &batcher{width: len(to), capacity: capacity}
+	if !slices.Equal(from, to) {
+		b.src = columnMapping(from, to)
+	}
+	return b
+}
+
+func (b *batcher) add(row Row) {
+	if b.rows == nil {
+		b.rows = make([]Row, 0, b.capacity)
+		if b.src != nil {
+			b.cells = make([]string, b.capacity*b.width)
+		}
+	}
+	if b.src == nil {
+		b.rows = append(b.rows, row)
+		return
+	}
+	out := b.cells[:b.width:b.width]
+	b.cells = b.cells[b.width:]
+	for i, j := range b.src {
+		if j >= 0 {
+			out[i] = row[j]
+		}
+	}
+	b.rows = append(b.rows, out)
+}
+
+func (b *batcher) full() bool { return len(b.rows) >= b.capacity }
+
+// take hands the accumulated rows over and resets the batch; the next
+// add allocates fresh backing, so handed-over rows stay valid for the
+// consumer to retain.
+func (b *batcher) take() []Row {
+	rows := b.rows
+	b.rows, b.cells = nil, nil
+	return rows
+}

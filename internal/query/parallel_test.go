@@ -1,0 +1,539 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"golake/internal/storage/polystore"
+)
+
+// federatedEngine builds an engine over one source per member-store
+// kind (relational, document, graph) sharing overlapping headers, so
+// fan-in is exercised across genuinely heterogeneous scans.
+func federatedEngine(t *testing.T) *Engine {
+	t.Helper()
+	p, err := polystore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest("raw/hotels_a.csv", []byte("city,price\nams,10\nparis,30\nrome,20\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest("raw/hotels_b.jsonl", []byte("{\"city\":\"oslo\",\"price\":15,\"stars\":4}\n{\"city\":\"bern\",\"price\":50}\n")); err != nil {
+		t.Fatal(err)
+	}
+	graph := []byte(`{"nodes":[
+		{"id":"h1","label":"hotel","props":{"city":"kyoto","price":70}},
+		{"id":"h2","label":"hotel","props":{"city":"lima","price":25}}],
+		"edges":[]}`)
+	if _, err := p.IngestAs("raw/hotels_g.json", graph, polystore.TargetGraph); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(p)
+}
+
+// safeCountingIterator is a goroutine-safe counting source: pullers
+// read it from their own goroutines, the test asserts on the counters.
+type safeCountingIterator struct {
+	cols   []string
+	rows   int
+	prefix string
+	pulled atomic.Int64
+	closes atomic.Int64
+}
+
+func (c *safeCountingIterator) Columns() []string { return c.cols }
+
+func (c *safeCountingIterator) Next(ctx context.Context) (Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := c.pulled.Add(1)
+	if int(n) > c.rows {
+		c.pulled.Add(-1)
+		return nil, io.EOF
+	}
+	return Row{fmt.Sprintf("%s%d", c.prefix, n)}, nil
+}
+
+func (c *safeCountingIterator) Close() error {
+	c.closes.Add(1)
+	return nil
+}
+
+// gatedIterator blocks every Next until the gate opens — the synthetic
+// stalled member store.
+type gatedIterator struct {
+	cols   []string
+	gate   chan struct{}
+	rows   []Row
+	pos    int
+	closes atomic.Int64
+}
+
+func (g *gatedIterator) Columns() []string { return g.cols }
+
+func (g *gatedIterator) Next(ctx context.Context) (Row, error) {
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if g.pos >= len(g.rows) {
+		return nil, io.EOF
+	}
+	row := g.rows[g.pos]
+	g.pos++
+	return row, nil
+}
+
+func (g *gatedIterator) Close() error {
+	g.closes.Add(1)
+	return nil
+}
+
+// erroringIterator yields good rows then a terminal error.
+type erroringIterator struct {
+	cols   []string
+	good   int
+	err    error
+	pos    int
+	closes atomic.Int64
+}
+
+func (e *erroringIterator) Columns() []string { return e.cols }
+
+func (e *erroringIterator) Next(ctx context.Context) (Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.pos >= e.good {
+		return nil, e.err
+	}
+	e.pos++
+	return Row{"ok"}, nil
+}
+
+func (e *erroringIterator) Close() error {
+	e.closes.Add(1)
+	return nil
+}
+
+func sortedRows(rows [][]string) [][]string {
+	out := append([][]string(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i]) < fmt.Sprint(out[j])
+	})
+	return out
+}
+
+// TestParallelUnionSetEqualsSequential pins the semantics contract:
+// across fan-in widths and buffer sizes, the parallel union yields
+// exactly the sequential union's header and row multiset —
+// heterogeneous headers, null padding, and explicit projections
+// included. Only the interleaving may differ.
+func TestParallelUnionSetEqualsSequential(t *testing.T) {
+	mkSources := func() []RowIterator {
+		return []RowIterator{
+			NewSliceIterator([]string{"city", "price"}, [][]string{{"ams", "10"}, {"rome", "20"}}),
+			NewSliceIterator([]string{"price", "stars"}, [][]string{{"30", "4"}, {"15", "2"}, {"50", "5"}}),
+			NewSliceIterator([]string{"city"}, [][]string{{"oslo"}}),
+			NewSliceIterator([]string{"stars", "city"}, [][]string{{"1", "bern"}}),
+		}
+	}
+	for _, want := range [][]string{nil, {"price", "city"}} {
+		seq := Union(mkSources(), want)
+		wantHeader := seq.Columns()
+		wantRows := sortedRows(drain(t, seq))
+		if err := seq.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			for _, buffer := range []int{1, 3, 256} {
+				it := ParallelUnion(context.Background(), mkSources(), want,
+					FanInOptions{Workers: workers, BufferRows: buffer})
+				if got := it.Columns(); !reflect.DeepEqual(got, wantHeader) {
+					t.Fatalf("workers=%d buffer=%d: header %v, want %v", workers, buffer, got, wantHeader)
+				}
+				got := sortedRows(drain(t, it))
+				if !reflect.DeepEqual(got, wantRows) {
+					t.Errorf("workers=%d buffer=%d want=%v: rows %v, want %v", workers, buffer, want, got, wantRows)
+				}
+				if err := it.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelUnionDegeneratesToSequential pins the fanin=1 contract:
+// with Workers <= 1 the parallel constructor returns the sequential
+// union itself, so ordering-sensitive callers keep byte-identical
+// behavior.
+func TestParallelUnionDegeneratesToSequential(t *testing.T) {
+	sources := []RowIterator{
+		NewSliceIterator([]string{"a"}, [][]string{{"1"}}),
+		NewSliceIterator([]string{"a"}, [][]string{{"2"}}),
+	}
+	it := ParallelUnion(context.Background(), sources, nil, FanInOptions{Workers: 1})
+	if _, ok := it.(*unionIterator); !ok {
+		t.Fatalf("Workers=1 returned %T, want the sequential *unionIterator", it)
+	}
+	rows := drain(t, it)
+	if want := [][]string{{"1"}, {"2"}}; !reflect.DeepEqual(rows, want) {
+		t.Errorf("rows = %v, want %v (concatenation order)", rows, want)
+	}
+}
+
+// TestParallelUnionSlowSourceDoesNotStallOthers is the point of the
+// fan-in: while one source is fully blocked, every other source's rows
+// must still reach the consumer.
+func TestParallelUnionSlowSourceDoesNotStallOthers(t *testing.T) {
+	gate := make(chan struct{})
+	blocked := &gatedIterator{cols: []string{"a"}, gate: gate, rows: []Row{{"late"}}}
+	fast1 := &safeCountingIterator{cols: []string{"a"}, rows: 5, prefix: "x"}
+	fast2 := &safeCountingIterator{cols: []string{"a"}, rows: 5, prefix: "y"}
+	it := ParallelUnion(context.Background(), []RowIterator{blocked, fast1, fast2}, nil,
+		FanInOptions{Workers: 3, BufferRows: 8})
+	defer it.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var got [][]string
+	for len(got) < 10 { // all 10 fast rows, while the gate stays shut
+		row, err := it.Next(ctx)
+		if err != nil {
+			t.Fatalf("fast rows stalled behind a blocked source: %v (got %d rows)", err, len(got))
+		}
+		got = append(got, row)
+	}
+	close(gate) // release the slow source; its row plus EOF must follow
+	rest := [][]string{}
+	for {
+		row, err := it.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, row)
+	}
+	if !reflect.DeepEqual(rest, [][]string{{"late"}}) {
+		t.Errorf("after releasing the gate got %v, want [[late]]", rest)
+	}
+}
+
+// TestParallelUnionBackpressure pins the bounded-buffer contract: a
+// paused consumer must cap how far a fast source can run ahead at
+// roughly BufferRows, not drain it to completion.
+func TestParallelUnionBackpressure(t *testing.T) {
+	src := &safeCountingIterator{cols: []string{"a"}, rows: 100000, prefix: "x"}
+	other := &safeCountingIterator{cols: []string{"a"}, rows: 1, prefix: "y"}
+	const window = 32
+	it := ParallelUnion(context.Background(), []RowIterator{src, other}, nil,
+		FanInOptions{Workers: 2, BufferRows: window})
+	defer it.Close()
+	if _, err := it.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Give the puller every chance to overrun; the buffer must stop it.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var max int64
+	for time.Now().Before(deadline) {
+		if n := src.pulled.Load(); n > max {
+			max = n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The puller may hold one batch in hand plus a full queue: allow the
+	// window, one extra batch, and the consumer-side batch in flight.
+	limit := int64(window + 2*fanInBatchRows)
+	if max > limit {
+		t.Errorf("paused consumer: source ran %d rows ahead, want <= %d (BufferRows=%d)", max, limit, window)
+	}
+}
+
+// TestParallelUnionErrorPropagatesAndClosesAll: the first source error
+// surfaces in-band from Next (sticky), and by the time Close returns,
+// every source — erroring, healthy, and not-yet-drained — is closed
+// exactly once.
+func TestParallelUnionErrorPropagatesAndClosesAll(t *testing.T) {
+	boom := errors.New("store exploded")
+	bad := &erroringIterator{cols: []string{"a"}, good: 2, err: boom}
+	good := &safeCountingIterator{cols: []string{"a"}, rows: 100000, prefix: "x"}
+	slow := &gatedIterator{cols: []string{"a"}, gate: make(chan struct{})}
+	it := ParallelUnion(context.Background(), []RowIterator{bad, good, slow}, nil,
+		FanInOptions{Workers: 3, BufferRows: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var err error
+	for {
+		if _, err = it.Next(ctx); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Next error = %v, want %v", err, boom)
+	}
+	if _, err2 := it.Next(ctx); !errors.Is(err2, boom) {
+		t.Errorf("error must be sticky: second Next = %v", err2)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, closes := range map[string]int64{
+		"erroring": bad.closes.Load(), "healthy": good.closes.Load(), "blocked": slow.closes.Load(),
+	} {
+		if closes != 1 {
+			t.Errorf("%s source closed %d times, want exactly 1", name, closes)
+		}
+	}
+}
+
+// TestParallelUnionCloseMidStreamIsLeakFree: an early Close must stop
+// every puller (including ones blocked on a full buffer and ones
+// blocked inside the source) and close every source.
+func TestParallelUnionCloseMidStreamIsLeakFree(t *testing.T) {
+	fast := &safeCountingIterator{cols: []string{"a"}, rows: 1000000, prefix: "x"}
+	blocked := &gatedIterator{cols: []string{"a"}, gate: make(chan struct{})}
+	it := ParallelUnion(context.Background(), []RowIterator{fast, blocked}, nil,
+		FanInOptions{Workers: 2, BufferRows: 4})
+	if _, err := it.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Close waits for the pullers via WaitGroup, so returning at all
+	// proves they exited; -race plus goroutine accounting in CI guards
+	// the rest.
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fast.closes.Load() != 1 || blocked.closes.Load() != 1 {
+		t.Errorf("closes: fast=%d blocked=%d, want 1 and 1", fast.closes.Load(), blocked.closes.Load())
+	}
+	if _, err := it.Next(context.Background()); err != io.EOF {
+		t.Errorf("Next after Close = %v, want io.EOF", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Errorf("Close must be idempotent: %v", err)
+	}
+}
+
+// TestParallelUnionConsumerCancelUnblocksAndTearsDown: cancelling the
+// open context (not just the per-Next one) stops the fan-in leak-free.
+func TestParallelUnionConsumerCancelUnblocksAndTearsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fast := &safeCountingIterator{cols: []string{"a"}, rows: 1000000, prefix: "x"}
+	it := ParallelUnion(ctx, []RowIterator{fast, &safeCountingIterator{cols: []string{"a"}, rows: 1000000, prefix: "y"}}, nil,
+		FanInOptions{Workers: 2, BufferRows: 4})
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Draining after cancel must terminate (either buffered rows then an
+	// error, or an immediate context error) — never hang.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := it.Next(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not observe cancellation")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelUnionOpenCtxCancelDoesNotHangNext: cancelling the
+// stream-open context while the consumer polls with a different, live
+// context must surface the cancellation — pullers exit without terminal
+// batches, so Next must not wait for them forever.
+func TestParallelUnionOpenCtxCancelDoesNotHangNext(t *testing.T) {
+	openCtx, cancel := context.WithCancel(context.Background())
+	sources := []RowIterator{
+		&safeCountingIterator{cols: []string{"a"}, rows: 1000000, prefix: "x"},
+		&safeCountingIterator{cols: []string{"a"}, rows: 1000000, prefix: "y"},
+	}
+	it := ParallelUnion(openCtx, sources, nil, FanInOptions{Workers: 2, BufferRows: 8})
+	defer it.Close()
+	if _, err := it.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := it.Next(context.Background()); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next after open-ctx cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next hung after the open context was cancelled")
+	}
+	if _, err := it.Next(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation must be sticky: %v", err)
+	}
+}
+
+// TestParallelUnionWorkersCapLimitsConcurrency: with Workers=2 over
+// four sources, no more than two sources are ever in flight at once.
+func TestParallelUnionWorkersCapLimitsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	mk := func(n int) RowIterator {
+		first := true
+		return &funcIterator{
+			cols: []string{"a"},
+			next: func(ctx context.Context) (Row, error) {
+				if first {
+					first = false
+					cur := inFlight.Add(1)
+					for {
+						p := peak.Load()
+						if cur <= p || peak.CompareAndSwap(p, cur) {
+							break
+						}
+					}
+				}
+				if n == 0 {
+					inFlight.Add(-1)
+					return nil, io.EOF
+				}
+				n--
+				time.Sleep(time.Millisecond)
+				return Row{"x"}, nil
+			},
+		}
+	}
+	it := ParallelUnion(context.Background(), []RowIterator{mk(5), mk(5), mk(5), mk(5)}, nil,
+		FanInOptions{Workers: 2, BufferRows: 4})
+	drain(t, it)
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent sources = %d, want <= 2 (Workers cap)", p)
+	}
+}
+
+// TestUnionErrorClosesAllRemainingSources pins the sequential union's
+// repaired error path: a mid-stream source failure eagerly closes every
+// remaining source — the current one and the not-yet-reached ones — and
+// the error is sticky across Next calls.
+func TestUnionErrorClosesAllRemainingSources(t *testing.T) {
+	boom := errors.New("scan failed")
+	done := &safeCountingIterator{cols: []string{"a"}, rows: 1, prefix: "x"}
+	bad := &erroringIterator{cols: []string{"a"}, good: 1, err: boom}
+	unreached := &safeCountingIterator{cols: []string{"a"}, rows: 1, prefix: "y"}
+	it := Union([]RowIterator{done, bad, unreached}, nil)
+	var err error
+	for {
+		if _, err = it.Next(context.Background()); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Next = %v, want %v", err, boom)
+	}
+	if done.closes.Load() != 1 {
+		t.Errorf("drained source closed %d times, want 1", done.closes.Load())
+	}
+	if bad.closes.Load() != 1 {
+		t.Errorf("erroring source closed %d times, want 1 (eager close on error)", bad.closes.Load())
+	}
+	if unreached.closes.Load() != 1 {
+		t.Errorf("not-yet-reached source closed %d times, want 1 (eager close on error)", unreached.closes.Load())
+	}
+	if _, err2 := it.Next(context.Background()); !errors.Is(err2, boom) {
+		t.Errorf("error must be sticky: Next after error = %v", err2)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close after error-close: %v", err)
+	}
+	if done.closes.Load() != 1 || bad.closes.Load() != 1 || unreached.closes.Load() != 1 {
+		t.Errorf("Close after eager close double-closed: %d/%d/%d",
+			done.closes.Load(), bad.closes.Load(), unreached.closes.Load())
+	}
+}
+
+// TestUnionCloseIdempotent: Close twice closes each source once.
+func TestUnionCloseIdempotent(t *testing.T) {
+	a := &safeCountingIterator{cols: []string{"a"}, rows: 3, prefix: "x"}
+	b := &safeCountingIterator{cols: []string{"a"}, rows: 3, prefix: "y"}
+	it := Union([]RowIterator{a, b}, nil)
+	if _, err := it.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.closes.Load() != 1 || b.closes.Load() != 1 {
+		t.Errorf("closes a=%d b=%d, want 1 and 1", a.closes.Load(), b.closes.Load())
+	}
+}
+
+// TestEngineParallelFanInMatchesSequential runs a real federated query
+// (relational + document + graph sources) both ways and asserts header
+// equality and row-multiset equality.
+func TestEngineParallelFanInMatchesSequential(t *testing.T) {
+	e := federatedEngine(t)
+	sql := "SELECT city, price FROM rel:hotels_a, doc:hotels_b, graph:hotel"
+	seqIt, err := e.StreamSQLFanIn(context.Background(), sql, FanInOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := seqIt.Columns()
+	wantRows := sortedRows(drain(t, seqIt))
+	_ = seqIt.Close()
+	for _, workers := range []int{2, 4, 8} {
+		it, err := e.StreamSQLFanIn(context.Background(), sql, FanInOptions{Workers: workers, BufferRows: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := it.Columns(); !reflect.DeepEqual(got, wantHeader) {
+			t.Fatalf("workers=%d: header %v, want %v", workers, got, wantHeader)
+		}
+		got := sortedRows(drain(t, it))
+		if !reflect.DeepEqual(got, wantRows) {
+			t.Errorf("workers=%d: rows %v, want %v", workers, got, wantRows)
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEngineParallelOpenSurfacesFirstError: a failing FROM item must
+// surface its resolution error from the parallel open, with the opened
+// sources released.
+func TestEngineParallelOpenSurfacesFirstError(t *testing.T) {
+	e := federatedEngine(t)
+	e.FanIn = FanInOptions{Workers: 4}
+	_, err := e.StreamSQL(context.Background(), "SELECT city FROM rel:hotels_a, rel:ghost, doc:hotels_b")
+	if !errors.Is(err, polystore.ErrNoTable) {
+		t.Fatalf("parallel open err = %v, want %v", err, polystore.ErrNoTable)
+	}
+}
