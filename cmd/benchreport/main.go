@@ -8,9 +8,10 @@
 //	benchreport -json [-json-out FILE]
 //
 // Without -only, every experiment runs in DESIGN.md order. With -json,
-// the fan-in and streaming benchmarks run through testing.Benchmark and
-// their machine-readable results (ns/op, allocs/op, rows/s) are written
-// to BENCH_4.json (or -json-out) — the in-repo perf trajectory file.
+// the fan-in (plain and ORDER BY — what default-on fan-in ships) and
+// streaming benchmarks run through testing.Benchmark and their
+// machine-readable results (ns/op, allocs/op, rows/s) are written to
+// BENCH_5.json (or -json-out) — the in-repo perf trajectory file.
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment")
 	jsonOut := flag.Bool("json", false, "write machine-readable benchmark results instead of reports")
-	jsonPath := flag.String("json-out", "BENCH_4.json", "output path for -json")
+	jsonPath := flag.String("json-out", "BENCH_5.json", "output path for -json")
 	flag.Parse()
 	dir, err := os.MkdirTemp("", "golake-benchreport-*")
 	if err != nil {

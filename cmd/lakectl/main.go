@@ -8,6 +8,8 @@
 //	lakectl -data DIR discover TABLE [K]      related tables (populate mode)
 //	lakectl -data DIR join TABLE COLUMN [K]   joinable tables on a column
 //	lakectl -data DIR query 'SQL'             federated query, CSV streamed to stdout
+//	lakectl -data DIR -order price:desc query 'SQL'   ORDER BY passthrough
+//	lakectl -data DIR -explain query 'SQL'    typed plan, nothing executed
 //	lakectl -data DIR swamp                   metadata-coverage audit
 //	lakectl -data DIR lineage ENTITY          upstream provenance
 //	lakectl -data DIR serve [ADDR]            REST v1 API server
@@ -18,11 +20,14 @@
 // data ingested over POST /v1/datasets becomes explorable without an
 // operator-triggered pass (status on GET /v1/maintenance).
 //
-// With -fanin N (and optionally -fanin-buffer ROWS), federated queries
-// drain up to N member-store sources in parallel behind bounded
-// per-source buffers: identical result sets, rows interleaved in
-// completion order, wall-clock tracking the slowest source instead of
-// the sum.
+// Federated queries fan in by default: member-store sources are
+// drained in parallel (one puller per CPU) behind bounded per-source
+// buffers, and an ORDER BY — in the SQL or via -order — keeps the
+// output order deterministic at any width. -fanin pins the width
+// (-fanin 1 forces the sequential union), -fanin-buffer sizes the
+// per-source window, -explain prints the typed plan without running,
+// and -stats prints per-source execution counters to stderr after the
+// query. The flags build one query.Request behind the scenes.
 package main
 
 import (
@@ -56,9 +61,15 @@ func main() {
 	autoMaintain := flag.Duration("auto-maintain", 0,
 		"run background maintenance at this interval (serve mode; 0 disables)")
 	fanIn := flag.Int("fanin", 0,
-		"drain up to N federated-query sources in parallel (<=1 sequential)")
+		"federated-query fan-in width (0 = one puller per CPU, 1 = sequential)")
 	fanInBuffer := flag.Int("fanin-buffer", 0,
 		"per-source fan-in buffer in rows (0 = default)")
+	orderBy := flag.String("order", "",
+		"ORDER BY passthrough for query: col[:desc][,col...]")
+	explain := flag.Bool("explain", false,
+		"print the typed query plan instead of executing")
+	stats := flag.Bool("stats", false,
+		"print per-source execution stats to stderr after a query")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -85,13 +96,25 @@ func main() {
 		fatal(err)
 	}
 	defer lake.Close()
-	if err := dispatch(ctx, lake, *user, cmd, args[1:]); err != nil {
+	qf := queryFlags{
+		fanIn: *fanIn, bufferRows: *fanInBuffer,
+		order: *orderBy, explain: *explain, stats: *stats,
+	}
+	if err := dispatch(ctx, lake, *user, cmd, args[1:], qf); err != nil {
 		fatal(err)
 	}
 }
 
+// queryFlags bundles the flags the query command folds into one
+// query.Request.
+type queryFlags struct {
+	fanIn, bufferRows int
+	order             string
+	explain, stats    bool
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-order COLS] [-explain] [-stats] COMMAND [ARGS]")
 	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage serve registry demo")
 	os.Exit(2)
 }
@@ -109,12 +132,11 @@ func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration,
 	if autoMaintain > 0 {
 		opts = append(opts, golake.WithAutoMaintain(autoMaintain))
 	}
-	if fanIn > 1 {
+	if fanIn > 0 || fanInBuffer > 0 {
+		// Pins the lake-level default (what serve-mode HTTP queries
+		// inherit); the query command threads the same flags through
+		// its per-request query.Request instead.
 		opts = append(opts, golake.WithFanIn(fanIn, fanInBuffer))
-	} else if fanInBuffer > 0 {
-		// WithFanIn(0, n) would be a silent no-op: the sequential union
-		// never consults the buffer size.
-		fmt.Fprintln(os.Stderr, "lakectl: -fanin-buffer has no effect without -fanin > 1")
 	}
 	lake, err := golake.Open(workdir, opts...)
 	if err != nil {
@@ -152,7 +174,7 @@ func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration,
 	return lake, nil
 }
 
-func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []string) error {
+func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []string, qf queryFlags) error {
 	switch cmd {
 	case "profile":
 		return profile(lake)
@@ -172,7 +194,7 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 		if len(args) < 1 {
 			return fmt.Errorf("query needs SQL")
 		}
-		return streamQuery(ctx, lake, user, strings.Join(args, " "))
+		return streamQuery(ctx, lake, user, strings.Join(args, " "), qf)
 	case "swamp":
 		rep, err := lake.SwampAudit(ctx)
 		if err != nil {
@@ -224,19 +246,35 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 // streamQuery executes a federated query through the streaming
 // pipeline, printing CSV rows as they arrive instead of buffering the
 // full result — a LIMIT n query over a huge corpus emits n rows and
-// stops, and Ctrl-C aborts between rows.
-func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string) error {
-	it, err := lake.QueryStream(ctx, user, sql)
+// stops, and Ctrl-C aborts between rows. All command flags fold into
+// one query.Request; -explain pretty-prints the typed plan and runs
+// nothing.
+func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string, qf queryFlags) error {
+	order, err := parseOrderFlag(qf.order)
 	if err != nil {
 		return err
 	}
-	defer it.Close()
+	st, err := lake.Query(ctx, user, golake.QueryRequest{
+		SQL:        sql,
+		Order:      order,
+		FanIn:      qf.fanIn,
+		BufferRows: qf.bufferRows,
+		Explain:    qf.explain,
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if st.ExplainOnly() {
+		fmt.Print(st.Plan().String())
+		return nil
+	}
 	w := csv.NewWriter(os.Stdout)
-	if err := w.Write(it.Columns()); err != nil {
+	if err := w.Write(st.Columns()); err != nil {
 		return err
 	}
 	for n := 0; ; n++ {
-		row, err := it.Next(ctx)
+		row, err := st.Next(ctx)
 		if errors.Is(err, io.EOF) {
 			break
 		}
@@ -254,7 +292,45 @@ func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string) error
 		}
 	}
 	w.Flush()
-	return w.Error()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	if qf.stats {
+		es := st.Stats()
+		fmt.Fprintf(os.Stderr, "rows out: %d\n", es.RowsOut)
+		for _, s := range es.Sources {
+			fmt.Fprintf(os.Stderr, "source %s: %d rows pulled, blocked %s\n",
+				s.Source, s.Rows, s.Blocked.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
+// parseOrderFlag parses the -order passthrough: col[:desc][,col...].
+func parseOrderFlag(s string) ([]golake.OrderKey, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var keys []golake.OrderKey
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		col, dir, hasDir := strings.Cut(item, ":")
+		if col == "" {
+			return nil, fmt.Errorf("-order: empty column in %q", s)
+		}
+		key := golake.OrderKey{Column: col}
+		if hasDir {
+			switch strings.ToLower(dir) {
+			case "desc":
+				key.Desc = true
+			case "asc":
+			default:
+				return nil, fmt.Errorf("-order: bad direction %q (want asc or desc)", dir)
+			}
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
 }
 
 func argK(args []string, i int) int {

@@ -55,15 +55,57 @@ func TestDispatchCommands(t *testing.T) {
 		{"swamp"},
 		{"lineage", "orders.csv"},
 	} {
-		if err := dispatch(context.Background(), lake, "cli", c[0], c[1:]); err != nil {
+		if err := dispatch(context.Background(), lake, "cli", c[0], c[1:], queryFlags{}); err != nil {
 			t.Errorf("dispatch(%v): %v", c, err)
 		}
 	}
 	// Missing-argument errors.
 	for _, c := range [][]string{{"discover"}, {"join", "orders"}, {"query"}, {"lineage"}} {
-		if err := dispatch(context.Background(), lake, "cli", c[0], c[1:]); err == nil {
+		if err := dispatch(context.Background(), lake, "cli", c[0], c[1:], queryFlags{}); err == nil {
 			t.Errorf("dispatch(%v) should fail", c)
 		}
+	}
+}
+
+func TestParseOrderFlag(t *testing.T) {
+	keys, err := parseOrderFlag("price:desc, city ,n:asc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || !keys[0].Desc || keys[0].Column != "price" ||
+		keys[1].Desc || keys[1].Column != "city" || keys[2].Desc {
+		t.Errorf("keys = %+v", keys)
+	}
+	if keys, err := parseOrderFlag(""); err != nil || keys != nil {
+		t.Errorf("empty flag = %v, %v", keys, err)
+	}
+	for _, bad := range []string{":desc", "a:sideways", "a,,b"} {
+		if _, err := parseOrderFlag(bad); err == nil {
+			t.Errorf("parseOrderFlag(%q) should fail", bad)
+		}
+	}
+}
+
+// TestQueryFlagsDispatch drives the query command through the -order,
+// -explain and fan-in flags — the one-Request plumbing.
+func TestQueryFlagsDispatch(t *testing.T) {
+	lake, err := loadLake(context.Background(), writeDataDir(t), "cli", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qf := range []queryFlags{
+		{order: "total:desc", fanIn: 2, stats: true},
+		{explain: true},
+		{order: "id", bufferRows: 16},
+	} {
+		if err := dispatch(context.Background(), lake, "cli",
+			"query", []string{"SELECT id, total FROM rel:orders"}, qf); err != nil {
+			t.Errorf("dispatch query %+v: %v", qf, err)
+		}
+	}
+	if err := dispatch(context.Background(), lake, "cli",
+		"query", []string{"SELECT id FROM rel:orders"}, queryFlags{order: "id:bad"}); err == nil {
+		t.Error("bad -order direction should fail")
 	}
 }
 

@@ -41,53 +41,63 @@
 //	rows, err := lake.QuerySQL(ctx, "dana", "SELECT id, total FROM rel:orders WHERE total > 10")
 //	if lakeerr.IsInvalidQuery(err) { /* bad SQL, not a lake failure */ }
 //
-// # Streaming queries
+// # Querying
 //
-// Query execution is a pull-based iterator pipeline: per-source scans
-// feed a streaming union-merge with predicates, projection and LIMIT
-// as stages, so memory stays bounded by rows in flight instead of the
-// full federated result. Lake.QueryStream exposes it directly:
+// Lake.Query is the one federated-query entry point: a structured
+// QueryRequest (statement plus typed options) in, a streaming
+// RowStream out. Execution is a pull-based iterator pipeline —
+// per-source scans feed a union-merge with predicates, projection,
+// ORDER BY and LIMIT as stages — so memory stays bounded by rows in
+// flight (plus, when sorting under a LIMIT, a top-K heap of at most
+// LIMIT rows):
 //
-//	it, err := lake.QueryStream(ctx, "dana", "SELECT id FROM rel:orders LIMIT 10")
+//	st, err := lake.Query(ctx, "dana", golake.QueryRequest{
+//		SQL:   "SELECT city, price FROM rel:hotels_a, doc:hotels_b WHERE price > 40",
+//		Order: []golake.OrderKey{{Column: "price", Desc: true}},
+//		Limit: 10,
+//	})
 //	if err != nil {
 //		return err
 //	}
-//	defer it.Close()
+//	defer st.Close()
 //	for {
-//		row, err := it.Next(ctx)
+//		row, err := st.Next(ctx)
 //		if errors.Is(err, io.EOF) {
 //			break
 //		}
 //		if err != nil {
 //			return err
 //		}
-//		use(row) // []string ordered like it.Columns()
+//		use(row) // []string ordered like st.Columns()
 //	}
+//	fmt.Println(st.Stats()) // per-source rows pulled + time blocked
 //
-// Over REST, POST /v1/query streams chunked NDJSON when the request
-// carries Accept: application/x-ndjson (header line, one JSON row per
-// line, a final {"error":{...}} line on mid-stream failure).
+// Fan-in is on by default: member-store sources are drained
+// concurrently (one puller per CPU) behind bounded backpressure
+// buffers, so wall-clock tracks the slowest source instead of the sum
+// of sources. An ORDER BY — in the SQL or via QueryRequest.Order —
+// makes the output order deterministic at any width (numeric-aware
+// keys plus a whole-row tiebreak); without one, rows interleave in
+// arrival order. QueryRequest.FanIn pins the width (1 forces the
+// sequential source-concatenation union), WithFanIn pins a lake-wide
+// default, and QueryRequest.BufferRows sizes the per-source window.
 //
-// # Parallel fan-in
+// Plan introspection rides on the same request: EXPLAIN SELECT ... (or
+// QueryRequest.Explain) returns a rowless stream whose Plan() carries
+// the per-source access paths, pushed-down predicates, fan-in width
+// and sort strategy; every executed stream exposes the same Plan()
+// plus live Stats().
 //
-// By default a federated query drains its member stores sequentially,
-// which keeps row order deterministic (source-concatenation order) but
-// means one slow store stalls the whole stream. WithFanIn turns on
-// concurrent, backpressure-aware fan-in: up to workers source scans are
-// opened and drained in parallel, each buffering roughly bufferRows
-// rows ahead of the consumer, so wall-clock latency tracks the slowest
-// source instead of the sum of sources:
+// QuerySQL remains the materializing collector over the same pipeline.
+// The older QueryStream/QueryStreamFanIn methods are deprecated shims
+// over Query (they keep their frozen sequential-by-default behavior).
 //
-//	lake, _ := golake.Open(dir, golake.WithFanIn(8, 256))
-//
-// Result sets are identical to the sequential union; only the
-// interleaving of rows across sources changes (completion order). The
-// exception is LIMIT (and the WithMaxResults cap): without an ORDER BY
-// there is no defined "first n", so a capped fan-in query keeps
-// whichever n rows arrive first — a different subset run to run.
-// Cancelling the query context or closing the iterator tears every
-// source puller down leak-free. Over REST, the POST /v1/query body
-// accepts per-request "fanin" and "buffer_rows" overrides.
+// Over REST, POST /v1/query accepts {"sql", "order", "limit", "fanin",
+// "buffer_rows", "explain"} and streams chunked NDJSON when the
+// request carries Accept: application/x-ndjson (header line, one JSON
+// row per line, a {"stats":{...}} trailer on clean end, a final
+// {"error":{...}} line on mid-stream failure). With "explain": true it
+// returns {"plan": {...}} instead of rows.
 //
 // # Background maintenance
 //
@@ -152,11 +162,35 @@ const (
 // Table is the tabular dataset model.
 type Table = table.Table
 
-// RowIterator is the pull-based row stream returned by
-// Lake.QueryStream: Columns is the header, Next yields one row at a
-// time (io.EOF at the end, cancellation honored between rows), Close
-// releases the source scans. QuerySQL remains the materializing
-// collector over the same pipeline.
+// QueryRequest is the unified federated-query request consumed by
+// Lake.Query: one statement plus typed execution options (ORDER BY
+// keys, row cap, fan-in width, buffer window, explain).
+type QueryRequest = query.Request
+
+// OrderKey is one ORDER BY sort key of a QueryRequest.
+type OrderKey = query.OrderKey
+
+// RowStream is the result of Lake.Query: a pull-based row iterator
+// (Columns/Next/Close) plus plan introspection (Plan) and live
+// per-source execution stats (Stats).
+type RowStream = query.RowStream
+
+// QueryPlan is the typed execution plan reported by EXPLAIN and
+// RowStream.Plan: per-source access paths, pushed-down predicates,
+// fan-in width, sort strategy.
+type QueryPlan = query.Plan
+
+// SourcePlan is one FROM item's access path within a QueryPlan.
+type SourcePlan = query.SourcePlan
+
+// ExecStats snapshots a stream's execution counters (RowStream.Stats).
+type ExecStats = query.ExecStats
+
+// SourceStats is one source's rows-pulled / time-blocked counters.
+type SourceStats = query.SourceStats
+
+// RowIterator is the pull-based row stream interface every pipeline
+// stage implements; RowStream satisfies it.
 type RowIterator = query.RowIterator
 
 // Row is one streamed result record.
@@ -213,13 +247,15 @@ func WithMaxResults(n int) Option { return core.WithMaxResults(n) }
 // WithLogger installs a structured logger for REST request logging.
 func WithLogger(l *slog.Logger) Option { return core.WithLogger(l) }
 
-// WithFanIn drains federated queries' member-store scans concurrently:
-// up to workers sources in parallel, each buffering roughly bufferRows
-// rows ahead of the consumer (0 = default window). Rows arrive in
-// completion order; result sets are unchanged, except that a LIMIT (or
-// WithMaxResults cap) keeps the first rows by arrival, so the kept
-// subset varies run to run. workers <= 1 keeps the sequential,
-// ordering-stable union (the default).
+// WithFanIn pins the lake-wide fan-in default for Lake.Query requests
+// that leave QueryRequest.FanIn unset: workers member-store scans
+// drained in parallel (1 = sequential union), each buffering roughly
+// bufferRows rows ahead of the consumer (0 = default window). Unset,
+// requests default to one puller per CPU. Result sets never change
+// with the width; without an ORDER BY the interleaving of rows across
+// sources does (arrival order), and a LIMIT keeps whichever rows
+// arrived first. With an ORDER BY the output is deterministic at any
+// width.
 func WithFanIn(workers, bufferRows int) Option { return core.WithFanIn(workers, bufferRows) }
 
 // WithAutoMaintain starts a background maintenance scheduler: every

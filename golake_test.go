@@ -10,6 +10,56 @@ import (
 	"golake/internal/workload"
 )
 
+// TestUnifiedQueryFacade drives Lake.Query through the public facade:
+// one QueryRequest in, an ordered stream with plan and stats out.
+func TestUnifiedQueryFacade(t *testing.T) {
+	ctx := context.Background()
+	lake, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lake.AddUser("dana", RoleDataScientist)
+	orders := "order_id,total\no1,10\no2,30\no3,20\n"
+	if _, err := lake.Ingest(ctx, "raw/orders.csv", []byte(orders), "test", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := lake.Query(ctx, "dana", QueryRequest{
+		SQL:   "SELECT order_id, total FROM rel:orders",
+		Order: []OrderKey{{Column: "total", Desc: true}},
+		Limit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var ids []string
+	for {
+		row, err := st.Next(ctx)
+		if err != nil {
+			break
+		}
+		ids = append(ids, row[0])
+	}
+	if strings.Join(ids, ",") != "o2,o3" {
+		t.Errorf("ordered ids = %v", ids)
+	}
+	if st.Plan().Sort != "top-k heap (k=2)" {
+		t.Errorf("plan = %+v", st.Plan())
+	}
+	if es := st.Stats(); es.RowsOut != 2 || len(es.Sources) != 1 || es.Sources[0].Rows != 3 {
+		t.Errorf("stats = %+v", st.Stats())
+	}
+	// EXPLAIN through the facade returns a rowless plan stream.
+	ex, err := lake.Query(ctx, "dana", QueryRequest{SQL: "SELECT * FROM rel:orders", Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	if !ex.ExplainOnly() || !strings.Contains(ex.Plan().String(), "source rel:orders") {
+		t.Errorf("explain plan = %q", ex.Plan().String())
+	}
+}
+
 // TestEndToEndPublicAPI drives the whole lake through the public
 // facade only: open, ingest heterogeneous files, maintain, explore,
 // query, govern.

@@ -120,6 +120,24 @@ func DrainFanIn(workers int) (int, error) {
 	ctx := context.Background()
 	it := query.ParallelUnion(ctx, SlowFederation(), nil, query.FanInOptions{Workers: workers})
 	defer it.Close()
+	return drainCount(ctx, it)
+}
+
+// DrainFanInOrdered is DrainFanIn with an ORDER BY sort stage over the
+// union — the configuration that lets fan-in default on: deterministic
+// output at any width, at the cost of buffering the result for the
+// sort. The BENCH_5 trajectory compares it against PR 4's sequential
+// (unsorted) baseline.
+func DrainFanInOrdered(workers int) (int, error) {
+	ctx := context.Background()
+	it := query.Sort(
+		query.ParallelUnion(ctx, SlowFederation(), nil, query.FanInOptions{Workers: workers}),
+		[]query.OrderKey{{Column: "v"}}, 0)
+	defer it.Close()
+	return drainCount(ctx, it)
+}
+
+func drainCount(ctx context.Context, it query.RowIterator) (int, error) {
 	n := 0
 	for {
 		_, err := it.Next(ctx)
@@ -209,6 +227,38 @@ func FanInBenchResults(dir string) ([]BenchResult, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				n, err := DrainFanIn(w)
+				if err != nil {
+					benchErr = fmt.Errorf("%s: %w", name, err)
+					b.Fatal(err)
+				}
+				if n != fanInTotalRows {
+					benchErr = fmt.Errorf("%s: drained %d rows, want %d", name, n, fanInTotalRows)
+					b.Fatalf("drained %d rows, want %d", n, fanInTotalRows)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run", name)
+		}
+		out = append(out, benchResult(name, fanInTotalRows, r))
+	}
+	// The ordered variants measure what default-on fan-in actually
+	// ships — parallel drain + ORDER BY sort stage — against the same
+	// sequential baseline, so the trajectory records the cost of
+	// determinism alongside the fan-in win.
+	for _, w := range []int{1, 4, 8} {
+		w := w
+		name := fmt.Sprintf("union_parallel_orderby/fanin=%d", w)
+		if w == 1 {
+			name = "union_sequential_orderby"
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := DrainFanInOrdered(w)
 				if err != nil {
 					benchErr = fmt.Errorf("%s: %w", name, err)
 					b.Fatal(err)

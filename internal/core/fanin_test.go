@@ -138,7 +138,18 @@ func TestV1QueryPerRequestFanInNDJSON(t *testing.T) {
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) > 0 && line[0] == '{' {
-			t.Fatalf("unexpected object line (error trailer?): %s", line)
+			// The only object allowed after the header is the clean-end
+			// stats trailer; an error trailer fails the test.
+			var trailer struct {
+				Stats *query.ExecStats `json:"stats"`
+			}
+			if err := json.Unmarshal(line, &trailer); err != nil || trailer.Stats == nil {
+				t.Fatalf("unexpected object line (error trailer?): %s", line)
+			}
+			if sc.Scan() {
+				t.Fatalf("stats trailer was not the final line; next: %s", sc.Bytes())
+			}
+			break
 		}
 		var row []string
 		if err := json.Unmarshal(line, &row); err != nil {

@@ -33,7 +33,10 @@ import (
 //	GET  /v1/metadata?id=PATH            one GEMMS metadata object
 //	GET  /v1/related?table=NAME&k=5      populate-mode discovery
 //	POST /v1/explore                     any discovery mode (JSON body)
-//	POST /v1/query                       body: {"sql": ...}; JSON rows,
+//	POST /v1/query                       body: {"sql", "order", "limit",
+//	                                     "fanin", "buffer_rows",
+//	                                     "explain"}; JSON rows + stats,
+//	                                     the typed plan when explaining,
 //	                                     or chunked NDJSON streaming
 //	                                     with Accept: application/x-ndjson
 //	GET  /v1/lineage?entity=NAME         upstream provenance, paginated
@@ -565,65 +568,106 @@ const (
 	maxQueryBufferRows = 1 << 16
 )
 
-// queryFanIn resolves the request's fan-in: absent knobs inherit the
-// lake-level WithFanIn configuration; present ones override it within
-// the server-side caps.
-func (l *Lake) queryFanIn(fanin, bufferRows *int) (query.FanInOptions, error) {
-	opts := l.Engine.FanIn
-	if fanin != nil {
-		if *fanin < 0 || *fanin > maxQueryFanIn {
-			return opts, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: fanin must be 0..%d", maxQueryFanIn)
-		}
-		opts.Workers = *fanin
+// queryRequest is the POST /v1/query body: one statement plus the
+// typed execution options of query.Request. fanin/buffer_rows absent
+// means the lake default (fan-in on, one puller per CPU, unless
+// WithFanIn pinned a width); fanin 1 forces the sequential union.
+// order entries sort the result ({"column": ..., "desc": ...});
+// explain returns the typed plan instead of executing.
+type queryRequest struct {
+	SQL   string `json:"sql"`
+	Order []struct {
+		Column string `json:"column"`
+		Desc   bool   `json:"desc"`
+	} `json:"order"`
+	Limit      int  `json:"limit"`
+	Explain    bool `json:"explain"`
+	FanIn      *int `json:"fanin"`
+	BufferRows *int `json:"buffer_rows"`
+}
+
+// request validates the body against the server-side caps and builds
+// the typed query.Request.
+func (b queryRequest) request() (query.Request, error) {
+	req := query.Request{SQL: b.SQL, Limit: b.Limit, Explain: b.Explain}
+	if b.Limit < 0 {
+		return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: limit must be >= 0")
 	}
-	if bufferRows != nil {
-		if *bufferRows < 0 || *bufferRows > maxQueryBufferRows {
-			return opts, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: buffer_rows must be 0..%d", maxQueryBufferRows)
+	for _, k := range b.Order {
+		if k.Column == "" {
+			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: order entries need a column")
 		}
-		opts.BufferRows = *bufferRows
+		req.Order = append(req.Order, query.OrderKey{Column: k.Column, Desc: k.Desc})
 	}
-	return opts, nil
+	if b.FanIn != nil {
+		if *b.FanIn < 0 || *b.FanIn > maxQueryFanIn {
+			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: fanin must be 0..%d", maxQueryFanIn)
+		}
+		req.FanIn = *b.FanIn
+	}
+	if b.BufferRows != nil {
+		if *b.BufferRows < 0 || *b.BufferRows > maxQueryBufferRows {
+			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: buffer_rows must be 0..%d", maxQueryBufferRows)
+		}
+		req.BufferRows = *b.BufferRows
+	}
+	return req, nil
 }
 
 func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var body struct {
-		SQL string `json:"sql"`
-		// FanIn > 1 drains this query's member-store scans concurrently
-		// (rows arrive in completion order); BufferRows sizes the
-		// per-source backpressure window. Absent, the lake's WithFanIn
-		// configuration applies.
-		FanIn      *int `json:"fanin"`
-		BufferRows *int `json:"buffer_rows"`
-	}
+	var body queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.SQL == "" {
 		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: bad request body"))
 		return
 	}
-	// The fan-in knobs are a /v1 capability, like NDJSON streaming:
-	// deprecated aliases keep their frozen pre-v1 semantics and ignore
-	// the fields exactly as they always did.
+	// The Request knobs are a /v1 capability, like NDJSON streaming:
+	// deprecated aliases keep their frozen pre-v1 semantics — ignored
+	// unknown fields and the sequential union — exactly as they always
+	// did.
 	if r.Context().Value(legacyKey) != nil {
-		body.FanIn, body.BufferRows = nil, nil
+		l.handleQueryLegacy(w, r, body.SQL)
+		return
 	}
-	opts, err := l.queryFanIn(body.FanIn, body.BufferRows)
+	req, err := body.request()
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
 	// Open the stream before committing to either wire shape, so
 	// resolution failures (bad SQL, unknown sources, auth) still get a
-	// proper status code and error envelope. Both branches consume the
+	// proper status code and error envelope. The branches consume the
 	// same stream; they differ only in framing.
-	it, err := l.QueryStreamFanIn(r.Context(), userOf(r), body.SQL, opts)
+	st, err := l.Query(r.Context(), userOf(r), req)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
-	// Streaming is a /v1 capability only: deprecated aliases keep their
-	// pre-v1 wire shapes even when a proxy-widened Accept header
-	// mentions NDJSON.
-	if strings.Contains(r.Header.Get("Accept"), ndjsonContentType) && r.Context().Value(legacyKey) == nil {
-		streamNDJSON(w, r.Context(), it)
+	if st.ExplainOnly() {
+		_ = st.Close()
+		writeJSON(w, http.StatusOK, map[string]any{"plan": st.Plan()})
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), ndjsonContentType) {
+		streamNDJSON(w, r.Context(), st, st.Stats)
+		return
+	}
+	res, err := query.Collect(r.Context(), st)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	out := tableJSON(res)
+	out["stats"] = st.Stats()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQueryLegacy serves the deprecated /query alias with its frozen
+// pre-v1 semantics: sequential union (unless WithFanIn), JSON envelope
+// only, no Request knobs.
+func (l *Lake) handleQueryLegacy(w http.ResponseWriter, r *http.Request, sql string) {
+	it, err := l.QueryStream(r.Context(), userOf(r), sql)
+	if err != nil {
+		writeErr(w, r, err)
 		return
 	}
 	res, err := query.Collect(r.Context(), it)
@@ -638,10 +682,12 @@ func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
 // object {"columns":[...]}, then one JSON array per row, flushed every
 // ndjsonFlushEvery rows so the first rows reach the client while the
 // scan is still running. A mid-stream failure terminates the stream
-// with a final {"error":{...}} line instead of a silent truncation —
-// clients distinguish rows (arrays) from the header and trailer
-// (objects) by the first byte of each line.
-func streamNDJSON(w http.ResponseWriter, ctx context.Context, it query.RowIterator) {
+// with a final {"error":{...}} line instead of a silent truncation; a
+// cleanly-ended stream terminates with a {"stats":{...}} trailer
+// carrying the per-source execution counters when the caller supplies
+// them — clients distinguish rows (arrays) from the header and
+// trailers (objects) by the first byte of each line.
+func streamNDJSON(w http.ResponseWriter, ctx context.Context, it query.RowIterator, stats func() query.ExecStats) {
 	defer it.Close()
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.WriteHeader(http.StatusOK)
@@ -671,6 +717,9 @@ func streamNDJSON(w http.ResponseWriter, ctx context.Context, it query.RowIterat
 		if n%ndjsonFlushEvery == 0 && flusher != nil {
 			flusher.Flush()
 		}
+	}
+	if stats != nil {
+		_ = enc.Encode(map[string]any{"stats": stats()})
 	}
 	if flusher != nil {
 		flusher.Flush()

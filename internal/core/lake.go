@@ -19,7 +19,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"sort"
 	"strings"
@@ -104,16 +103,17 @@ func WithLogger(l *slog.Logger) Option {
 	return func(o *options) { o.logger = l }
 }
 
-// WithFanIn turns on concurrent fan-in for federated queries: up to
-// workers member-store scans are opened and drained in parallel, each
-// buffering roughly bufferRows rows ahead of the consumer (the
+// WithFanIn pins the lake-wide fan-in default for query requests that
+// leave their FanIn unset: up to workers member-store scans are opened
+// and drained in parallel (workers = 1 forces the sequential union),
+// each buffering roughly bufferRows rows ahead of the consumer (the
 // backpressure window, approximate by up to one in-flight batch; 0
-// means the default). Rows arrive in completion
-// order rather than source-concatenation order — result sets are
-// identical, ordering across sources is not; under a LIMIT or
-// WithMaxResults cap the kept subset is whichever rows arrived first,
-// so it varies run to run. workers <= 1 keeps the sequential,
-// ordering-stable union (the default).
+// means the default). Without this option, Lake.Query requests default
+// to one puller per CPU. Result sets are identical at any width; the
+// interleaving of rows across sources is arrival order unless the
+// query carries an ORDER BY, which makes the output deterministic.
+// The deprecated QueryStream/QueryStreamFanIn shims still read this
+// configuration as their frozen sequential-unless-configured default.
 func WithFanIn(workers, bufferRows int) Option {
 	return func(o *options) {
 		o.fanIn = query.FanInOptions{Workers: workers, BufferRows: bufferRows}
@@ -757,51 +757,46 @@ func (l *Lake) Explore(ctx context.Context, user string, req explore.Request) ([
 	return res, nil
 }
 
-// QuerySQL executes a federated query on behalf of a user and records
-// the access in provenance. It is a collector over QueryStream: rows
-// are pulled through the streaming pipeline into one table, so the
-// WithMaxResults cap bounds the work done, not just the rows returned.
-func (l *Lake) QuerySQL(ctx context.Context, user, sql string) (*table.Table, error) {
-	it, err := l.QueryStream(ctx, user, sql)
-	if err != nil {
-		return nil, err
-	}
-	return query.Collect(ctx, it)
-}
-
-// QueryStream opens a federated query as a pull-based row stream: the
-// header is available immediately from Columns, rows arrive one Next
-// call at a time, and cancellation is honored between rows, not just
-// between sources. WithMaxResults is enforced as a limit stage on the
-// stream, the access is recorded in provenance when the stream opens,
-// and row-level failures carry lakeerr codes. The caller must Close
-// the iterator.
-func (l *Lake) QueryStream(ctx context.Context, user, sql string) (query.RowIterator, error) {
-	return l.QueryStreamFanIn(ctx, user, sql, l.Engine.FanIn)
-}
-
-// QueryStreamFanIn is QueryStream with a per-query fan-in override:
-// opts.Workers > 1 drains the query's member-store scans concurrently
-// behind bounded buffers (rows arrive in completion order), regardless
-// of the lake-level WithFanIn setting. The REST layer threads the
-// request-body fanin/buffer_rows knobs through here.
-func (l *Lake) QueryStreamFanIn(ctx context.Context, user, sql string, opts query.FanInOptions) (query.RowIterator, error) {
+// Query executes a federated query described by one structured
+// request — statement plus typed options (ORDER BY keys, row cap,
+// fan-in width, buffer window, explain) — on behalf of a user, and is
+// the single entry point every other query method shims onto. The
+// returned stream is pull-based (header from Columns, one row per
+// Next, cancellation honored between rows) and carries introspection:
+// Plan() is the typed execution plan, Stats() the live per-source
+// execution counters (rows pulled, time blocked).
+//
+// Fan-in is on by default: with Request.FanIn zero and no lake-level
+// WithFanIn configuration, member-store scans are drained with one
+// puller per CPU, and an ORDER BY sort stage keeps the output order
+// deterministic at any width. FanIn: 1 forces the sequential union.
+// WithMaxResults composes with the statement's LIMIT and the request's
+// Limit — the strictest cap wins and bounds the top-K sort heap, not
+// just the rows returned. An explain request (Request.Explain or an
+// EXPLAIN statement) plans without executing and records no access.
+// Row-level failures carry lakeerr codes; the caller must Close the
+// stream.
+func (l *Lake) Query(ctx context.Context, user string, req query.Request) (*query.RowStream, error) {
 	if _, err := l.roleOf(user); err != nil {
 		return nil, err
 	}
-	// Parse once: the engine streams the parsed query and the
-	// provenance loop below reuses it.
-	q, err := query.Parse(sql)
+	if l.maxResults > 0 {
+		req.Limit = query.CombineLimit(req.Limit, l.maxResults)
+	}
+	st, err := l.Engine.Query(ctx, req)
 	if err != nil {
 		return nil, classifyQueryErr(err)
 	}
-	it, err := l.Engine.StreamFanIn(ctx, q, opts)
-	if err != nil {
-		return nil, classifyQueryErr(err)
+	st.ErrMap = classifyQueryErr
+	if st.ExplainOnly() {
+		// Planning reads catalog shape, not data: nothing to audit.
+		return st, nil
 	}
-	for _, src := range q.Sources {
-		name := src
-		if _, rest, ok := strings.Cut(src, ":"); ok {
+	// The engine already parsed the statement; the plan's source list
+	// drives the audit trail.
+	for _, sp := range st.Plan().Sources {
+		name := sp.Source
+		if _, rest, ok := strings.Cut(sp.Source, ":"); ok {
 			name = rest
 		}
 		// Queries address model-store names; provenance entities are
@@ -815,27 +810,73 @@ func (l *Lake) QueryStreamFanIn(ctx context.Context, user, sql string, opts quer
 		}
 		_ = l.Tracker.Query(entity, "sql", user)
 	}
-	return &classifiedIterator{in: query.Limit(it, l.maxResults)}, nil
+	return st, nil
 }
 
-// classifiedIterator maps row-level stream failures onto the lakeerr
-// taxonomy, so streaming consumers dispatch on codes exactly like
-// materialized ones.
-type classifiedIterator struct {
-	in query.RowIterator
-}
-
-func (c *classifiedIterator) Columns() []string { return c.in.Columns() }
-
-func (c *classifiedIterator) Next(ctx context.Context) ([]string, error) {
-	row, err := c.in.Next(ctx)
-	if err != nil && err != io.EOF {
+// QuerySQL executes a federated query and materializes the full
+// result. It is the thin collector over Query: rows are pulled through
+// the streaming pipeline into one table, so the WithMaxResults cap
+// bounds the work done, not just the rows returned. Like every Query
+// request, fan-in is on by default — multi-source results without an
+// ORDER BY arrive in arrival order, not source-concatenation order;
+// add an ORDER BY (or open the lake WithFanIn(1, 0)) where row order
+// matters. EXPLAIN statements have no row result here; use Query.
+func (l *Lake) QuerySQL(ctx context.Context, user, sql string) (*table.Table, error) {
+	st, err := l.Query(ctx, user, query.Request{SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if err := rejectExplain(st); err != nil {
+		return nil, err
+	}
+	t, err := query.Collect(ctx, st)
+	if err != nil {
 		return nil, classifyQueryErr(err)
 	}
-	return row, err
+	return t, nil
 }
 
-func (c *classifiedIterator) Close() error { return c.in.Close() }
+// rejectExplain fails row-shaped entry points handed an EXPLAIN
+// statement: silently returning zero rows would read as an empty
+// result, and the pre-Request API surfaced a parse error here.
+func rejectExplain(st *query.RowStream) error {
+	if !st.ExplainOnly() {
+		return nil
+	}
+	_ = st.Close()
+	return lakeerr.Errorf(lakeerr.CodeInvalidQuery,
+		"core: EXPLAIN has no row result on this endpoint; use Lake.Query and read Plan()")
+}
+
+// QueryStream opens a federated query as a pull-based row stream with
+// the lake's configured fan-in (sequential when WithFanIn is unset —
+// the frozen pre-Request default, not the CPU-wide one).
+//
+// Deprecated: use Query, which carries the statement and its execution
+// options in one query.Request and returns plan/stats introspection.
+func (l *Lake) QueryStream(ctx context.Context, user, sql string) (query.RowIterator, error) {
+	return l.QueryStreamFanIn(ctx, user, sql, l.Engine.FanIn)
+}
+
+// QueryStreamFanIn is QueryStream with a per-query fan-in override.
+//
+// Deprecated: use Query with Request.FanIn/BufferRows.
+func (l *Lake) QueryStreamFanIn(ctx context.Context, user, sql string, opts query.FanInOptions) (query.RowIterator, error) {
+	fanIn := opts.Workers
+	if fanIn <= 1 {
+		// The legacy contract: no explicit width means sequential, not
+		// the Request path's CPU-wide default.
+		fanIn = 1
+	}
+	st, err := l.Query(ctx, user, query.Request{SQL: sql, FanIn: fanIn, BufferRows: opts.BufferRows})
+	if err != nil {
+		return nil, err
+	}
+	if err := rejectExplain(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
 
 // classifyQueryErr maps engine failures onto the taxonomy: syntax
 // errors are invalid queries, missing sources/tables are not-found,

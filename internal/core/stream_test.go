@@ -65,9 +65,31 @@ func TestV1QueryNDJSONFramingRoundTrip(t *testing.T) {
 		t.Fatalf("header line = %q (%v)", sc.Text(), err)
 	}
 	var rows [][]string
+	sawStats := false
 	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) > 0 && line[0] == '{' {
+			// Object lines after the header are trailers: the clean-end
+			// stats object (or an in-band error, which this query must
+			// not produce).
+			var trailer struct {
+				Stats *query.ExecStats `json:"stats"`
+				Error *errBody         `json:"error"`
+			}
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				t.Fatalf("trailer line = %q (%v)", line, err)
+			}
+			if trailer.Error != nil {
+				t.Fatalf("unexpected error trailer: %s", line)
+			}
+			if trailer.Stats == nil || len(trailer.Stats.Sources) != 1 || trailer.Stats.RowsOut != 2 {
+				t.Fatalf("stats trailer = %s", line)
+			}
+			sawStats = true
+			continue
+		}
 		var row []string
-		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+		if err := json.Unmarshal(line, &row); err != nil {
 			t.Fatalf("row line = %q (%v)", sc.Text(), err)
 		}
 		if len(row) != len(header.Columns) {
@@ -80,6 +102,9 @@ func TestV1QueryNDJSONFramingRoundTrip(t *testing.T) {
 	}
 	if len(rows) != 2 {
 		t.Fatalf("streamed %d rows, want 2", len(rows))
+	}
+	if !sawStats {
+		t.Error("clean NDJSON stream ended without a stats trailer")
 	}
 	// The same query over the default JSON envelope must agree.
 	_, body := do(t, srv, http.MethodPost, "/v1/query", "dana",
@@ -162,7 +187,7 @@ func (f *failingIterator) Close() error { return nil }
 func TestNDJSONMidStreamErrorEmitsTrailerLine(t *testing.T) {
 	rec := httptest.NewRecorder()
 	it := &failingIterator{rows: 2, err: lakeerr.Errorf(lakeerr.CodeUnavailable, "store went away")}
-	streamNDJSON(rec, context.Background(), query.RowIterator(it))
+	streamNDJSON(rec, context.Background(), query.RowIterator(it), nil)
 	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
 	if len(lines) != 4 { // header + 2 rows + trailer
 		t.Fatalf("lines = %q", lines)

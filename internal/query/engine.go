@@ -47,6 +47,150 @@ func NewEngine(p *polystore.Poly) *Engine {
 	return &Engine{Poly: p, PushDown: true}
 }
 
+// Query is the engine's single entry point: it parses the request's
+// statement, composes the typed options with what the statement says
+// (request Order overrides, the stricter Limit wins, FanIn 0 resolves
+// to the engine default or one puller per CPU), builds the typed plan,
+// and opens the instrumented pipeline. An EXPLAIN statement — or
+// Request.Explain — plans without opening any source scan and returns
+// a rowless stream whose Plan carries the answer.
+func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
+	q, err := Parse(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	order := q.Order
+	if len(req.Order) > 0 {
+		order = req.Order
+	}
+	limit := CombineLimit(q.Limit, req.Limit)
+	opts := e.resolveFanIn(req)
+	plan, err := e.plan(q, order, limit, opts)
+	if err != nil {
+		return nil, err
+	}
+	if q.Explain || req.Explain {
+		// plan validated sort keys against an explicit projection; for
+		// SELECT * the header comes from the stores, so resolve it here
+		// — EXPLAIN must reject exactly what execution would.
+		if len(q.Columns) == 0 && len(order) > 0 {
+			if err := validateOrder(order, e.starColumns(q)); err != nil {
+				return nil, err
+			}
+		}
+		return &RowStream{it: &emptyIterator{cols: q.Columns}, plan: plan, explain: true}, nil
+	}
+	it, counters, err := e.stream(ctx, q, order, limit, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	return &RowStream{it: it, plan: plan, counters: counters}, nil
+}
+
+// resolveFanIn resolves a request's fan-in against the engine
+// configuration: an explicit request width wins (1 = sequential), then
+// the engine's configured fan-in, then the CPU-wide default.
+func (e *Engine) resolveFanIn(req Request) FanInOptions {
+	w := req.FanIn
+	if w <= 0 {
+		w = e.FanIn.Workers
+	}
+	if w <= 0 {
+		w = DefaultFanIn()
+	}
+	b := req.BufferRows
+	if b <= 0 {
+		b = e.FanIn.BufferRows
+	}
+	return FanInOptions{Workers: w, BufferRows: b}
+}
+
+// CombineLimit composes two row caps; zero means unbounded, otherwise
+// the stricter cap wins. The Lake uses it to fold WithMaxResults into
+// a request's limit before the engine sees it.
+func CombineLimit(a, b int) int {
+	if a <= 0 {
+		return b
+	}
+	if b > 0 && b < a {
+		return b
+	}
+	return a
+}
+
+// plan builds the typed execution plan: per-source access paths with
+// the predicates/projections that will be pushed down, the effective
+// union width, and the sort strategy. Source resolution failures
+// surface here, so EXPLAIN of an unknown source errors like execution
+// would.
+func (e *Engine) plan(q *Query, order []OrderKey, limit int, opts FanInOptions) (*Plan, error) {
+	p := &Plan{Statement: q.String(), FanIn: 1, Sort: "none", Limit: limit}
+	// With an explicit projection the result header is known before any
+	// source opens; reject unsortable keys here so EXPLAIN reports the
+	// same failure execution would. (SELECT * headers depend on the
+	// sources; the stream assembly re-checks against the real header.)
+	if len(q.Columns) > 0 {
+		if err := validateOrder(order, q.Columns); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range order {
+		p.Order = append(p.Order, k.String())
+	}
+	if len(order) > 0 {
+		if limit > 0 {
+			p.Sort = fmt.Sprintf("top-k heap (k=%d)", limit)
+		} else {
+			p.Sort = "full sort"
+		}
+	}
+	if !opts.sequential() && len(q.Sources) >= 2 {
+		w := opts.Workers
+		if w > len(q.Sources) {
+			w = len(q.Sources)
+		}
+		p.FanIn = w
+		p.BufferRows = opts.bufferRows()
+	}
+	for _, src := range q.Sources {
+		kind, name, err := e.resolveKind(src)
+		if err != nil {
+			return nil, err
+		}
+		sp := SourcePlan{Source: src, Store: kind}
+		switch kind {
+		case "rel":
+			// Execution fails on a missing table when the scan opens;
+			// the plan keeps that parity so EXPLAIN is an honest probe.
+			if !e.Poly.Rel.Has(name) {
+				return nil, fmt.Errorf("%w: %s", polystore.ErrNoTable, name)
+			}
+			sp.Access = "table " + name
+			if e.PushDown {
+				for _, pr := range q.Where {
+					sp.Pushdown = append(sp.Pushdown, pr.String())
+				}
+				sp.Project = pushableColumns(name, q, e)
+			}
+		case "doc":
+			sp.Access = "collection " + name
+			if e.PushDown {
+				for _, pr := range q.Where {
+					if _, ok := docFilter(pr); ok {
+						sp.Pushdown = append(sp.Pushdown, pr.String())
+					}
+				}
+			}
+		case "graph":
+			sp.Access = "label " + name
+		case "file":
+			sp.Access = "prefix " + name
+		}
+		p.Sources = append(p.Sources, sp)
+	}
+	return p, nil
+}
+
 // ExecuteSQL parses and executes a statement, materializing the full
 // result. The context cancels execution between rows.
 func (e *Engine) ExecuteSQL(ctx context.Context, sql string) (*table.Table, error) {
@@ -59,6 +203,9 @@ func (e *Engine) ExecuteSQL(ctx context.Context, sql string) (*table.Table, erro
 
 // StreamSQL parses a statement and opens its streaming execution with
 // the engine's configured fan-in.
+//
+// Deprecated: use Query, which carries the statement and its execution
+// options in one Request and returns plan/stats introspection.
 func (e *Engine) StreamSQL(ctx context.Context, sql string) (RowIterator, error) {
 	return e.StreamSQLFanIn(ctx, sql, e.FanIn)
 }
@@ -66,6 +213,8 @@ func (e *Engine) StreamSQL(ctx context.Context, sql string) (RowIterator, error)
 // StreamSQLFanIn parses a statement and opens its streaming execution
 // with an explicit fan-in configuration (per-query override of the
 // engine default).
+//
+// Deprecated: use Query with Request.FanIn/BufferRows.
 func (e *Engine) StreamSQLFanIn(ctx context.Context, sql string, opts FanInOptions) (RowIterator, error) {
 	q, err := Parse(sql)
 	if err != nil {
@@ -74,31 +223,50 @@ func (e *Engine) StreamSQLFanIn(ctx context.Context, sql string, opts FanInOptio
 	return e.StreamFanIn(ctx, q, opts)
 }
 
-// Execute runs a query and collects the streamed rows into a table —
-// the thin materializing wrapper over Stream that keeps table-shaped
-// callers working.
+// Execute runs a parsed query and collects the streamed rows into a
+// table — the thin materializing wrapper over the pipeline that keeps
+// table-shaped callers working. It honors the engine's configured
+// fan-in (sequential when unset), never the CPU-wide Request default.
 func (e *Engine) Execute(ctx context.Context, q *Query) (*table.Table, error) {
-	it, err := e.Stream(ctx, q)
+	it, _, err := e.stream(ctx, q, q.Order, q.Limit, e.FanIn, false)
 	if err != nil {
 		return nil, err
 	}
 	return Collect(ctx, it)
 }
 
-// Stream opens the query's iterator pipeline: one scan iterator per
-// source, unioned over the projected columns (missing columns
-// null-padded on the fly), capped by LIMIT. Source resolution errors
-// surface here, before any rows flow; row-level failures (including
-// cancellation) surface from Next.
+// Stream opens the query's iterator pipeline with the engine's
+// configured fan-in.
+//
+// Deprecated: use Query.
 func (e *Engine) Stream(ctx context.Context, q *Query) (RowIterator, error) {
 	return e.StreamFanIn(ctx, q, e.FanIn)
 }
 
-// StreamFanIn opens the query's pipeline with an explicit fan-in
+// StreamFanIn opens a parsed query's pipeline with an explicit fan-in
 // configuration. With Workers > 1 the source scans are both opened and
 // drained concurrently (ParallelUnion); otherwise the pipeline is the
 // sequential union with its deterministic row order.
+//
+// Deprecated: use Query with Request.FanIn/BufferRows.
 func (e *Engine) StreamFanIn(ctx context.Context, q *Query, opts FanInOptions) (RowIterator, error) {
+	it, _, err := e.stream(ctx, q, q.Order, q.Limit, opts, false)
+	return it, err
+}
+
+// stream assembles one query pipeline: per-source scan iterators
+// (opened in parallel when fanning in), optionally instrumented with
+// per-source counters, merged by the union, then ordered and capped —
+// ORDER BY with a limit runs as a bounded top-K heap that subsumes the
+// LIMIT stage. Source resolution errors surface here, before any rows
+// flow; row-level failures (including cancellation) surface from Next.
+func (e *Engine) stream(ctx context.Context, q *Query, order []OrderKey, limit int, opts FanInOptions, collectStats bool) (RowIterator, []*sourceCounter, error) {
+	if q.Explain {
+		// Row-shaped entry points have nothing to return for EXPLAIN —
+		// and silently executing the underlying SELECT would be worse.
+		// Query handles explain before reaching here.
+		return nil, nil, fmt.Errorf("%w: EXPLAIN has no row result on this entry point; use Query", ErrSyntax)
+	}
 	var sources []RowIterator
 	var err error
 	if opts.sequential() || len(q.Sources) < 2 {
@@ -107,9 +275,87 @@ func (e *Engine) StreamFanIn(ctx context.Context, q *Query, opts FanInOptions) (
 		sources, err = e.openSourcesParallel(ctx, q, opts.Workers)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return Limit(ParallelUnion(ctx, sources, q.Columns, opts), q.Limit), nil
+	var counters []*sourceCounter
+	if collectStats {
+		counters = make([]*sourceCounter, len(sources))
+		for i, src := range sources {
+			c := &sourceCounter{source: q.Sources[i]}
+			counters[i] = c
+			sources[i] = &meteredIterator{in: src, c: c}
+		}
+	}
+	it := ParallelUnion(ctx, sources, q.Columns, opts)
+	if len(order) > 0 {
+		// The sort stage runs over the union header; a key addressing a
+		// column that is not in the result would silently compare empty
+		// cells — reject it instead of returning wrongly-ordered rows.
+		if err := validateOrder(order, it.Columns()); err != nil {
+			_ = it.Close()
+			return nil, nil, err
+		}
+		it = Sort(it, order, limit)
+	} else {
+		it = Limit(it, limit)
+	}
+	return it, counters, nil
+}
+
+// starColumns computes the SELECT * result header without opening any
+// scan: the union of the source headers in first-seen order, mirroring
+// what the union stage would produce. Explain-time ORDER BY validation
+// uses it; sources that fail to resolve are skipped (plan building
+// already surfaced their error).
+func (e *Engine) starColumns(q *Query) []string {
+	var cols []string
+	seen := map[string]bool{}
+	add := func(cs ...string) {
+		for _, c := range cs {
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+	}
+	for _, src := range q.Sources {
+		kind, name, err := e.resolveKind(src)
+		if err != nil {
+			continue
+		}
+		switch kind {
+		case "rel":
+			if names, err := e.Poly.Rel.ColumnNames(name); err == nil {
+				add(names...)
+			}
+		case "doc":
+			add(docFields(e.Poly.Docs.Collection(name).All(), nil)...)
+		case "graph":
+			add("id")
+			for _, n := range e.Poly.Graph.NodesByLabel(name) {
+				for k := range n.Props {
+					add(k)
+				}
+			}
+		case "file":
+			add("path", "size", "format")
+		}
+	}
+	return cols
+}
+
+// validateOrder checks every sort key against the result header.
+func validateOrder(order []OrderKey, cols []string) error {
+	have := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		have[c] = true
+	}
+	for _, k := range order {
+		if !have[k.Column] {
+			return fmt.Errorf("%w: ORDER BY column %q is not in the result (project it or use SELECT *)", ErrSyntax, k.Column)
+		}
+	}
+	return nil
 }
 
 // openSources resolves and opens every FROM item in order.
@@ -175,7 +421,10 @@ func (e *Engine) openSourcesParallel(ctx context.Context, q *Query, workers int)
 // streamSource routes one FROM item to its member store's scan
 // iterator.
 func (e *Engine) streamSource(src string, q *Query) (RowIterator, error) {
-	kind, name := splitSource(src)
+	kind, name, err := e.resolveKind(src)
+	if err != nil {
+		return nil, err
+	}
 	switch kind {
 	case "rel":
 		return e.scanRelational(name, q)
@@ -183,24 +432,35 @@ func (e *Engine) streamSource(src string, q *Query) (RowIterator, error) {
 		return e.scanDocument(name, q)
 	case "graph":
 		return e.scanGraph(name, q)
-	case "file":
+	default:
 		return e.scanFiles(name, q)
+	}
+}
+
+// resolveKind resolves one FROM item to its member store without
+// opening a scan — shared by execution and the planner, so EXPLAIN
+// reports exactly the access path execution would take. Bare names
+// resolve relational, then document, then graph.
+func (e *Engine) resolveKind(src string) (kind, name string, err error) {
+	kind, name = splitSource(src)
+	switch kind {
+	case "rel", "doc", "graph", "file":
+		return kind, name, nil
 	case "":
-		// Resolve bare names: relational, then document, then graph.
 		if e.Poly.Rel.Has(name) {
-			return e.scanRelational(name, q)
+			return "rel", name, nil
 		}
 		for _, coll := range e.Poly.Docs.Collections() {
 			if coll == name {
-				return e.scanDocument(name, q)
+				return "doc", name, nil
 			}
 		}
 		if len(e.Poly.Graph.NodesByLabel(name)) > 0 {
-			return e.scanGraph(name, q)
+			return "graph", name, nil
 		}
-		return nil, fmt.Errorf("%w: %q", ErrUnknownSource, name)
+		return "", name, fmt.Errorf("%w: %q", ErrUnknownSource, name)
 	default:
-		return nil, fmt.Errorf("%w: bad prefix %q", ErrUnknownSource, kind)
+		return "", name, fmt.Errorf("%w: bad prefix %q", ErrUnknownSource, kind)
 	}
 }
 

@@ -12,10 +12,13 @@
 //	SELECT * FROM doc:events WHERE kind = 'click'
 //	SELECT * FROM graph:person
 //	SELECT city, price FROM rel:hotels_a, rel:hotels_b   -- union-all
+//	SELECT city, price FROM rel:hotels_a ORDER BY price DESC, city LIMIT 3
+//	EXPLAIN SELECT city FROM rel:hotels_a, doc:hotels_b WHERE price > 40
 //
 // Source prefixes select the member store: rel: (relational), doc:
 // (document), graph: (node label), file: (raw object listing). A bare
-// name resolves against the stores in that order.
+// name resolves against the stores in that order. String literals
+// escape an embedded quote by doubling it ('o”brien').
 package query
 
 import (
@@ -57,6 +60,23 @@ type Predicate struct {
 	Numeric bool
 }
 
+// OrderKey is one ORDER BY sort key. Cells where both sides parse as
+// numbers compare numerically; numeric cells sort before non-numeric
+// ones; everything else compares lexicographically — a total order, so
+// sorted output is deterministic regardless of arrival order.
+type OrderKey struct {
+	Column string
+	Desc   bool
+}
+
+// String renders the key in dialect form.
+func (k OrderKey) String() string {
+	if k.Desc {
+		return k.Column + " DESC"
+	}
+	return k.Column
+}
+
 // Query is a parsed statement.
 type Query struct {
 	// Columns to project; empty means SELECT *.
@@ -66,8 +86,13 @@ type Query struct {
 	Sources []string
 	// Where holds the conjunctive predicates.
 	Where []Predicate
+	// Order holds the ORDER BY keys in significance order; empty means
+	// no sort stage.
+	Order []OrderKey
 	// Limit bounds the result rows (0 = unlimited).
 	Limit int
+	// Explain marks an EXPLAIN statement: plan the query, run nothing.
+	Explain bool
 }
 
 // Parse parses the minimal SQL dialect.
@@ -108,6 +133,10 @@ func (p *parser) expectKeyword(kw string) error {
 
 func (p *parser) parse() (*Query, error) {
 	q := &Query{}
+	if strings.EqualFold(p.peek(), "EXPLAIN") {
+		p.next()
+		q.Explain = true
+	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -155,6 +184,31 @@ func (p *parser) parse() (*Query, error) {
 			p.next()
 		}
 	}
+	if strings.EqualFold(p.peek(), "ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col := p.next()
+			if col == "" || col == "," {
+				return nil, synErrf("missing ORDER BY column")
+			}
+			key := OrderKey{Column: col}
+			switch {
+			case strings.EqualFold(p.peek(), "DESC"):
+				key.Desc = true
+				p.next()
+			case strings.EqualFold(p.peek(), "ASC"):
+				p.next()
+			}
+			q.Order = append(q.Order, key)
+			if p.peek() != "," {
+				break
+			}
+			p.next()
+		}
+	}
 	if strings.EqualFold(p.peek(), "LIMIT") {
 		p.next()
 		n, err := strconv.Atoi(p.next())
@@ -184,15 +238,27 @@ func (p *parser) parsePredicate() (Predicate, error) {
 	if val == "" {
 		return Predicate{}, synErrf("missing predicate value")
 	}
-	pred := Predicate{Column: col, Op: op, Value: strings.Trim(val, "'")}
-	if _, err := strconv.ParseFloat(pred.Value, 64); err == nil && !strings.HasPrefix(val, "'") {
-		pred.Numeric = true
+	pred := Predicate{Column: col, Op: op}
+	if strings.HasPrefix(val, "'") {
+		// A string-literal token: the tokenizer keeps the opening quote
+		// as a marker and has already unescaped the content, so quoted
+		// values — even numeric-looking ones like '10' — stay string
+		// predicates and survive a String() round-trip.
+		pred.Value = val[1:]
+	} else {
+		pred.Value = val
+		if _, err := strconv.ParseFloat(val, 64); err == nil {
+			pred.Numeric = true
+		}
 	}
 	return pred, nil
 }
 
 // tokenize splits on whitespace, keeping quoted strings and separating
-// commas and comparison operators.
+// commas and comparison operators. A string literal is tokenized as its
+// unescaped content behind a single leading quote marker (” inside a
+// literal escapes one quote), so downstream consumers never re-guess
+// where the literal ended.
 func tokenize(s string) ([]string, error) {
 	var toks []string
 	i := 0
@@ -205,14 +271,25 @@ func tokenize(s string) ([]string, error) {
 			toks = append(toks, ",")
 			i++
 		case c == '\'':
+			var lit strings.Builder
+			lit.WriteByte('\'')
 			j := i + 1
-			for j < len(s) && s[j] != '\'' {
+			for {
+				if j >= len(s) {
+					return nil, synErrf("unterminated string literal")
+				}
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' {
+						lit.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				lit.WriteByte(s[j])
 				j++
 			}
-			if j >= len(s) {
-				return nil, synErrf("unterminated string literal")
-			}
-			toks = append(toks, s[i:j+1])
+			toks = append(toks, lit.String())
 			i = j + 1
 		case c == '!' || c == '>' || c == '<' || c == '=':
 			if i+1 < len(s) && s[i+1] == '=' {
@@ -235,9 +312,14 @@ func tokenize(s string) ([]string, error) {
 }
 
 // String renders the query back into the dialect; Parse(q.String())
-// yields an equivalent query.
+// yields an equivalent query. String values are quoted with embedded
+// quotes doubled, so values containing ' — and numeric-looking values
+// that arrived quoted — round-trip unambiguously.
 func (q *Query) String() string {
 	var sb strings.Builder
+	if q.Explain {
+		sb.WriteString("EXPLAIN ")
+	}
 	sb.WriteString("SELECT ")
 	if len(q.Columns) == 0 {
 		sb.WriteString("*")
@@ -252,21 +334,37 @@ func (q *Query) String() string {
 			if i > 0 {
 				sb.WriteString(" AND ")
 			}
-			sb.WriteString(p.Column)
-			sb.WriteString(" ")
-			sb.WriteString(string(p.Op))
-			sb.WriteString(" ")
-			if p.Numeric {
-				sb.WriteString(p.Value)
-			} else {
-				sb.WriteString("'" + p.Value + "'")
+			sb.WriteString(p.String())
+		}
+	}
+	if len(q.Order) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, k := range q.Order {
+			if i > 0 {
+				sb.WriteString(", ")
 			}
+			sb.WriteString(k.String())
 		}
 	}
 	if q.Limit > 0 {
 		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
 	}
 	return sb.String()
+}
+
+// quoteValue renders a string literal, doubling embedded quotes.
+func quoteValue(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+// String renders the predicate in dialect form (EXPLAIN plans reuse
+// it to describe pushed-down predicates).
+func (pr Predicate) String() string {
+	v := pr.Value
+	if !pr.Numeric {
+		v = quoteValue(v)
+	}
+	return pr.Column + " " + string(pr.Op) + " " + v
 }
 
 // Matches evaluates the predicate against a string cell.

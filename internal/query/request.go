@@ -1,0 +1,228 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Request is the unified query request: one statement plus typed
+// execution options, consumed by the single engine entry point
+// Engine.Query (and, one layer up, Lake.Query). The options compose
+// with — never silently replace — what the statement says:
+//
+//   - Order, when set, overrides the statement's ORDER BY.
+//   - Limit composes with the statement's LIMIT; the stricter bound
+//     wins.
+//   - FanIn selects the union strategy: 0 picks the default (the
+//     engine's configured fan-in, else one puller per CPU), 1 forces
+//     the sequential source-concatenation union, n > 1 drains up to n
+//     sources concurrently.
+//   - BufferRows sizes the per-source backpressure window (0 =
+//     engine default).
+//   - Explain plans the query without executing it, like an EXPLAIN
+//     statement.
+type Request struct {
+	SQL        string
+	Order      []OrderKey
+	Limit      int
+	FanIn      int
+	BufferRows int
+	Explain    bool
+}
+
+// DefaultFanIn is the fan-in width used when neither the request nor
+// the engine configures one: one puller per CPU. Since ORDER BY makes
+// parallel output deterministic, fan-in is on by default; sequential
+// remains reachable as the FanIn: 1 degenerate case.
+func DefaultFanIn() int { return runtime.NumCPU() }
+
+// Plan is the typed execution plan of one query — what EXPLAIN (and
+// RowStream.Plan) reports.
+type Plan struct {
+	// Statement is the normalized statement text.
+	Statement string `json:"statement"`
+	// Sources describes the per-source access paths.
+	Sources []SourcePlan `json:"sources"`
+	// FanIn is the effective union width: 1 means the sequential
+	// source-concatenation union, n > 1 means up to n sources drained
+	// concurrently.
+	FanIn int `json:"fanin"`
+	// BufferRows is the per-source backpressure window of a parallel
+	// union (0 when sequential).
+	BufferRows int `json:"buffer_rows,omitempty"`
+	// Sort names the sort strategy: "none", "full sort", or
+	// "top-k heap (k=N)".
+	Sort string `json:"sort"`
+	// Order echoes the effective sort keys.
+	Order []string `json:"order,omitempty"`
+	// Limit is the effective row cap (0 = unlimited), after composing
+	// the statement's LIMIT with request/lake caps.
+	Limit int `json:"limit,omitempty"`
+}
+
+// SourcePlan is one FROM item's access path.
+type SourcePlan struct {
+	// Source is the FROM item as written.
+	Source string `json:"source"`
+	// Store is the member store serving it (rel, doc, graph, file).
+	Store string `json:"store"`
+	// Access names the store-native access path.
+	Access string `json:"access"`
+	// Pushdown lists the predicates evaluated inside the store;
+	// predicates not listed run as a central filter stage.
+	Pushdown []string `json:"pushdown,omitempty"`
+	// Project lists the columns the store projects during the scan
+	// (empty = the store returns its full width).
+	Project []string `json:"project,omitempty"`
+}
+
+// String pretty-prints the plan, one line per fact — what lakectl
+// -explain shows.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", p.Statement)
+	union := "sequential (source concatenation)"
+	if p.FanIn > 1 {
+		union = fmt.Sprintf("parallel fan-in %d (buffer %d rows/source)", p.FanIn, p.BufferRows)
+	}
+	fmt.Fprintf(&sb, "  union: %s\n", union)
+	fmt.Fprintf(&sb, "  sort: %s", p.Sort)
+	if len(p.Order) > 0 {
+		fmt.Fprintf(&sb, " [%s]", strings.Join(p.Order, ", "))
+	}
+	sb.WriteString("\n")
+	if p.Limit > 0 {
+		fmt.Fprintf(&sb, "  limit: %d\n", p.Limit)
+	}
+	for _, s := range p.Sources {
+		fmt.Fprintf(&sb, "  source %s: %s scan, %s", s.Source, s.Store, s.Access)
+		if len(s.Pushdown) > 0 {
+			fmt.Fprintf(&sb, ", pushdown [%s]", strings.Join(s.Pushdown, " AND "))
+		}
+		if len(s.Project) > 0 {
+			fmt.Fprintf(&sb, ", project [%s]", strings.Join(s.Project, ", "))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// SourceStats is one source's execution counters, snapshotted by
+// RowStream.Stats: how many rows the union pulled from it and how long
+// the pipeline spent blocked waiting on its Next — the "which member
+// store is slow" signal the fan-in scheduler exists to absorb.
+type SourceStats struct {
+	Source  string        `json:"source"`
+	Rows    int64         `json:"rows"`
+	Blocked time.Duration `json:"blocked_ns"`
+}
+
+// ExecStats snapshots a stream's execution: per-source pull counters
+// plus the rows actually delivered to the consumer (after sort/limit).
+type ExecStats struct {
+	Sources []SourceStats `json:"sources"`
+	RowsOut int64         `json:"rows_out"`
+}
+
+// sourceCounter is the mutable, atomically-updated collector behind
+// one SourceStats; parallel pullers update it concurrently with
+// Stats() snapshots.
+type sourceCounter struct {
+	source    string
+	rows      atomic.Int64
+	blockedNs atomic.Int64
+}
+
+func (c *sourceCounter) snapshot() SourceStats {
+	return SourceStats{
+		Source:  c.source,
+		Rows:    c.rows.Load(),
+		Blocked: time.Duration(c.blockedNs.Load()),
+	}
+}
+
+// meteredIterator instruments one source scan with its counter.
+type meteredIterator struct {
+	in RowIterator
+	c  *sourceCounter
+}
+
+func (m *meteredIterator) Columns() []string { return m.in.Columns() }
+
+func (m *meteredIterator) Next(ctx context.Context) (Row, error) {
+	start := time.Now()
+	row, err := m.in.Next(ctx)
+	m.c.blockedNs.Add(int64(time.Since(start)))
+	if err == nil {
+		m.c.rows.Add(1)
+	}
+	return row, err
+}
+
+func (m *meteredIterator) Close() error { return m.in.Close() }
+
+// RowStream is the result of Engine.Query / Lake.Query: the familiar
+// pull-based row iterator plus plan introspection (Plan) and live
+// per-source execution stats (Stats). ErrMap, when set, rewrites
+// non-EOF row errors — the Lake installs its lakeerr classifier there
+// so streaming consumers keep dispatching on error codes.
+type RowStream struct {
+	it       RowIterator
+	plan     *Plan
+	explain  bool
+	counters []*sourceCounter
+	rowsOut  atomic.Int64
+
+	// ErrMap rewrites row-level errors before they surface from Next
+	// (io.EOF passes through). Nil means errors surface unchanged.
+	ErrMap func(error) error
+}
+
+// Columns is the stream's output header.
+func (s *RowStream) Columns() []string { return s.it.Columns() }
+
+// Next returns the next row or io.EOF; see RowIterator.
+func (s *RowStream) Next(ctx context.Context) (Row, error) {
+	row, err := s.it.Next(ctx)
+	if err != nil {
+		if err != io.EOF && s.ErrMap != nil {
+			err = s.ErrMap(err)
+		}
+		return nil, err
+	}
+	s.rowsOut.Add(1)
+	return row, nil
+}
+
+// Close releases the stream; idempotent.
+func (s *RowStream) Close() error { return s.it.Close() }
+
+// Plan returns the typed execution plan (never nil).
+func (s *RowStream) Plan() *Plan { return s.plan }
+
+// ExplainOnly reports whether the stream is the rowless answer to an
+// explain request: the Plan is the whole result.
+func (s *RowStream) ExplainOnly() bool { return s.explain }
+
+// Stats snapshots the per-source execution counters. Safe to call
+// while the stream is still being consumed and after Close; an
+// explain-only stream reports zero counters.
+func (s *RowStream) Stats() ExecStats {
+	st := ExecStats{Sources: make([]SourceStats, len(s.counters)), RowsOut: s.rowsOut.Load()}
+	for i, c := range s.counters {
+		st.Sources[i] = c.snapshot()
+	}
+	return st
+}
+
+// emptyIterator is the explain-only stream body: a header, no rows.
+type emptyIterator struct{ cols []string }
+
+func (e *emptyIterator) Columns() []string                 { return e.cols }
+func (e *emptyIterator) Next(context.Context) (Row, error) { return nil, io.EOF }
+func (e *emptyIterator) Close() error                      { return nil }

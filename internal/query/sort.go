@@ -1,0 +1,245 @@
+package query
+
+import (
+	"container/heap"
+	"context"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sort wraps an iterator with an ORDER BY stage. With limit > 0 it
+// keeps a bounded top-K heap — memory never exceeds limit rows no
+// matter how many the input yields, and the stage subsumes the LIMIT —
+// otherwise it buffers and sorts the full input. Either way the input
+// is drained on the first Next and closed eagerly, and the comparator
+// is a total order (keys, then the whole row as tiebreak), so the
+// emitted order is byte-identical regardless of the arrival order a
+// parallel fan-in produced. Close releases the buffered rows; it is
+// idempotent, and the backing array is dropped as soon as the last row
+// is emitted rather than held until Close.
+func Sort(in RowIterator, keys []OrderKey, limit int) RowIterator {
+	if len(keys) == 0 {
+		return in
+	}
+	return &sortIterator{in: in, limit: limit, cmp: rowComparator(in.Columns(), keys)}
+}
+
+// sortIterator is the sort stage: a pipeline breaker that fills its
+// buffer from the input on first use, then serves rows from it.
+type sortIterator struct {
+	in    RowIterator
+	limit int
+	cmp   func(a, b Row) int
+
+	buf    []Row
+	pos    int
+	filled bool
+	// maxHeld is the buffer's high-water mark — the top-K memory-bound
+	// tests read it.
+	maxHeld int
+	err     error
+	closed  bool
+	// inClosed tracks whether the input was already released (it is
+	// closed eagerly once drained, before the consumer sees a row).
+	inClosed bool
+}
+
+func (s *sortIterator) Columns() []string { return s.in.Columns() }
+
+func (s *sortIterator) Next(ctx context.Context) (Row, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.closed {
+		return nil, io.EOF
+	}
+	// Checked even when serving from the filled buffer: cancellation
+	// must surface between rows here exactly as in every other stage.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !s.filled {
+		if err := s.fill(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if s.pos >= len(s.buf) {
+		// Drop the backing array as soon as the stream is exhausted —
+		// a consumer that keeps the iterator around (or forgets Close)
+		// no longer pins the sorted result.
+		s.buf = nil
+		return nil, io.EOF
+	}
+	row := s.buf[s.pos]
+	s.buf[s.pos] = nil
+	s.pos++
+	return row, nil
+}
+
+// fill drains the input into the buffer (bounded by the top-K heap
+// when a limit is set), sorts, and releases the input. A per-call
+// context cancellation is transient — the partial buffer is kept and a
+// later Next with a live context resumes the drain — while any other
+// input error is sticky and releases everything.
+func (s *sortIterator) fill(ctx context.Context) error {
+	h := rowHeap{rows: s.buf, cmp: s.cmp}
+	for {
+		row, err := s.in.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				s.buf = h.rows
+				return err
+			}
+			s.err = err
+			s.buf = nil
+			s.closeIn()
+			return err
+		}
+		if s.limit > 0 && len(h.rows) >= s.limit {
+			// Bounded top-K: only admit rows that beat the current
+			// worst, evicting it — the heap never exceeds limit rows.
+			if s.cmp(row, h.rows[0]) < 0 {
+				h.rows[0] = row
+				heap.Fix(&h, 0)
+			}
+		} else {
+			heap.Push(&h, row)
+		}
+		if len(h.rows) > s.maxHeld {
+			s.maxHeld = len(h.rows)
+		}
+	}
+	s.buf = h.rows
+	s.closeIn()
+	sort.Slice(s.buf, func(i, j int) bool { return s.cmp(s.buf[i], s.buf[j]) < 0 })
+	s.filled = true
+	return nil
+}
+
+func (s *sortIterator) closeIn() {
+	if !s.inClosed {
+		s.inClosed = true
+		_ = s.in.Close()
+	}
+}
+
+func (s *sortIterator) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.buf = nil
+	if s.inClosed {
+		return nil
+	}
+	s.inClosed = true
+	return s.in.Close()
+}
+
+// rowHeap is a max-heap under the row comparator: the worst row kept
+// sits at the root, so top-K eviction is O(log k).
+type rowHeap struct {
+	rows []Row
+	cmp  func(a, b Row) int
+}
+
+func (h *rowHeap) Len() int           { return len(h.rows) }
+func (h *rowHeap) Less(i, j int) bool { return h.cmp(h.rows[i], h.rows[j]) > 0 }
+func (h *rowHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *rowHeap) Push(x any)         { h.rows = append(h.rows, x.(Row)) }
+func (h *rowHeap) Pop() any {
+	n := len(h.rows) - 1
+	r := h.rows[n]
+	h.rows = h.rows[:n]
+	return r
+}
+
+// rowComparator builds the total-order row comparator for the keys
+// against a header: compare key by key, then fall back to the whole
+// row, so no two distinct rows ever tie and sorted output is unique. A
+// key column missing from the header compares as the empty cell.
+func rowComparator(cols []string, keys []OrderKey) func(a, b Row) int {
+	idx := make([]int, len(keys))
+	colAt := make(map[string]int, len(cols))
+	for i, c := range cols {
+		colAt[c] = i
+	}
+	for i, k := range keys {
+		if j, ok := colAt[k.Column]; ok {
+			idx[i] = j
+		} else {
+			idx[i] = -1
+		}
+	}
+	return func(a, b Row) int {
+		for i, k := range keys {
+			var av, bv string
+			if j := idx[i]; j >= 0 {
+				if j < len(a) {
+					av = a[j]
+				}
+				if j < len(b) {
+					bv = b[j]
+				}
+			}
+			if c := compareCells(av, bv); c != 0 {
+				if k.Desc {
+					return -c
+				}
+				return c
+			}
+		}
+		// Tiebreak on the remaining cells so the order is total: rows
+		// equal under every key still sort deterministically.
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if c := strings.Compare(a[i], b[i]); c != 0 {
+				return c
+			}
+		}
+		return len(a) - len(b)
+	}
+}
+
+// compareCells orders two cells: numeric cells compare numerically and
+// sort before non-numeric ones; everything else is lexicographic. The
+// type rank keeps the relation transitive (plain "numeric when both
+// parse" is not: 2 < 10 < "1a" < 2 lexicographically), which the
+// deterministic-output guarantee depends on.
+func compareCells(a, b string) int {
+	fa, aNum := parseNumericCell(a)
+	fb, bNum := parseNumericCell(b)
+	switch {
+	case aNum && bNum:
+		if fa < fb {
+			return -1
+		}
+		if fa > fb {
+			return 1
+		}
+		// Numerically equal but textually distinct ("1" vs "1.0"):
+		// settle by text so the order stays total.
+		return strings.Compare(a, b)
+	case aNum:
+		return -1
+	case bNum:
+		return 1
+	default:
+		return strings.Compare(a, b)
+	}
+}
+
+// parseNumericCell parses a cell as a comparable number; NaN is
+// excluded because it breaks comparator transitivity.
+func parseNumericCell(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) {
+		return 0, false
+	}
+	return f, true
+}

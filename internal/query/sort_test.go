@@ -1,0 +1,245 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// probeSource yields pre-built rows while counting pulls and closes —
+// the observability the memory-bound and teardown tests need.
+type probeSource struct {
+	cols       []string
+	rows       [][]string
+	pulled     int
+	failAfter  int // fail after this many rows when err is set
+	err        error
+	closed     bool
+	closeCount int
+}
+
+func (p *probeSource) Columns() []string { return p.cols }
+
+func (p *probeSource) Next(ctx context.Context) (Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.err != nil && p.pulled >= p.failAfter {
+		return nil, p.err
+	}
+	if p.pulled >= len(p.rows) {
+		return nil, io.EOF
+	}
+	row := p.rows[p.pulled]
+	p.pulled++
+	return row, nil
+}
+
+func (p *probeSource) Close() error {
+	if !p.closed {
+		p.closed = true
+		p.closeCount++
+	}
+	return nil
+}
+
+func TestSortOrdersRows(t *testing.T) {
+	in := NewSliceIterator([]string{"name", "age"}, [][]string{
+		{"carol", "41"},
+		{"alice", "30"},
+		{"bob", "25"},
+	})
+	got := drain(t, Sort(in, []OrderKey{{Column: "age"}}, 0))
+	want := "bob,alice,carol"
+	var names []string
+	for _, r := range got {
+		names = append(names, r[0])
+	}
+	if strings.Join(names, ",") != want {
+		t.Errorf("sorted names = %v, want %s", names, want)
+	}
+}
+
+func TestSortDescAndSecondaryKey(t *testing.T) {
+	in := NewSliceIterator([]string{"city", "price"}, [][]string{
+		{"berlin", "10"},
+		{"athens", "20"},
+		{"madrid", "20"},
+		{"paris", "5"},
+	})
+	got := drain(t, Sort(in, []OrderKey{{Column: "price", Desc: true}, {Column: "city"}}, 0))
+	var cities []string
+	for _, r := range got {
+		cities = append(cities, r[0])
+	}
+	if strings.Join(cities, ",") != "athens,madrid,berlin,paris" {
+		t.Errorf("order = %v", cities)
+	}
+}
+
+// TestSortMixedNumericAndStringKeys pins the total order on
+// heterogeneous cells: numeric cells compare numerically and sort
+// before non-numeric ones, so "2" < "10" < "1a" consistently.
+func TestSortMixedNumericAndStringKeys(t *testing.T) {
+	in := NewSliceIterator([]string{"v"}, [][]string{
+		{"1a"}, {"10"}, {"abc"}, {"2"}, {""}, {"-3"},
+	})
+	got := drain(t, Sort(in, []OrderKey{{Column: "v"}}, 0))
+	var vals []string
+	for _, r := range got {
+		vals = append(vals, r[0])
+	}
+	if strings.Join(vals, "|") != "-3|2|10||1a|abc" {
+		t.Errorf("mixed order = %v", vals)
+	}
+}
+
+// TestSortDeterministicUnderShuffledInput is the ordering guarantee
+// parallel fan-in relies on: any arrival order sorts to byte-identical
+// output, including full-row tiebreaks for rows equal under the keys.
+func TestSortDeterministicUnderShuffledInput(t *testing.T) {
+	base := make([][]string, 0, 100)
+	for i := 0; i < 100; i++ {
+		base = append(base, []string{fmt.Sprint(i % 7), fmt.Sprintf("p%d", i%13), fmt.Sprint(i)})
+	}
+	keys := []OrderKey{{Column: "k"}, {Column: "p", Desc: true}}
+	var want string
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([][]string(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := drain(t, Sort(NewSliceIterator([]string{"k", "p", "id"}, shuffled), keys, 0))
+		var sb strings.Builder
+		for _, r := range got {
+			sb.WriteString(strings.Join(r, ",") + "\n")
+		}
+		if trial == 0 {
+			want = sb.String()
+		} else if sb.String() != want {
+			t.Fatalf("trial %d produced different order", trial)
+		}
+	}
+}
+
+// TestSortTopKMemoryBound pins the heap bound via a counting source:
+// the sort must pull every input row, yet never hold more than LIMIT
+// rows.
+func TestSortTopKMemoryBound(t *testing.T) {
+	const n, limit = 10000, 7
+	src := &probeSource{cols: []string{"v"}, rows: make([][]string, n)}
+	for i := range src.rows {
+		src.rows[i] = []string{fmt.Sprint((i * 7919) % n)}
+	}
+	s := Sort(src, []OrderKey{{Column: "v"}}, limit).(*sortIterator)
+	got := drain(t, s)
+	if len(got) != limit {
+		t.Fatalf("emitted %d rows, want %d", len(got), limit)
+	}
+	for i, r := range got {
+		if r[0] != fmt.Sprint(i) {
+			t.Errorf("row %d = %v, want %d", i, r, i)
+		}
+	}
+	if src.pulled != n {
+		t.Errorf("pulled %d rows from source, want all %d", src.pulled, n)
+	}
+	if s.maxHeld > limit {
+		t.Errorf("heap held %d rows, bound is %d", s.maxHeld, limit)
+	}
+	if !src.closed {
+		t.Error("source not closed after drain")
+	}
+}
+
+// TestSortEarlyCloseReleasesBuffer: closing mid-emission must release
+// the buffered rows (no retained backing array) and the input, and
+// stay idempotent.
+func TestSortEarlyCloseReleasesBuffer(t *testing.T) {
+	src := &probeSource{cols: []string{"v"}, rows: [][]string{{"3"}, {"1"}, {"2"}}}
+	s := Sort(src, []OrderKey{{Column: "v"}}, 2).(*sortIterator)
+	ctx := context.Background()
+	if _, err := s.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if s.buf != nil {
+		t.Error("Close left the sort buffer retained")
+	}
+	if !src.closed {
+		t.Error("Close did not release the input")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := s.Next(ctx); err != io.EOF {
+		t.Errorf("Next after Close = %v, want EOF", err)
+	}
+}
+
+// TestSortBufferReleasedOnExhaustion: once the last row is emitted the
+// backing array is dropped even without a Close call.
+func TestSortBufferReleasedOnExhaustion(t *testing.T) {
+	in := NewSliceIterator([]string{"v"}, [][]string{{"2"}, {"1"}})
+	s := Sort(in, []OrderKey{{Column: "v"}}, 0).(*sortIterator)
+	rows := drain(t, s)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if s.buf != nil {
+		t.Error("exhausted sort still retains its buffer")
+	}
+}
+
+// TestSortPropagatesSourceError: a mid-drain source failure is sticky
+// and releases everything.
+func TestSortPropagatesSourceError(t *testing.T) {
+	boom := errors.New("boom")
+	src := &probeSource{cols: []string{"v"}, rows: [][]string{{"1"}, {"2"}}, failAfter: 1, err: boom}
+	s := Sort(src, []OrderKey{{Column: "v"}}, 0).(*sortIterator)
+	ctx := context.Background()
+	if _, err := s.Next(ctx); !errors.Is(err, boom) {
+		t.Fatalf("Next = %v, want boom", err)
+	}
+	if !src.closed {
+		t.Error("failed drain did not close the input")
+	}
+	if _, err := s.Next(ctx); !errors.Is(err, boom) {
+		t.Errorf("error not sticky: %v", err)
+	}
+	if s.buf != nil {
+		t.Error("failed sort retains its buffer")
+	}
+}
+
+// TestSequentialUnionCloseIdempotentWithSort: the sequential union
+// under a sort stage closes exactly once per source and tolerates
+// repeated Close — the pipeline the sort stage tears down eagerly.
+func TestSequentialUnionCloseIdempotentWithSort(t *testing.T) {
+	a := &probeSource{cols: []string{"v"}, rows: [][]string{{"2"}}}
+	b := &probeSource{cols: []string{"v"}, rows: [][]string{{"1"}}}
+	u := Union([]RowIterator{a, b}, nil)
+	s := Sort(u, []OrderKey{{Column: "v"}}, 0)
+	rows := drain(t, s)
+	if len(rows) != 2 || rows[0][0] != "1" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// The sort already closed the union on drain; every further Close —
+	// on the stage or the union — must be a no-op.
+	for i := 0; i < 2; i++ {
+		if err := s.Close(); err != nil {
+			t.Errorf("sort Close #%d: %v", i+1, err)
+		}
+		if err := u.Close(); err != nil {
+			t.Errorf("union Close #%d: %v", i+1, err)
+		}
+	}
+	if a.closeCount != 1 || b.closeCount != 1 {
+		t.Errorf("source close counts = %d, %d; want 1, 1", a.closeCount, b.closeCount)
+	}
+}
