@@ -8,10 +8,11 @@
 //	benchreport -json [-json-out FILE]
 //
 // Without -only, every experiment runs in DESIGN.md order. With -json,
-// the fan-in (plain and ORDER BY — what default-on fan-in ships) and
-// streaming benchmarks run through testing.Benchmark and their
+// the fan-in (plain and ORDER BY — what default-on fan-in ships),
+// streaming, and ingest-durability (WAL off / WAL no-fsync / WAL
+// fsync) benchmarks run through testing.Benchmark and their
 // machine-readable results (ns/op, allocs/op, rows/s) are written to
-// BENCH_5.json (or -json-out) — the in-repo perf trajectory file.
+// BENCH_6.json (or -json-out) — the in-repo perf trajectory file.
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment")
 	jsonOut := flag.Bool("json", false, "write machine-readable benchmark results instead of reports")
-	jsonPath := flag.String("json-out", "BENCH_5.json", "output path for -json")
+	jsonPath := flag.String("json-out", "BENCH_6.json", "output path for -json")
 	flag.Parse()
 	dir, err := os.MkdirTemp("", "golake-benchreport-*")
 	if err != nil {
@@ -38,6 +39,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		ingest, err := bench.IngestBenchResults()
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, ingest...)
 		if err := bench.WriteBenchJSON(*jsonPath, results); err != nil {
 			fatal(err)
 		}

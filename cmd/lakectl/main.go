@@ -12,6 +12,7 @@
 //	lakectl -data DIR -explain query 'SQL'    typed plan, nothing executed
 //	lakectl -data DIR swamp                   metadata-coverage audit
 //	lakectl -data DIR lineage ENTITY          upstream provenance
+//	lakectl -data DIR status                  maintenance + durability status
 //	lakectl -data DIR serve [ADDR]            REST v1 API server
 //	lakectl registry                          the Table 1 function registry
 //	lakectl demo                              synthetic end-to-end walkthrough
@@ -19,6 +20,13 @@
 // With -auto-maintain INTERVAL, serve runs background maintenance:
 // data ingested over POST /v1/datasets becomes explorable without an
 // operator-triggered pass (status on GET /v1/maintenance).
+//
+// With -persist, the lake's logical state (users, derived tables,
+// audit trails, index coverage) survives across invocations in
+// DIR/.golake via WAL + snapshot: a rerun replays the previous state,
+// ingests only files not already cataloged, and maintenance resumes
+// incrementally instead of re-indexing the corpus. -fsync additionally
+// fsyncs every WAL append.
 //
 // Federated queries fan in by default: member-store sources are
 // drained in parallel (one puller per CPU) behind bounded per-source
@@ -60,6 +68,10 @@ func main() {
 	user := flag.String("user", "cli", "acting user")
 	autoMaintain := flag.Duration("auto-maintain", 0,
 		"run background maintenance at this interval (serve mode; 0 disables)")
+	persistFlag := flag.Bool("persist", false,
+		"persist lake state across invocations in DATA/.golake (WAL + snapshot)")
+	fsync := flag.Bool("fsync", false,
+		"with -persist, fsync every WAL append (crash-durable, slower)")
 	fanIn := flag.Int("fanin", 0,
 		"federated-query fan-in width (0 = one puller per CPU, 1 = sequential)")
 	fanInBuffer := flag.Int("fanin-buffer", 0,
@@ -91,7 +103,7 @@ func main() {
 	if *dataDir == "" {
 		fatal(fmt.Errorf("command %q needs -data DIR", cmd))
 	}
-	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain, *fanIn, *fanInBuffer)
+	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain, *fanIn, *fanInBuffer, *persistFlag, *fsync)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,14 +126,17 @@ type queryFlags struct {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-order COLS] [-explain] [-stats] COMMAND [ARGS]")
-	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage serve registry demo")
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-order COLS] [-explain] [-stats] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage status serve registry demo")
 	os.Exit(2)
 }
 
-// loadLake bulk-ingests every regular file under dir and runs
-// maintenance.
-func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration, fanIn, fanInBuffer int) (*golake.Lake, error) {
+// loadLake bulk-ingests every regular file under dir and brings the
+// lake up to date. With persist, durability files live in dir/.golake:
+// a rerun replays the previous invocation's state, files already
+// cataloged are skipped, and the maintenance pass resumes
+// incrementally over just the new data.
+func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration, fanIn, fanInBuffer int, persistLake, fsync bool) (*golake.Lake, error) {
 	workdir, err := os.MkdirTemp("", "golake-lakectl-*")
 	if err != nil {
 		return nil, err
@@ -138,6 +153,17 @@ func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration,
 		// its per-request query.Request instead.
 		opts = append(opts, golake.WithFanIn(fanIn, fanInBuffer))
 	}
+	if persistLake {
+		sync := golake.SyncNone
+		if fsync {
+			sync = golake.SyncAlways
+		}
+		backend, err := golake.NewLocalBackend(filepath.Join(dir, ".golake"), golake.WithSync(sync))
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, golake.WithPersistence(backend))
+	}
 	lake, err := golake.Open(workdir, opts...)
 	if err != nil {
 		return nil, err
@@ -146,19 +172,32 @@ func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration,
 	lake.AddUser(user+"-gov", golake.RoleGovernance)
 	var items []golake.IngestItem
 	err = filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return err
-		}
-		data, err := os.ReadFile(p)
 		if err != nil {
 			return err
+		}
+		if d.IsDir() {
+			// The lake's own durability files are not data.
+			if d.Name() == ".golake" {
+				return fs.SkipDir
+			}
+			return nil
 		}
 		rel, err := filepath.Rel(dir, p)
 		if err != nil {
 			return err
 		}
+		path := filepath.ToSlash(rel)
+		// A persistent lake already restored earlier invocations'
+		// ingests; re-ingesting them would conflict.
+		if _, err := lake.Catalog.Entry(path); err == nil {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
 		items = append(items, golake.IngestItem{
-			Path: filepath.ToSlash(rel), Data: data, Source: "filesystem",
+			Path: path, Data: data, Source: "filesystem",
 		})
 		return nil
 	})
@@ -168,8 +207,13 @@ func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration,
 	if _, err := lake.IngestBatch(ctx, user, items); err != nil {
 		return nil, err
 	}
-	if _, err := lake.Maintain(ctx); err != nil {
-		return nil, err
+	// Incremental when the restored coverage allows it (a fresh lake's
+	// first pass still plans full); an up-to-date restored lake skips
+	// the pass entirely.
+	if lake.Stale() {
+		if _, err := lake.MaintainIncremental(ctx); err != nil {
+			return nil, err
+		}
 	}
 	return lake, nil
 }
@@ -217,6 +261,8 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 			fmt.Println(e)
 		}
 		return nil
+	case "status":
+		return status(lake)
 	case "serve":
 		addr := ":8080"
 		if len(args) > 0 {
@@ -389,6 +435,33 @@ func joinSearch(ctx context.Context, lake *golake.Lake, user, tableName, column 
 	}
 	for _, r := range res {
 		fmt.Printf("%-30s overlap=%.0f\n", r.Table, r.Score)
+	}
+	return nil
+}
+
+// status prints the maintenance snapshot plus, on a persistent lake,
+// the durability state (mirrors GET /v1/maintenance).
+func status(lake *golake.Lake) error {
+	st := lake.MaintenanceStatus()
+	fmt.Printf("maintenance: passes=%d failures=%d covered=%d stale=%v auto=%v\n",
+		st.PassesRun, st.Failures, st.Covered, st.Stale, st.Auto)
+	if st.LastPass != nil {
+		fmt.Printf("last pass: mode=%s datasets=%d tables=%d\n",
+			st.LastPass.Mode, st.LastPass.Datasets, st.LastPass.Tables)
+	}
+	if st.Durability == nil {
+		fmt.Println("durability: off (run with -persist)")
+		return nil
+	}
+	d := st.Durability
+	fmt.Printf("durability: backend=%s wal=%dB (%d records) snapshot=%dB\n",
+		d.Backend, d.WALBytes, d.WALRecords, d.SnapshotBytes)
+	if d.LastSnapshot != nil {
+		fmt.Printf("last snapshot: %s\n", d.LastSnapshot.Format(time.RFC3339))
+	}
+	if r := d.Replay; r != nil {
+		fmt.Printf("recovered: %d snapshot datasets + %d wal records (%d skipped, %d torn bytes)\n",
+			r.SnapshotDatasets, r.WALRecords, r.WALSkipped, r.TornBytes)
 	}
 	return nil
 }

@@ -124,6 +124,33 @@
 // versioned /v1 API with a structured error envelope (see
 // internal/core's route table), including GET/POST /v1/maintenance for
 // the maintenance subsystem.
+//
+// # Durability & recovery
+//
+// A lake is in-memory by default: Open rebuilds raw-file metadata from
+// the data directory but loses users, derived tables, zones, audit
+// trails, and index coverage on restart. WithPersistence makes the
+// whole logical state durable through a pluggable backend:
+//
+//	backend, _ := golake.NewLocalBackend(
+//		filepath.Join(dir, ".golake"), golake.WithSync(golake.SyncAlways))
+//	lake, _ := golake.Open(dir, golake.WithPersistence(backend))
+//	defer lake.Close() // flushes a final snapshot
+//
+// Every mutating operation (user registration, ingest, derive, evict,
+// provenance event, maintenance coverage) appends one checksummed
+// record to a write-ahead log; when the log outgrows the
+// WithSnapshotEvery threshold — and on Close — a snapshot of the full
+// logical state is installed atomically and the log truncated. Reopen
+// replays snapshot + WAL tail: a crash at any byte boundary loses at
+// most the torn tail record (dropped with a logged warning, never a
+// failed open), and a previously maintained lake comes back with its
+// exploration indexes rebuilt and its first scheduled pass planning
+// incrementally rather than re-indexing the corpus. The fsync policy
+// is the backend's: SyncAlways makes every record crash-durable,
+// SyncNone (the default) leaves flushing to the OS. GET /v1/maintenance
+// reports the durability state (backend, WAL size, last snapshot,
+// replay stats) alongside the pass counters.
 package golake
 
 import (
@@ -134,6 +161,7 @@ import (
 	"golake/internal/discovery"
 	"golake/internal/explore"
 	"golake/internal/maintain"
+	"golake/internal/persist"
 	"golake/internal/query"
 	"golake/internal/table"
 )
@@ -229,8 +257,63 @@ type MaintenanceReport = core.MaintenanceReport
 // Lake.MaintenanceStatus and served by GET /v1/maintenance.
 type MaintenanceStatus = maintain.Status
 
+// DurabilityStatus reports the persistence backend's health inside
+// MaintenanceStatus (WAL size, last snapshot, open-time replay stats).
+type DurabilityStatus = maintain.DurabilityStatus
+
+// ReplayStats summarizes one open-time crash recovery.
+type ReplayStats = maintain.ReplayStats
+
+// PersistenceBackend is the pluggable durability store a lake writes
+// its WAL and snapshots through; see NewMemoryBackend and
+// NewLocalBackend for the built-ins. The interface is storage-agnostic
+// — a SQLite- or object-store-backed implementation plugs in the same
+// way.
+type PersistenceBackend = persist.Backend
+
+// MemoryBackend keeps WAL and snapshot in process memory — durability
+// across lake generations sharing the backend value, not across
+// process restarts. Useful for tests and as the minimal Backend
+// reference implementation.
+type MemoryBackend = persist.Memory
+
+// LocalBackend persists WAL and snapshot as files in a local
+// directory, with atomic snapshot installation and torn-tail-tolerant
+// log recovery.
+type LocalBackend = persist.Local
+
+// LocalBackendOption configures NewLocalBackend (see WithSync).
+type LocalBackendOption = persist.LocalOption
+
+// SyncPolicy selects when the local backend fsyncs WAL appends.
+type SyncPolicy = persist.Sync
+
+// Fsync policies for NewLocalBackend.
+const (
+	// SyncNone leaves flushing to the OS: fastest, loses recent records
+	// on power failure (not on process crash).
+	SyncNone = persist.SyncNone
+	// SyncAlways fsyncs every WAL append: every acknowledged operation
+	// survives power failure.
+	SyncAlways = persist.SyncAlways
+)
+
+// NewMemoryBackend creates an in-memory persistence backend.
+func NewMemoryBackend() *MemoryBackend { return persist.NewMemory() }
+
+// NewLocalBackend creates a directory-backed persistence backend; the
+// directory is created if needed. Point it at <lakedir>/.golake — the
+// name the file store reserves — to keep a lake and its durability
+// files together.
+func NewLocalBackend(dir string, opts ...LocalBackendOption) (*LocalBackend, error) {
+	return persist.NewLocal(dir, opts...)
+}
+
+// WithSync sets the local backend's fsync policy (default SyncNone).
+func WithSync(s SyncPolicy) LocalBackendOption { return persist.WithSync(s) }
+
 // Option configures an assembled lake (see WithClock, WithPushdown,
-// WithMaxResults, WithLogger, WithAutoMaintain).
+// WithMaxResults, WithLogger, WithAutoMaintain, WithPersistence).
 type Option = core.Option
 
 // WithClock substitutes the lake's time source (tests, replays).
@@ -263,6 +346,17 @@ func WithFanIn(workers, bufferRows int) Option { return core.WithFanIn(workers, 
 // maintenance pass, so ingests become explorable without a manual
 // Maintain call. Call Lake.Close to stop it.
 func WithAutoMaintain(interval time.Duration) Option { return core.WithAutoMaintain(interval) }
+
+// WithPersistence makes the lake durable through the given backend:
+// Open replays its snapshot + WAL before serving, every mutating
+// operation is logged, and Close flushes a final snapshot. See the
+// "Durability & recovery" section of the package documentation.
+func WithPersistence(backend PersistenceBackend) Option { return core.WithPersistence(backend) }
+
+// WithSnapshotEvery sets the WAL size (bytes) that triggers a
+// snapshot + log truncation (default 4 MiB; 0 disables size-triggered
+// snapshots, leaving only the Close-time flush).
+func WithSnapshotEvery(walBytes int64) Option { return core.WithSnapshotEvery(walBytes) }
 
 // Open assembles a data lake rooted at dir.
 func Open(dir string, opts ...Option) (*Lake, error) { return core.Open(dir, opts...) }

@@ -3,6 +3,7 @@ package golake
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -258,5 +259,57 @@ func TestScalePipeline(t *testing.T) {
 	}
 	if res.NumRows() != 7 {
 		t.Errorf("limit rows = %d", res.NumRows())
+	}
+}
+
+// TestDurableLakeFacade drives the public durability API end to end: a
+// lake with a local backend and an aggressive snapshot threshold is
+// filled, hard-stopped (no Close), and reopened byte-identical.
+func TestDurableLakeFacade(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	open := func() *Lake {
+		t.Helper()
+		backend, err := NewLocalBackend(filepath.Join(dir, ".golake"), WithSync(SyncAlways))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lake, err := Open(dir, WithPersistence(backend), WithSnapshotEvery(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lake
+	}
+	lake := open()
+	lake.AddUser("dana", RoleDataScientist)
+	orders := "order_id,total\no1,10\no2,30\no3,20\n"
+	if _, err := lake.Ingest(ctx, "raw/orders.csv", []byte(orders), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lake.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want, err := lake.QuerySQL(ctx, "dana", "SELECT order_id, total FROM rel:orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hard stop: no Close, the tiny snapshot threshold has already
+	// checkpointed at least once and the WAL carries the rest.
+	re := open()
+	defer re.Close()
+	got, err := re.QuerySQL(ctx, "dana", "SELECT order_id, total FROM rel:orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ToCSV(got) != ToCSV(want) {
+		t.Errorf("reopened rows = %q, want %q", ToCSV(got), ToCSV(want))
+	}
+	st := re.MaintenanceStatus()
+	if st.Durability == nil || st.Durability.Backend != "local" {
+		t.Fatalf("durability = %+v, want local backend", st.Durability)
+	}
+	if st.Durability.Replay == nil {
+		t.Fatal("no replay stats after reopen")
 	}
 }

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"golake/internal/core"
+	"golake/internal/persist"
+	"golake/internal/table"
+	"golake/internal/workload"
+)
+
+// The ingest-throughput benchmark corpus: a handful of small CSV
+// datasets, regenerated identically per configuration so the three
+// durability modes ingest the same bytes.
+const (
+	ingestBenchTables = 8
+	ingestBenchRows   = 50
+)
+
+// ingestBenchCorpus pre-renders the benchmark datasets once; the
+// benchmark loop only pays Ingest, not CSV generation.
+func ingestBenchCorpus() []struct{ path, csv string } {
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: ingestBenchTables, JoinGroups: 2, RowsPerTable: ingestBenchRows,
+		ExtraCols: 1, KeyVocab: 60, KeySample: 40, Seed: 17,
+	})
+	out := make([]struct{ path, csv string }, len(c.Tables))
+	for i, t := range c.Tables {
+		out[i] = struct{ path, csv string }{"raw/" + t.Name + ".csv", table.ToCSV(t)}
+	}
+	return out
+}
+
+// IngestBenchResults measures ingest throughput under the three
+// durability configurations — no persistence, WAL without fsync, WAL
+// with per-record fsync — so the trajectory file records what crash
+// durability costs on the ingest path. Each iteration opens a fresh
+// lake over a fresh directory (setup off the clock) and ingests the
+// shared corpus.
+func IngestBenchResults() ([]BenchResult, error) {
+	corpus := ingestBenchCorpus()
+	rowsPerOp := ingestBenchTables * ingestBenchRows
+	configs := []struct {
+		name string
+		sync persist.Sync
+		wal  bool
+	}{
+		{name: "ingest_nowal"},
+		{name: "ingest_wal_nosync", wal: true, sync: persist.SyncNone},
+		{name: "ingest_wal_fsync", wal: true, sync: persist.SyncAlways},
+	}
+	var out []BenchResult
+	for _, cfg := range configs {
+		cfg := cfg
+		// As in FanInBenchResults: b.Fatal only kills the bench
+		// goroutine, so failures are re-surfaced as errors instead of
+		// zero rows in the trajectory file.
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, err := os.MkdirTemp("", "golake-ingestbench-*")
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				var opts []core.Option
+				if cfg.wal {
+					backend, err := persist.NewLocal(dir+"/.golake", persist.WithSync(cfg.sync))
+					if err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+					opts = append(opts, core.WithPersistence(backend))
+				}
+				l, err := core.Open(dir, opts...)
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				l.AddUser("bench", core.RoleDataScientist)
+				b.StartTimer()
+				for _, d := range corpus {
+					if _, err := l.Ingest(ctx, d.path, []byte(d.csv), "bench", "bench"); err != nil {
+						benchErr = fmt.Errorf("%s: %w", cfg.name, err)
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if err := l.Close(); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run", cfg.name)
+		}
+		out = append(out, benchResult(cfg.name, rowsPerOp, r))
+	}
+	return out, nil
+}

@@ -28,6 +28,7 @@ import (
 // envelope {"error":{"code","message"}} with the code drawn from the
 // lakeerr taxonomy.
 //
+//	DELETE /v1/datasets?path=PATH        evict a dataset (curator/operations)
 //	GET  /v1/datasets?cursor=&limit=     paginated catalog entries
 //	POST /v1/datasets                    ingest one object (JSON body)
 //	GET  /v1/metadata?id=PATH            one GEMMS metadata object
@@ -58,6 +59,7 @@ func (l *Lake) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/datasets", l.handleDatasetsV1)
 	mux.HandleFunc("POST /v1/datasets", l.handleIngest)
+	mux.HandleFunc("DELETE /v1/datasets", l.handleEvict)
 	mux.HandleFunc("GET /v1/metadata", l.handleMetadata)
 	mux.HandleFunc("GET /v1/related", l.handleRelated)
 	mux.HandleFunc("POST /v1/explore", l.handleExplore)
@@ -457,6 +459,21 @@ func (l *Lake) handleIngest(w http.ResponseWriter, r *http.Request) {
 		"store":  res.Placement.Target,
 		"format": res.Placement.Format,
 	})
+}
+
+// handleEvict removes a dataset (DELETE /v1/datasets?path=...). Role
+// enforcement (curator or operations) lives in Lake.Evict.
+func (l *Lake) handleEvict(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "evict: path parameter required"))
+		return
+	}
+	if err := l.Evict(r.Context(), userOf(r), path); err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": path})
 }
 
 func (l *Lake) handleMetadata(w http.ResponseWriter, r *http.Request) {

@@ -33,6 +33,7 @@ import (
 	"golake/internal/maintain"
 	"golake/internal/metamodel"
 	"golake/internal/organize"
+	"golake/internal/persist"
 	"golake/internal/provenance"
 	"golake/internal/query"
 	"golake/internal/storage/polystore"
@@ -72,12 +73,14 @@ var (
 type Option func(*options)
 
 type options struct {
-	clock        func() time.Time
-	pushdown     bool
-	maxResults   int
-	logger       *slog.Logger
-	autoMaintain time.Duration
-	fanIn        query.FanInOptions
+	clock         func() time.Time
+	pushdown      bool
+	maxResults    int
+	logger        *slog.Logger
+	autoMaintain  time.Duration
+	fanIn         query.FanInOptions
+	backend       persist.Backend
+	snapshotEvery int64
 }
 
 // WithClock substitutes the lake's time source (tests, replays).
@@ -118,6 +121,26 @@ func WithFanIn(workers, bufferRows int) Option {
 	return func(o *options) {
 		o.fanIn = query.FanInOptions{Workers: workers, BufferRows: bufferRows}
 	}
+}
+
+// WithPersistence attaches a durability backend: every mutating
+// operation (ingest, derive, evict, user registration, provenance
+// event, maintenance coverage) appends a checksummed record to the
+// backend's write-ahead log, a periodic snapshot truncates the log, and
+// Open replays snapshot + WAL so a reopened lake — even one that was
+// hard-stopped without Close — serves the same query results and
+// resumes maintenance incrementally. A torn WAL tail (crash mid-append)
+// is detected by per-record checksums and dropped with a warning, never
+// a failed open. Close flushes a final snapshot.
+func WithPersistence(backend persist.Backend) Option {
+	return func(o *options) { o.backend = backend }
+}
+
+// WithSnapshotEvery sets the WAL size (bytes) that triggers a
+// checkpoint (snapshot + log truncation). Default 4 MiB; zero or
+// negative disables size-triggered checkpoints (Close still flushes).
+func WithSnapshotEvery(walBytes int64) Option {
+	return func(o *options) { o.snapshotEvery = walBytes }
 }
 
 // WithAutoMaintain starts a background maintenance scheduler when the
@@ -161,6 +184,10 @@ type Lake struct {
 	// maintenance pass, so an incremental pass promotes zones in
 	// O(new data) instead of rescanning every placement.
 	pendingPromote []string
+	// ingestLog / deriveLog record the mutating operations in commit
+	// order; the persistence snapshot serializes them (guarded by mu).
+	ingestLog []ingestMeta
+	deriveLog []deriveMeta
 
 	maintMu  sync.Mutex // serializes Maintain passes
 	ingestMu sync.Mutex // makes the duplicate-path check atomic
@@ -172,6 +199,9 @@ type Lake struct {
 	planner *maintain.Planner
 	knn     *organize.DSKNN
 	sched   *maintain.Scheduler
+	// pers is the persistence layer WithPersistence attaches (set once
+	// in Open, nil without).
+	pers *persister
 
 	// Pass bookkeeping for the maintenance status snapshot (guarded by
 	// mu).
@@ -187,9 +217,16 @@ type Lake struct {
 	logger     *slog.Logger
 }
 
-// Open assembles a lake rooted at dir.
+// defaultSnapshotEvery is the WAL size that triggers a checkpoint when
+// WithSnapshotEvery is not given.
+const defaultSnapshotEvery = 4 << 20
+
+// Open assembles a lake rooted at dir. With WithPersistence, the
+// backend's snapshot and WAL are replayed before the lake is returned:
+// a previously persisted lake resumes with its datasets, users, audit
+// trail, and maintenance coverage intact.
 func Open(dir string, opts ...Option) (*Lake, error) {
-	o := options{pushdown: true}
+	o := options{pushdown: true, snapshotEvery: defaultSnapshotEvery}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -218,6 +255,17 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 	l.Engine = query.NewEngine(poly)
 	l.Engine.PushDown = o.pushdown
 	l.Engine.FanIn = o.fanIn
+	if o.backend != nil {
+		l.pers = &persister{backend: o.backend, threshold: o.snapshotEvery}
+		if err := l.pers.restore(l); err != nil {
+			return nil, err
+		}
+		// The hook persists every provenance event as an audit record;
+		// installed after replay so restored events are not re-appended.
+		l.Tracker.SetHook(func(ev provenance.Event) {
+			l.persistRecord(&walRecord{Kind: recAudit, Event: &ev})
+		})
+	}
 	if o.autoMaintain > 0 {
 		l.sched = maintain.NewScheduler(schedTarget{l}, maintain.Config{
 			Interval: o.autoMaintain,
@@ -228,12 +276,20 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 	return l, nil
 }
 
-// Close stops the background maintenance scheduler, waiting for any
-// in-flight pass to observe cancellation and drain. Safe to call more
-// than once; a lake opened without WithAutoMaintain closes trivially.
+// Close shuts the lake down cleanly: the background maintenance
+// scheduler is stopped first and fully drained (an in-flight pass
+// observes cancellation and returns), and only then — with maintMu held
+// so no pass can slip in between — is the final persistence snapshot
+// flushed and the backend closed. Safe to call more than once; a lake
+// opened without WithAutoMaintain or WithPersistence closes trivially.
 func (l *Lake) Close() error {
 	if l.sched != nil {
 		l.sched.Stop()
+	}
+	if l.pers != nil {
+		l.maintMu.Lock()
+		defer l.maintMu.Unlock()
+		return l.pers.close(l)
 	}
 	return nil
 }
@@ -263,8 +319,9 @@ func (t schedTarget) Pass(ctx context.Context) (maintain.PassStats, error) {
 // AddUser registers a user with a role.
 func (l *Lake) AddUser(name string, role Role) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.users[name] = role
+	l.mu.Unlock()
+	l.persistRecord(&walRecord{Kind: recUser, Name: name, Role: string(role)})
 }
 
 // roleOf returns the user's role.
@@ -305,7 +362,24 @@ func (l *Lake) Ingest(ctx context.Context, path string, data []byte, source, use
 	// two concurrent ingests of the same path cannot both pass the
 	// check and silently overwrite each other.
 	l.ingestMu.Lock()
-	defer l.ingestMu.Unlock()
+	res, err := l.ingestLocked(path, data, source, user)
+	if err != nil {
+		l.ingestMu.Unlock()
+		return nil, err
+	}
+	// The WAL record precedes the provenance event so replay sees the
+	// dataset before its audit trail; both land while ingestMu is held,
+	// keeping the log in commit order.
+	l.persistRecord(&walRecord{Kind: recIngest, Path: path, Data: data, Source: source, User: user})
+	l.ingestMu.Unlock()
+	l.Tracker.Ingest(path, source, user)
+	return res, nil
+}
+
+// ingestLocked runs the ingestion pipeline minus provenance capture and
+// WAL append — the shared body of live Ingest and persistence replay.
+// ingestMu must be held in live operation.
+func (l *Lake) ingestLocked(path string, data []byte, source, user string) (*IngestResult, error) {
 	if _, err := l.Catalog.Entry(path); err == nil {
 		return nil, lakeerr.Errorf(lakeerr.CodeConflict, "%w: %s", ErrExists, path)
 	}
@@ -345,10 +419,10 @@ func (l *Lake) Ingest(ctx context.Context, path string, data []byte, source, use
 	if err := l.Catalog.Annotate(path, organize.GroupProvenance, "source", source); err != nil {
 		return nil, lakeerr.Wrap(lakeerr.CodeInternal, err)
 	}
-	l.Tracker.Ingest(path, source, user)
 	l.mu.Lock()
 	l.ingestGen++
 	l.pendingPromote = append(l.pendingPromote, path)
+	l.ingestLog = append(l.ingestLog, ingestMeta{path: path, source: source, user: user})
 	if pl.TableName != "" {
 		l.nameToPath[pl.TableName] = path
 	}
@@ -483,6 +557,11 @@ func (l *Lake) maintainLocked(ctx context.Context, wantFull bool) (*MaintenanceR
 		l.lastPassTime = l.clock()
 	}
 	l.mu.Unlock()
+	if err == nil {
+		// Checkpoint the planner coverage so a reopened lake resumes
+		// incrementally instead of re-running this pass from scratch.
+		l.persistCoverage()
+	}
 	return rep, err
 }
 
@@ -696,6 +775,9 @@ func (l *Lake) MaintenanceStatus() maintain.Status {
 		if nr := l.sched.NextRun(); !nr.IsZero() {
 			st.NextRun = &nr
 		}
+	}
+	if l.pers != nil {
+		st.Durability = l.pers.status()
 	}
 	return st
 }
@@ -1037,7 +1119,26 @@ func (l *Lake) Derive(ctx context.Context, user, activity string, inputs []strin
 	// Share ingestMu with Ingest so a concurrent ingest cannot slip a
 	// same-named table in between the existence check and the Create.
 	l.ingestMu.Lock()
-	defer l.ingestMu.Unlock()
+	if err := l.deriveLocked(activity, user, inputs, output); err != nil {
+		l.ingestMu.Unlock()
+		return err
+	}
+	l.persistRecord(&walRecord{
+		Kind: recDerive, Name: output.Name, Activity: activity, User: user,
+		Inputs: inputs, CSV: table.ToCSV(output),
+	})
+	l.ingestMu.Unlock()
+	if err := l.Tracker.Derive(activity, "lake", user, inputs, output.Name); err != nil {
+		return lakeerr.Wrap(lakeerr.CodeInternal, err)
+	}
+	return nil
+}
+
+// deriveLocked stores a derived table and updates the bookkeeping —
+// the shared body of live Derive and persistence replay (which rebuilds
+// the lineage edges from audit records instead of Tracker.Derive).
+// ingestMu must be held in live operation.
+func (l *Lake) deriveLocked(activity, user string, inputs []string, output *table.Table) error {
 	if l.Poly.Rel.Has(output.Name) {
 		return lakeerr.Errorf(lakeerr.CodeConflict, "%w: table %s", ErrExists, output.Name)
 	}
@@ -1059,6 +1160,10 @@ func (l *Lake) Derive(ctx context.Context, user, activity string, inputs []strin
 	// Maintain pass, so the lake is stale.
 	l.nameToPath[output.Name] = output.Name
 	l.ingestGen++
+	l.deriveLog = append(l.deriveLog, deriveMeta{
+		name: output.Name, activity: activity, user: user,
+		inputs: append([]string(nil), inputs...),
+	})
 	l.mu.Unlock()
 	// Derived tables are query outputs over already-indexed data; their
 	// columns shift the corpus statistics the discovery indexes were
@@ -1066,8 +1171,89 @@ func (l *Lake) Derive(ctx context.Context, user, activity string, inputs []strin
 	// so the next pass rebuilds from scratch instead of approximating
 	// an incremental add.
 	l.planner.ForceFull("derive")
-	if err := l.Tracker.Derive(activity, "lake", user, inputs, output.Name); err != nil {
+	return nil
+}
+
+// Evict removes an ingested dataset from the lake: raw bytes, parsed
+// model-store form, catalog entry, metadata graph, and its contribution
+// to the discovery indexes. The index updates are in-place, so the next
+// maintenance pass stays incremental — eviction no longer forces a full
+// rebuild. Only curators and operations may evict; the removal is
+// recorded in provenance as a discard event and in the WAL.
+func (l *Lake) Evict(ctx context.Context, user, path string) error {
+	role, err := l.roleOf(user)
+	if err != nil {
+		return err
+	}
+	if role != RoleCurator && role != RoleOperations {
+		return lakeerr.Errorf(lakeerr.CodeUnauthorized,
+			"%w: %s needs %s or %s role", ErrNotAuthorized, user, RoleCurator, RoleOperations)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	// ingestMu serializes against a re-ingest of the same path; maintMu
+	// keeps a maintenance pass from indexing the dataset mid-removal.
+	l.ingestMu.Lock()
+	l.maintMu.Lock()
+	if err := l.evictLocked(path); err != nil {
+		l.maintMu.Unlock()
+		l.ingestMu.Unlock()
+		return err
+	}
+	l.persistRecord(&walRecord{Kind: recEvict, Path: path, User: user})
+	l.maintMu.Unlock()
+	l.ingestMu.Unlock()
+	l.Tracker.Discard(path, "lake", user)
+	return nil
+}
+
+// evictLocked removes the dataset everywhere — the shared body of live
+// Evict and persistence replay. In live operation ingestMu and maintMu
+// must both be held; replay runs it before the lake is shared, lockless.
+func (l *Lake) evictLocked(path string) error {
+	pl, ok := l.Poly.PlacementOf(path)
+	if !ok {
+		return lakeerr.Errorf(lakeerr.CodeNotFound, "core: no dataset at %s", path)
+	}
+	name := pl.TableName
+	if name == "" {
+		name = pl.Collection
+	}
+	if err := l.Poly.Remove(path); err != nil {
 		return lakeerr.Wrap(lakeerr.CodeInternal, err)
+	}
+	l.Catalog.Remove(path)
+	l.GEMMS.Remove(path)
+	l.Handle.Remove(path)
+	l.mu.Lock()
+	if name != "" {
+		delete(l.nameToPath, name)
+	}
+	kept := l.ingestLog[:0]
+	for _, m := range l.ingestLog {
+		if m.path != path {
+			kept = append(kept, m)
+		}
+	}
+	l.ingestLog = kept
+	pend := l.pendingPromote[:0]
+	for _, p := range l.pendingPromote {
+		if p != path {
+			pend = append(pend, p)
+		}
+	}
+	l.pendingPromote = pend
+	ex := l.Explorer
+	l.mu.Unlock()
+	if name != "" {
+		// In-place index removal: the Explorer, the planner's coverage,
+		// and DS-kNN each drop the dataset so the next pass does not fall
+		// back to a full rebuild. No generation bump — nothing new needs
+		// indexing.
+		ex.Remove(name)
+		l.planner.Evict(name)
+		l.knn.Remove(name)
 	}
 	return nil
 }

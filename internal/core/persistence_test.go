@@ -1,0 +1,525 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"golake/internal/explore"
+	"golake/internal/persist"
+	"golake/internal/storage/filestore"
+	"golake/internal/table"
+	"golake/lakeerr"
+)
+
+// openPersistent opens a lake over dir backed by a fresh local
+// persistence backend rooted at dir/.golake — the same layout lakectl
+// uses. Each call makes a new backend handle, so reopening after a
+// "hard stop" (abandoning a lake without Close) works like a process
+// restart.
+func openPersistent(t *testing.T, dir string, opts ...Option) *Lake {
+	t.Helper()
+	b, err := persist.NewLocal(filepath.Join(dir, filestore.PersistDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, append([]Option{WithPersistence(b)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestPersistHardStopReopenServesIdenticalQuery is the headline
+// recovery property: ingest + maintain, hard-stop the process (no
+// Close, so no final snapshot), reopen from the WAL alone, and the
+// reopened lake serves byte-identical query results and plans its
+// first maintenance pass incrementally.
+func TestPersistHardStopReopenServesIdenticalQuery(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	l := openPersistent(t, dir)
+	l.AddUser("dana", RoleDataScientist)
+	l.AddUser("carl", RoleCurator)
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n2,20\n3,15\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Ingest(ctx, "raw/users.csv", []byte("id,name\n1,ann\n2,bo\n3,cy\n"), "crm", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want, err := l.QuerySQL(ctx, "dana", "SELECT id, total FROM orders ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := table.ToCSV(want)
+
+	// Hard stop: l is abandoned without Close.
+	re := openPersistent(t, dir)
+	defer re.Close()
+	got, err := re.QuerySQL(ctx, "dana", "SELECT id, total FROM orders ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCSV := table.ToCSV(got); gotCSV != wantCSV {
+		t.Errorf("reopened query = %q, want byte-identical %q", gotCSV, wantCSV)
+	}
+	st := re.MaintenanceStatus()
+	if st.Durability == nil {
+		t.Fatal("no durability status on a persistent lake")
+	}
+	if st.Durability.Replay == nil || st.Durability.Replay.WALRecords == 0 {
+		t.Errorf("replay stats = %+v, want WAL records replayed", st.Durability.Replay)
+	}
+	// The coverage checkpoint written after Maintain must make the first
+	// pass after reopen incremental — only the new dataset is indexed.
+	if _, err := re.Ingest(ctx, "raw/extra.csv", []byte("id,v\n1,2\n2,3\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := re.MaintainIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "incremental" {
+		t.Errorf("first pass after reopen = %s (%s), want incremental", rep.Mode, rep.Reason)
+	}
+	if rep.DatasetsReindexed != 1 {
+		t.Errorf("reindexed %d datasets, want 1", rep.DatasetsReindexed)
+	}
+}
+
+func TestPersistCleanCloseReopenResumesIncrementally(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	l := openPersistent(t, dir)
+	l.AddUser("dana", RoleDataScientist)
+	for name, csv := range map[string]string{
+		"orders": "id,total\n1,10\n2,20\n3,15\n4,8\n",
+		"users":  "id,name\n1,ann\n2,bo\n3,cy\n4,dee\n",
+		"items":  "sku,qty\na,1\nb,2\n",
+	} {
+		if _, err := l.Ingest(ctx, "raw/"+name+".csv", []byte(csv), "src", "dana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openPersistent(t, dir)
+	defer re.Close()
+	st := re.MaintenanceStatus()
+	if st.Durability == nil || st.Durability.Replay == nil {
+		t.Fatal("no replay stats after reopen")
+	}
+	if st.Durability.Replay.SnapshotDatasets != 3 {
+		t.Errorf("snapshot datasets = %d, want 3", st.Durability.Replay.SnapshotDatasets)
+	}
+	// Exploration answers immediately from the indexes rebuilt out of
+	// the restored coverage — no maintenance pass needed first.
+	q, err := re.Poly.Rel.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := re.Explore(ctx, "dana", explore.Request{Mode: explore.ModeJoinColumn, Query: q, Column: "id", K: 5})
+	if err != nil {
+		t.Fatalf("explore before first pass: %v", err)
+	}
+	if len(res) == 0 {
+		t.Error("explore found nothing; index not rebuilt from coverage")
+	}
+	if _, err := re.Ingest(ctx, "raw/extra.csv", []byte("id,v\n1,2\n"), "src", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := re.MaintainIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "incremental" || rep.DatasetsReindexed != 1 {
+		t.Errorf("pass = %s/%d reindexed (%s), want incremental/1", rep.Mode, rep.DatasetsReindexed, rep.Reason)
+	}
+}
+
+func TestPersistTornWALTailDroppedNotFatal(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	l := openPersistent(t, dir)
+	l.AddUser("dana", RoleDataScientist)
+	if _, err := l.Ingest(ctx, "raw/a.csv", []byte("x,y\n1,2\n"), "src", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Ingest(ctx, "raw/b.csv", []byte("x,z\n1,3\n"), "src", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	// Hard stop, then tear the WAL tail as a crashed partial write
+	// would.
+	walPath := filepath.Join(dir, filestore.PersistDir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, int64(len(data)-3)); err != nil {
+		t.Fatal(err)
+	}
+	re := openPersistent(t, dir)
+	defer re.Close()
+	st := re.MaintenanceStatus()
+	if st.Durability == nil || st.Durability.Replay == nil || st.Durability.Replay.TornBytes == 0 {
+		t.Errorf("replay = %+v, want torn bytes reported", st.Durability.Replay)
+	}
+	// The torn record was the tail (b's audit event); both datasets
+	// themselves survived.
+	for _, p := range []string{"raw/a.csv", "raw/b.csv"} {
+		if _, ok := re.Poly.PlacementOf(p); !ok {
+			t.Errorf("%s lost in torn-tail recovery", p)
+		}
+	}
+}
+
+// TestPersistKillAtEveryWALByte is the kill-at-every-record harness:
+// the WAL of a small lake is truncated at every frame boundary and at
+// every byte offset inside the tail record, and each truncation must
+// reopen cleanly with exactly the datasets whose ingest records
+// survived complete — the torn tail is dropped, never fatal.
+func TestPersistKillAtEveryWALByte(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	l := openPersistent(t, dir)
+	l.AddUser("dana", RoleDataScientist)
+	if _, err := l.Ingest(ctx, "raw/a.csv", []byte("x,y\n1,2\n"), "src", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Ingest(ctx, "raw/b.csv", []byte("x,z\n1,3\n"), "src", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.ReadFile(filepath.Join(dir, filestore.PersistDir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int
+	for off := 0; off+8 <= len(wal); {
+		n := int(binary.LittleEndian.Uint32(wal[off:]))
+		if off+8+n > len(wal) {
+			break
+		}
+		off += 8 + n
+		ends = append(ends, off)
+	}
+	if len(ends) < 3 || ends[len(ends)-1] != len(wal) {
+		t.Fatalf("unexpected wal shape: %d frames over %d bytes", len(ends), len(wal))
+	}
+	cuts := append([]int{0}, ends[:len(ends)-1]...)
+	for c := ends[len(ends)-2] + 1; c <= len(wal); c++ {
+		cuts = append(cuts, c)
+	}
+	for _, cut := range cuts {
+		// A fresh directory holding only the truncated WAL: replay alone
+		// must reconstruct the lake.
+		cdir := t.TempDir()
+		pdir := filepath.Join(cdir, filestore.PersistDir)
+		if err := os.MkdirAll(pdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(pdir, "wal.log"), wal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantIngests := 0
+		frames, _ := persist.DecodeFrames(wal[:cut])
+		for _, payload := range frames {
+			var rec struct {
+				Kind string `json:"kind"`
+			}
+			if json.Unmarshal(payload, &rec) == nil && rec.Kind == "ingest" {
+				wantIngests++
+			}
+		}
+		re := openPersistent(t, cdir) // Fatal inside if the open fails
+		if got := len(re.Poly.Placements()); got != wantIngests {
+			t.Errorf("cut at %d/%d: %d datasets recovered, want %d", cut, len(wal), got, wantIngests)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("cut at %d: close: %v", cut, err)
+		}
+	}
+}
+
+func TestPersistMemoryBackendKeepsDerivedAndAudit(t *testing.T) {
+	ctx := context.Background()
+	mem := persist.NewMemory()
+	l, err := Open(t.TempDir(), WithPersistence(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddUser("dana", RoleDataScientist)
+	l.AddUser("gov", RoleGovernance)
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n2,30\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	derived, _ := table.ParseCSV("big_orders", "id,total\n2,30\n")
+	if err := l.Derive(ctx, "dana", "filter_big", []string{"raw/orders.csv"}, derived); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.QuerySQL(ctx, "dana", "SELECT id FROM orders"); err != nil {
+		t.Fatal(err)
+	}
+	wantAudit, err := l.Audit(ctx, "gov", "raw/orders.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDerived := table.ToCSV(derived)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The memory backend survives Close readable, standing in for a
+	// shared remote store across lake generations.
+	re, err := Open(t.TempDir(), WithPersistence(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.roleOf("dana"); err != nil {
+		t.Errorf("user lost: %v", err)
+	}
+	got, err := re.Poly.Rel.Table("big_orders")
+	if err != nil {
+		t.Fatalf("derived table lost: %v", err)
+	}
+	if table.ToCSV(got) != wantDerived {
+		t.Errorf("derived table = %q, want %q", table.ToCSV(got), wantDerived)
+	}
+	up, err := re.Lineage(ctx, "big_orders")
+	if err != nil || len(up) != 1 || up[0] != "raw/orders.csv" {
+		t.Errorf("lineage = %v, %v", up, err)
+	}
+	gotAudit, err := re.Audit(ctx, "gov", "raw/orders.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotAudit) != len(wantAudit) {
+		t.Fatalf("audit trail = %d events, want %d", len(gotAudit), len(wantAudit))
+	}
+	for i := range wantAudit {
+		w, g := wantAudit[i], gotAudit[i]
+		if g.Kind != w.Kind || g.User != w.User || g.Seq != w.Seq || !g.At.Equal(w.At) {
+			t.Errorf("audit[%d] = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestPersistEvictSurvivesReplay(t *testing.T) {
+	ctx := context.Background()
+	mem := persist.NewMemory()
+	l, err := Open(t.TempDir(), WithPersistence(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddUser("dana", RoleDataScientist)
+	l.AddUser("carl", RoleCurator)
+	for _, p := range []string{"raw/a.csv", "raw/b.csv"} {
+		if _, err := l.Ingest(ctx, p, []byte("x,y\n1,2\n"), "src", "dana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Evict(ctx, "carl", "raw/a.csv"); err != nil {
+		t.Fatal(err)
+	}
+	// Hard stop: the eviction exists only as a WAL record.
+	re, err := Open(t.TempDir(), WithPersistence(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok := re.Poly.PlacementOf("raw/a.csv"); ok {
+		t.Error("evicted dataset came back after replay")
+	}
+	if _, ok := re.Poly.PlacementOf("raw/b.csv"); !ok {
+		t.Error("surviving dataset lost")
+	}
+}
+
+func TestEvictKeepsMaintenanceIncremental(t *testing.T) {
+	ctx := context.Background()
+	l := testLake(t)
+	for name, csv := range map[string]string{
+		"orders": "id,total\n1,10\n2,20\n3,15\n4,8\n",
+		"users":  "id,name\n1,ann\n2,bo\n3,cy\n4,dee\n",
+		"items":  "sku,qty\na,1\nb,2\n",
+	} {
+		if _, err := l.Ingest(ctx, "raw/"+name+".csv", []byte(csv), "src", "dana"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Evict(ctx, "carl", "raw/users.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Poly.PlacementOf("raw/users.csv"); ok {
+		t.Error("placement survived eviction")
+	}
+	if l.Poly.Rel.Has("users") {
+		t.Error("table survived eviction")
+	}
+	if _, err := l.Catalog.Entry("raw/users.csv"); err == nil {
+		t.Error("catalog entry survived eviction")
+	}
+	if _, err := l.GEMMS.Object("raw/users.csv"); err == nil {
+		t.Error("metadata survived eviction")
+	}
+	// The whole point of incremental eviction: the next pass must not
+	// fall back to a full rebuild.
+	rep, err := l.MaintainIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "incremental" {
+		t.Errorf("pass after evict = %s (%s), want incremental", rep.Mode, rep.Reason)
+	}
+	if rep.DatasetsReindexed != 0 {
+		t.Errorf("reindexed %d datasets after evict, want 0", rep.DatasetsReindexed)
+	}
+	q, err := l.Poly.Rel.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Explore(ctx, "dana", explore.Request{Mode: explore.ModeJoinColumn, Query: q, Column: "id", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Table == "users" {
+			t.Error("evicted table still in exploration index")
+		}
+	}
+	// Data scientists cannot evict; unknown paths are NotFound.
+	if err := l.Evict(ctx, "dana", "raw/orders.csv"); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("unauthorized evict = %v", err)
+	}
+	if err := l.Evict(ctx, "carl", "raw/nope.csv"); lakeerr.CodeOf(err) != lakeerr.CodeNotFound {
+		t.Errorf("missing evict = %v", err)
+	}
+}
+
+// TestCloseMidPassDrainsScheduler closes the lake while the 1ms
+// auto-maintenance scheduler is mid-flight over freshly ingested data:
+// Close must drain the pass before the final snapshot, the final
+// snapshot must carry every ingest, and a second Close is a no-op.
+func TestCloseMidPassDrainsScheduler(t *testing.T) {
+	ctx := context.Background()
+	mem := persist.NewMemory()
+	l, err := Open(t.TempDir(), WithPersistence(mem), WithAutoMaintain(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddUser("dana", RoleDataScientist)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := l.Ingest(ctx, fmt.Sprintf("raw/t%d_%d.csv", i, j), []byte("id,v\n1,2\n"), "src", "dana"); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Passes fire every millisecond, so Close almost certainly lands
+	// mid-pass; it must block on the drain, not race it.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	re, err := Open(t.TempDir(), WithPersistence(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(re.Poly.Placements()); got != 20 {
+		t.Errorf("recovered %d datasets, want 20", got)
+	}
+}
+
+func TestHTTPDurabilityStatusAndEvict(t *testing.T) {
+	ctx := context.Background()
+	l, err := Open(t.TempDir(), WithPersistence(persist.NewMemory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.AddUser("dana", RoleDataScientist)
+	l.AddUser("carl", RoleCurator)
+	if _, err := l.Ingest(ctx, "raw/orders.csv", []byte("id,total\n1,10\n"), "erp", "dana"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(l.HTTPHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/maintenance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Durability *struct {
+			Backend    string `json:"backend"`
+			WALRecords uint64 `json:"wal_records"`
+		} `json:"durability"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Durability == nil || st.Durability.Backend != "memory" {
+		t.Fatalf("durability over HTTP = %+v, want memory backend", st.Durability)
+	}
+	if st.Durability.WALRecords == 0 {
+		t.Error("wal_records = 0, want the ingest counted")
+	}
+
+	del := func(path, user string) *http.Response {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/datasets?path="+path, nil)
+		if user != "" {
+			req.Header.Set("X-Lake-User", user)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := del("raw/orders.csv", "dana"); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("evict as data scientist = %d, want 403", resp.StatusCode)
+	}
+	if resp := del("", "carl"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("evict without path = %d, want 400", resp.StatusCode)
+	}
+	if resp := del("raw/orders.csv", "carl"); resp.StatusCode != http.StatusOK {
+		t.Errorf("evict as curator = %d, want 200", resp.StatusCode)
+	}
+	if _, ok := l.Poly.PlacementOf("raw/orders.csv"); ok {
+		t.Error("dataset survived HTTP eviction")
+	}
+	if resp := del("raw/orders.csv", "carl"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double evict = %d, want 404", resp.StatusCode)
+	}
+}

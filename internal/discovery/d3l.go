@@ -84,6 +84,19 @@ func (d *D3L) Index(tables []*table.Table) error {
 	return nil
 }
 
+// Remove drops every indexed column of one table from the profiles and
+// both LSH indexes. The corpus-trained embedding model keeps the evicted
+// columns' contribution until the next full rebuild — an accepted
+// approximation, squared up when a full pass retrains it.
+func (d *D3L) Remove(tableName string) {
+	for _, key := range d.tables[tableName] {
+		delete(d.profiles, key)
+		d.nameLSH.Remove(key)
+		d.valueLSH.Remove(key)
+	}
+	delete(d.tables, tableName)
+}
+
 func (d *D3L) profile(tableName string, c *table.Column) *d3lProfile {
 	vals := textualValues(c, 0)
 	p := &d3lProfile{

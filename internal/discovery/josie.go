@@ -56,6 +56,17 @@ func (j *JOSIE) Index(tables []*table.Table) error {
 	return nil
 }
 
+// Remove drops every indexed column of one table — the incremental
+// eviction path, so removing a dataset does not force a corpus-wide
+// re-index.
+func (j *JOSIE) Remove(tableName string) {
+	for _, key := range j.tablesOf[tableName] {
+		j.index.Remove(key)
+		delete(j.cols, key)
+	}
+	delete(j.tablesOf, tableName)
+}
+
 // JoinableColumns implements JoinSearcher: exact top-k overlap search
 // for one query column.
 func (j *JOSIE) JoinableColumns(query *table.Table, column string, k int) ([]ColumnMatch, error) {

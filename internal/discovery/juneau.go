@@ -71,6 +71,21 @@ func (j *Juneau) Index(tables []*table.Table) error {
 	return nil
 }
 
+// Remove drops one table's profile.
+func (j *Juneau) Remove(tableName string) {
+	if _, ok := j.indexed[tableName]; !ok {
+		return
+	}
+	delete(j.indexed, tableName)
+	kept := j.order[:0]
+	for _, name := range j.order {
+		if name != tableName {
+			kept = append(kept, name)
+		}
+	}
+	j.order = kept
+}
+
 func juneauProfileOf(t *table.Table) *juneauProfile {
 	p := &juneauProfile{
 		name:     t.Name,

@@ -142,6 +142,38 @@ func (e *Explorer) addLocked(tables []*table.Table) error {
 	return nil
 }
 
+// Remove deletes one table from the corpus and every mode index — the
+// incremental eviction counterpart of Add, so dropping a dataset does
+// not force a full rebuild. Removing an unindexed table is a no-op.
+func (e *Explorer) Remove(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.josie == nil {
+		return
+	}
+	if _, ok := e.corpus[name]; !ok {
+		return
+	}
+	delete(e.corpus, name)
+	e.josie.Remove(name)
+	e.d3l.Remove(name)
+	for _, j := range e.juneau {
+		j.Remove(name)
+	}
+}
+
+// Tables returns the indexed table names, sorted.
+func (e *Explorer) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.corpus))
+	for name := range e.corpus {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Size reports how many tables the indexes cover.
 func (e *Explorer) Size() int {
 	e.mu.RLock()

@@ -238,3 +238,38 @@ func TestConcurrentAddAndExplore(t *testing.T) {
 		t.Errorf("size = %d, want %d", got, len(c.Tables))
 	}
 }
+
+func TestRemoveDropsTableFromEveryMode(t *testing.T) {
+	e, c := indexedExplorer(t)
+	victim := c.Tables[1].Name
+	e.Remove(victim)
+	if got := e.Size(); got != len(c.Tables)-1 {
+		t.Errorf("size = %d, want %d", got, len(c.Tables)-1)
+	}
+	for _, name := range e.Tables() {
+		if name == victim {
+			t.Fatal("removed table still listed")
+		}
+	}
+	q := c.Tables[0]
+	reqs := []Request{
+		{Mode: ModeJoinColumn, Query: q, Column: c.KeyColumn[q.Name], K: len(c.Tables)},
+		{Mode: ModePopulate, Query: q, K: len(c.Tables)},
+		{Mode: ModeTask, Query: q, Task: discovery.TaskAugment, K: len(c.Tables)},
+	}
+	for _, req := range reqs {
+		res, err := e.Explore(req)
+		if err != nil {
+			t.Fatalf("mode %v: %v", req.Mode, err)
+		}
+		for _, r := range res {
+			if r.Table == victim {
+				t.Errorf("mode %v still returns removed table", req.Mode)
+			}
+		}
+	}
+	// Removing an unknown table is a no-op, not a panic.
+	e.Remove("no-such-table")
+	// Removing from a never-indexed explorer is safe too.
+	NewExplorer().Remove("x")
+}

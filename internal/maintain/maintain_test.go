@@ -294,3 +294,50 @@ func TestPlannerForceDuringListingSurvivesCommit(t *testing.T) {
 		t.Fatalf("plan after listing-race derive = %+v, want full/derive", next)
 	}
 }
+
+func TestPlannerRestoreResumesIncrementally(t *testing.T) {
+	p := NewPlanner()
+	p.Restore([]string{"a", "b"}, true)
+	if want := []string{"a", "b"}; !reflect.DeepEqual(p.Covered(), want) {
+		t.Fatalf("Covered = %v, want %v", p.Covered(), want)
+	}
+	plan := p.Plan([]string{"a", "b", "c"})
+	if plan.Full {
+		t.Fatalf("post-restore plan = %+v, want incremental", plan)
+	}
+	if want := []string{"c"}; !reflect.DeepEqual(plan.New, want) {
+		t.Errorf("plan.New = %v, want %v", plan.New, want)
+	}
+}
+
+func TestPlannerRestoreClearsPendingForce(t *testing.T) {
+	p := NewPlanner()
+	p.ForceFull("derive")
+	p.Restore([]string{"a"}, true)
+	if plan := p.Plan([]string{"a"}); plan.Full {
+		t.Errorf("plan after restore = %+v, want incremental", plan)
+	}
+}
+
+func TestPlannerRestoreUnprimedStaysFirstPass(t *testing.T) {
+	p := NewPlanner()
+	p.Restore(nil, false)
+	if plan := p.Plan([]string{"a"}); !plan.Full || plan.Reason != "first-pass" {
+		t.Errorf("unprimed plan = %+v, want full first-pass", plan)
+	}
+}
+
+func TestPlannerEvictDropsCoverageWithoutFull(t *testing.T) {
+	p := NewPlanner()
+	p.Commit(p.Plan([]string{"a", "b"}), []string{"a", "b"})
+	p.Evict("b")
+	// The dataset is gone from both the listing and coverage: the next
+	// plan must not misread that as an untracked eviction.
+	plan := p.Plan([]string{"a"})
+	if plan.Full || len(plan.New) != 0 {
+		t.Fatalf("post-Evict plan = %+v, want empty incremental", plan)
+	}
+	if got := p.CoveredCount(); got != 1 {
+		t.Errorf("covered = %d, want 1", got)
+	}
+}

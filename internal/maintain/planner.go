@@ -155,3 +155,43 @@ func (p *Planner) CoveredCount() int {
 	defer p.mu.Unlock()
 	return len(p.covered)
 }
+
+// Covered returns the covered dataset names, sorted. Persistence
+// checkpoints serialize this so a reopened lake resumes incrementally.
+func (p *Planner) Covered() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.covered))
+	for name := range p.covered {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Restore replaces the planner's coverage with a persisted set, as if a
+// pass over exactly those datasets had committed. Replay calls it after
+// rebuilding indexes from a snapshot or coverage record; with primed
+// set, the reopened lake's first pass plans incrementally instead of
+// "first-pass" full. Any pending force is cleared — the restored
+// coverage is the restored truth.
+func (p *Planner) Restore(covered []string, primed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.covered = make(map[string]bool, len(covered))
+	for _, name := range covered {
+		p.covered[name] = true
+	}
+	p.primed = primed
+	p.force = ""
+}
+
+// Evict drops one dataset from coverage without forcing a full rebuild.
+// Callers that can delete the dataset from every index incrementally
+// (Explorer.Remove and friends) use this so the disappearance is not
+// misread by the next Plan as an untracked eviction.
+func (p *Planner) Evict(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.covered, name)
+}

@@ -39,6 +39,38 @@ type Status struct {
 	// a scheduler is attached.
 	LastPassTime *time.Time `json:"last_pass_time,omitempty"`
 	NextRun      *time.Time `json:"next_run,omitempty"`
+	// Durability is present when a persistence backend is attached.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
+}
+
+// DurabilityStatus reports the persistence backend's health on the
+// maintenance wire: which backend, how much un-checkpointed WAL has
+// accumulated, when the last snapshot landed, and what the open-time
+// replay did.
+type DurabilityStatus struct {
+	Backend       string `json:"backend"`
+	WALBytes      int64  `json:"wal_bytes"`
+	WALRecords    uint64 `json:"wal_records"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	// LastSnapshot is absent until the first checkpoint of this process.
+	LastSnapshot *time.Time `json:"last_snapshot,omitempty"`
+	// Replay describes what Open recovered; absent when the lake started
+	// from an empty backend.
+	Replay *ReplayStats `json:"replay,omitempty"`
+}
+
+// ReplayStats summarizes one open-time recovery.
+type ReplayStats struct {
+	// SnapshotDatasets is how many datasets the snapshot restored.
+	SnapshotDatasets int `json:"snapshot_datasets"`
+	// WALRecords is how many intact log records replayed; WALSkipped how
+	// many were idempotent duplicates of snapshot state (a crash between
+	// checkpoint rename and log truncation).
+	WALRecords uint64 `json:"wal_records"`
+	WALSkipped uint64 `json:"wal_skipped"`
+	// TornBytes is the size of the corrupt/incomplete log tail dropped by
+	// checksum verification; non-zero means the process died mid-append.
+	TornBytes int64 `json:"torn_bytes"`
 }
 
 // Target is the maintenance surface the scheduler drives. Pass must be

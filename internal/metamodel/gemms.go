@@ -64,6 +64,13 @@ func (m *GEMMSModel) Register(obj *MetadataObject) {
 	m.objects[obj.ID] = obj
 }
 
+// Remove deletes a dataset's metadata object; unknown IDs are a no-op.
+func (m *GEMMSModel) Remove(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.objects, id)
+}
+
 // FromExtraction converts an extraction result into a metadata object,
 // the ingestion-time handoff between extractor and metamodel.
 func FromExtraction(md *extract.Metadata) *MetadataObject {

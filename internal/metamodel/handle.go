@@ -109,6 +109,42 @@ func (h *HANDLE) DataInZone(zone string) []string {
 	return out
 }
 
+// Remove deletes a dataset and its whole HANDLE subgraph: the data
+// node, its element nodes, every metadata entity describing any of
+// them, and those entities' property nodes. Removing an unregistered
+// dataset is a no-op.
+func (h *HANDLE) Remove(id string) {
+	root := dataID(id)
+	if !h.g.HasNode(root) {
+		return
+	}
+	// Collect the data nodes first (root + elements), then the metadata
+	// and property entities hanging off each.
+	data := []string{root}
+	for _, e := range h.g.InEdges(root) {
+		if e.Label == edgePartOf {
+			data = append(data, e.From)
+		}
+	}
+	var doomed []string
+	for _, d := range data {
+		for _, e := range h.g.InEdges(d) {
+			if e.Label != edgeDescribes {
+				continue
+			}
+			for _, pe := range h.g.OutEdges(e.From) {
+				if pe.Label == edgeHasProperty {
+					doomed = append(doomed, pe.To)
+				}
+			}
+			doomed = append(doomed, e.From)
+		}
+	}
+	for _, n := range append(doomed, data...) {
+		_ = h.g.RemoveNode(n)
+	}
+}
+
 // MetadataEntry is one resolved metadata record with its properties.
 type MetadataEntry struct {
 	ID       string

@@ -133,6 +133,15 @@ func (c *Catalog) put(e *CatalogEntry) error {
 	return nil
 }
 
+// Remove deletes a dataset's entry and its cluster membership. Removing
+// an uncataloged dataset is a no-op.
+func (c *Catalog) Remove(id string) {
+	if e, err := c.Entry(id); err == nil {
+		c.kv.Delete(fmt.Sprintf("cluster/%s/%s", e.Cluster, e.ID))
+	}
+	c.kv.Delete("entry/" + id)
+}
+
 // Versions lists the dataset IDs in a cluster, sorted — the "cluster
 // different versions of the same dataset" organization of GOODS.
 func (c *Catalog) Versions(cluster string) []string {

@@ -156,6 +156,24 @@ func (d *DSKNN) Add(t *table.Table) int {
 	return cat
 }
 
+// Remove drops a dataset's profile and category assignment. Categories
+// opened because of it stay numbered — classification of the remaining
+// members is unaffected.
+func (d *DSKNN) Remove(name string) {
+	if _, ok := d.features[name]; !ok {
+		return
+	}
+	delete(d.features, name)
+	delete(d.categories, name)
+	kept := d.order[:0]
+	for _, n := range d.order {
+		if n != name {
+			kept = append(kept, n)
+		}
+	}
+	d.order = kept
+}
+
 // Category returns the assigned category of a dataset (-1 if unknown).
 func (d *DSKNN) Category(name string) int {
 	c, ok := d.categories[name]

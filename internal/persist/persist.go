@@ -1,0 +1,70 @@
+// Package persist is the lake's pluggable durability layer: a byte-level
+// Backend contract (write-ahead log + snapshot slots) and the record
+// framing the lake's logical WAL rides on. The split mirrors the two
+// related systems this subsystem is modeled after — ranger keeps several
+// catalog backends (sqlite/json/rest) behind one interface, icebox
+// separates its catalog from interchangeable file stores
+// (local/memory/minio) — so the two shipped backends (Memory for tests,
+// Local for a directory on disk) can later be joined by sqlite or an
+// object store without touching the replay logic in core.
+//
+// The package is deliberately ignorant of what the records mean: the
+// lake serializes logical operations (ingest, derive, audit, evict,
+// coverage) to JSON, frames them with a length + CRC32 header via
+// EncodeFrame, and appends them through AppendWAL. Recovery reads the
+// snapshot, then DecodeFrames over the WAL bytes — a torn or corrupt
+// tail (a crash mid-append) is detected by the per-record checksum and
+// dropped, never fatal.
+package persist
+
+import "errors"
+
+// Sync selects the fsync discipline of a durable backend.
+type Sync int
+
+const (
+	// SyncNone leaves flushing to the OS: an OS crash can lose the WAL
+	// tail, but every completed append survives a process crash.
+	SyncNone Sync = iota
+	// SyncAlways fsyncs after every WAL append — the full-durability
+	// setting; BENCH_6.json prices the difference.
+	SyncAlways
+)
+
+// ErrClosed is returned by operations on a closed backend.
+var ErrClosed = errors.New("persist: backend closed")
+
+// Backend is one durable home for a lake's state: a single snapshot
+// slot plus an append-only write-ahead log. Implementations must make
+// Checkpoint atomic with respect to crashes — after a crash either the
+// old snapshot or the new one is readable, never a torn mix — and
+// AppendWAL durable to the degree their Sync policy promises.
+//
+// All methods must be safe for concurrent use; the lake serializes
+// appends against checkpoints itself, but status probes (WALSize) race
+// both.
+type Backend interface {
+	// Name identifies the backend kind ("memory", "local") for status
+	// surfaces.
+	Name() string
+	// ReadSnapshot returns the current snapshot bytes, or (nil, nil)
+	// when no snapshot has been checkpointed yet.
+	ReadSnapshot() ([]byte, error)
+	// ReadWAL returns the full WAL contents, or (nil, nil) when empty.
+	ReadWAL() ([]byte, error)
+	// AppendWAL appends one framed record to the log.
+	AppendWAL(frame []byte) error
+	// Checkpoint atomically installs a new snapshot and truncates the
+	// WAL: records appended before the call are subsumed by the
+	// snapshot, the log restarts empty.
+	Checkpoint(snapshot []byte) error
+	// WALSize reports the current WAL length in bytes.
+	WALSize() (int64, error)
+	// SnapshotSize reports the current snapshot length in bytes (0 when
+	// none).
+	SnapshotSize() (int64, error)
+	// Close releases resources. A closed backend rejects writes;
+	// backends meant for reuse across lake generations (Memory in
+	// tests) may keep their contents readable.
+	Close() error
+}

@@ -1,0 +1,52 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Each WAL record is framed as an 8-byte header — payload length then
+// CRC32 (IEEE) of the payload, both little-endian — followed by the
+// payload. The checksum is what makes recovery torn-write-tolerant: a
+// crash mid-append leaves a frame whose length outruns the file or
+// whose checksum disagrees, and DecodeFrames stops there instead of
+// replaying garbage.
+const frameHeaderLen = 8
+
+// EncodeFrame wraps one record payload in the length+CRC32 frame.
+func EncodeFrame(payload []byte) []byte {
+	out := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeaderLen:], payload)
+	return out
+}
+
+// DecodeFrames parses a WAL byte stream back into record payloads. It
+// stops at the first incomplete or corrupt frame — a torn tail from a
+// crash mid-append — and reports how many trailing bytes it dropped;
+// torn == 0 means the log ended exactly on a frame boundary. Decoding
+// never fails: a damaged log yields its intact prefix.
+func DecodeFrames(data []byte) (payloads [][]byte, torn int64) {
+	off := 0
+	for {
+		rest := len(data) - off
+		if rest == 0 {
+			return payloads, 0
+		}
+		if rest < frameHeaderLen {
+			return payloads, int64(rest)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > rest-frameHeaderLen {
+			return payloads, int64(rest)
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, int64(rest)
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderLen + n
+	}
+}

@@ -55,6 +55,36 @@ type Tracker struct {
 	events []Event
 	clock  func() time.Time
 	seq    int
+
+	hookMu sync.RWMutex
+	hook   func(Event)
+}
+
+// SetHook installs a callback fired once per newly captured event, in
+// capture order. The lake's persistence layer uses it to append audit
+// records to the WAL. The hook runs after the tracker's own lock is
+// released, so it may call back into Tracker methods; it must not block
+// for long (it is on the Ingest/Derive/Query path).
+func (t *Tracker) SetHook(hook func(Event)) {
+	t.hookMu.Lock()
+	defer t.hookMu.Unlock()
+	t.hook = hook
+}
+
+// fire delivers captured events to the hook, outside t.mu.
+func (t *Tracker) fire(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	t.hookMu.RLock()
+	hook := t.hook
+	t.hookMu.RUnlock()
+	if hook == nil {
+		return
+	}
+	for _, ev := range evs {
+		hook(ev)
+	}
 }
 
 // NewTracker creates a tracker; clock may be nil (wall clock).
@@ -88,9 +118,22 @@ func (t *Tracker) ensureActivity(id string) {
 // Ingest records the arrival of a new entity from a source system.
 func (t *Tracker) Ingest(entity, system, user string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.ensureEntity(entity)
-	t.record(EventIngest, entity, "", system, user)
+	ev := t.record(EventIngest, entity, "", system, user)
+	t.mu.Unlock()
+	t.fire([]Event{ev})
+}
+
+// Discard records the removal of an entity from the lake (eviction).
+// The graph node stays — lineage outlives the data, so downstream
+// entities keep their ancestry — but the audit trail shows who dropped
+// it and when.
+func (t *Tracker) Discard(entity, system, user string) {
+	t.mu.Lock()
+	t.ensureEntity(entity)
+	ev := t.record(EventDiscard, entity, "", system, user)
+	t.mu.Unlock()
+	t.fire([]Event{ev})
 }
 
 // Derive records that an activity consumed the input entities and
@@ -99,33 +142,66 @@ func (t *Tracker) Ingest(entity, system, user string) {
 // graphs.
 func (t *Tracker) Derive(activity, system, user string, inputs []string, output string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.ensureActivity(activity)
 	t.ensureEntity(output)
+	var evs []Event
 	for _, in := range inputs {
 		t.ensureEntity(in)
 		if _, err := t.g.AddEdge("e:"+in, "a:"+activity, "usedBy", nil); err != nil {
+			t.mu.Unlock()
 			return err
 		}
-		t.record(EventRead, in, activity, system, user)
+		evs = append(evs, t.record(EventRead, in, activity, system, user))
 	}
 	if _, err := t.g.AddEdge("a:"+activity, "e:"+output, "generated", nil); err != nil {
+		t.mu.Unlock()
 		return err
 	}
-	t.record(EventWrite, output, activity, system, user)
-	t.record(EventDerive, output, activity, system, user)
+	evs = append(evs, t.record(EventWrite, output, activity, system, user))
+	evs = append(evs, t.record(EventDerive, output, activity, system, user))
+	t.mu.Unlock()
+	t.fire(evs)
 	return nil
 }
 
 // Query records a read-only access (who queried the entity).
 func (t *Tracker) Query(entity, system, user string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if !t.g.HasNode("e:" + entity) {
+		t.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownEntity, entity)
 	}
-	t.record(EventQuery, entity, "", system, user)
+	ev := t.record(EventQuery, entity, "", system, user)
+	t.mu.Unlock()
+	t.fire([]Event{ev})
 	return nil
+}
+
+// Inject replays one persisted event into the tracker: the event is
+// appended verbatim (its Seq and At are preserved, the sequence counter
+// advanced past it) and the graph structure it implies is rebuilt —
+// EventRead adds the entity->activity edge, EventWrite the
+// activity->entity edge. EventDerive carries no edge of its own (its
+// Write twin already did), so injecting a full replayed log never
+// duplicates edges. The hook is NOT fired: replay must not re-append
+// what the WAL already holds.
+func (t *Tracker) Inject(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureEntity(ev.Entity)
+	if ev.Activity != "" {
+		t.ensureActivity(ev.Activity)
+	}
+	switch ev.Kind {
+	case EventRead:
+		_, _ = t.g.AddEdge("e:"+ev.Entity, "a:"+ev.Activity, "usedBy", nil)
+	case EventWrite:
+		_, _ = t.g.AddEdge("a:"+ev.Activity, "e:"+ev.Entity, "generated", nil)
+	}
+	t.events = append(t.events, ev)
+	if ev.Seq > t.seq {
+		t.seq = ev.Seq
+	}
 }
 
 // Upstream returns the entities the given entity transitively derives

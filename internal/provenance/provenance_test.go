@@ -2,6 +2,7 @@ package provenance
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -149,4 +150,63 @@ func containsStr(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+func TestHookFiresPerEvent(t *testing.T) {
+	tr := newTracker()
+	var got []Event
+	tr.SetHook(func(ev Event) { got = append(got, ev) })
+	tr.Ingest("a", "files", "alice")
+	if err := tr.Derive("job", "spark", "bob", []string{"a"}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Query("b", "sql", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	tr.Discard("a", "core", "ops")
+	kinds := make([]EventKind, len(got))
+	for i, ev := range got {
+		kinds[i] = ev.Kind
+	}
+	want := []EventKind{EventIngest, EventRead, EventWrite, EventDerive, EventQuery, EventDiscard}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("hook kinds = %v, want %v", kinds, want)
+	}
+	// Hooks may call back into the tracker: firing outside the lock.
+	tr.SetHook(func(ev Event) { _ = tr.Events() })
+	tr.Ingest("c", "files", "alice")
+}
+
+func TestInjectRebuildsGraphWithoutHookOrDuplicateEdges(t *testing.T) {
+	src := newTracker()
+	src.Ingest("a", "files", "alice")
+	if err := src.Derive("job", "spark", "bob", []string{"a"}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	dst := newTracker()
+	fired := 0
+	dst.SetHook(func(Event) { fired++ })
+	for _, ev := range src.Events() {
+		dst.Inject(ev)
+	}
+	if fired != 0 {
+		t.Fatalf("hook fired %d times during Inject", fired)
+	}
+	if !reflect.DeepEqual(dst.Events(), src.Events()) {
+		t.Fatalf("events diverge after inject:\n%+v\n%+v", dst.Events(), src.Events())
+	}
+	up, err := dst.Upstream("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a"}; !reflect.DeepEqual(up, want) {
+		t.Fatalf("Upstream(b) = %v, want %v", up, want)
+	}
+	// New events continue past the injected sequence numbers.
+	dst.Ingest("c", "files", "alice")
+	evs := dst.Events()
+	last := evs[len(evs)-1]
+	if last.Seq <= evs[len(evs)-2].Seq {
+		t.Fatalf("seq did not advance past injected events: %+v", last)
+	}
 }

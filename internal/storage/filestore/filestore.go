@@ -38,6 +38,11 @@ const (
 // ErrNotFound is returned for missing objects.
 var ErrNotFound = errors.New("filestore: object not found")
 
+// PersistDir is the reserved subdirectory name where a lake keeps its
+// durability files; the store refuses object paths under it and skips
+// it when recovering metadata.
+const PersistDir = ".golake"
+
 // ObjectInfo describes a stored object.
 type ObjectInfo struct {
 	Path     string
@@ -61,10 +66,18 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("filestore: open %s: %w", dir, err)
 	}
 	s := &Store{root: dir, meta: map[string]ObjectInfo{}}
-	// Recover metadata for any pre-existing objects.
+	// Recover metadata for any pre-existing objects. The reserved
+	// PersistDir subdirectory holds the lake's durability files (WAL,
+	// snapshot), not objects, and is never walked.
 	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() {
+		if err != nil {
 			return err
+		}
+		if info.IsDir() {
+			if info.Name() == PersistDir && p != dir {
+				return filepath.SkipDir
+			}
+			return nil
 		}
 		rel, relErr := filepath.Rel(dir, p)
 		if relErr != nil {
@@ -212,6 +225,9 @@ func (s *Store) cleanPath(p string) (string, error) {
 	clean := filepath.ToSlash(filepath.Clean("/" + p))[1:]
 	if clean == "" || clean == "." {
 		return "", fmt.Errorf("filestore: invalid path %q", p)
+	}
+	if clean == PersistDir || strings.HasPrefix(clean, PersistDir+"/") {
+		return "", fmt.Errorf("filestore: path %q is reserved for lake persistence", p)
 	}
 	return clean, nil
 }

@@ -203,6 +203,29 @@ func (p *Poly) ingestGraphJSON(data []byte) error {
 	return nil
 }
 
+// Remove deletes an ingested object everywhere it landed: the raw
+// bytes, any parsed model-store form, and the placement record. Graph
+// placements keep their merged nodes (the graph has no per-source
+// attribution to unmerge). Removing an unknown path returns
+// filestore.ErrNotFound.
+func (p *Poly) Remove(path string) error {
+	p.mu.Lock()
+	pl, ok := p.placements[path]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s", filestore.ErrNotFound, path)
+	}
+	delete(p.placements, path)
+	p.mu.Unlock()
+	switch pl.Target {
+	case TargetRelational:
+		_ = p.Rel.Drop(pl.TableName)
+	case TargetDocument:
+		_ = p.Docs.Drop(pl.Collection)
+	}
+	return p.Files.Delete(path)
+}
+
 // PlacementOf returns the placement recorded for a path.
 func (p *Poly) PlacementOf(path string) (Placement, bool) {
 	p.mu.RLock()
