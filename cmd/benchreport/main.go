@@ -9,10 +9,12 @@
 //
 // Without -only, every experiment runs in DESIGN.md order. With -json,
 // the fan-in (plain and ORDER BY — what default-on fan-in ships),
-// streaming, and ingest-durability (WAL off / WAL no-fsync / WAL
-// fsync) benchmarks run through testing.Benchmark and their
-// machine-readable results (ns/op, allocs/op, rows/s) are written to
-// BENCH_6.json (or -json-out) — the in-repo perf trajectory file.
+// streaming, ingest-durability (WAL off / WAL no-fsync / WAL fsync),
+// and metrics-overhead (identical drained query with the observability
+// layer on vs WithMetrics(false)) benchmarks run through
+// testing.Benchmark and their machine-readable results (ns/op,
+// allocs/op, rows/s) are written to BENCH_7.json (or -json-out) — the
+// in-repo perf trajectory file.
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment")
 	jsonOut := flag.Bool("json", false, "write machine-readable benchmark results instead of reports")
-	jsonPath := flag.String("json-out", "BENCH_6.json", "output path for -json")
+	jsonPath := flag.String("json-out", "BENCH_7.json", "output path for -json")
 	flag.Parse()
 	dir, err := os.MkdirTemp("", "golake-benchreport-*")
 	if err != nil {
@@ -44,6 +46,11 @@ func main() {
 			fatal(err)
 		}
 		results = append(results, ingest...)
+		overhead, err := bench.MetricsOverheadResults()
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, overhead...)
 		if err := bench.WriteBenchJSON(*jsonPath, results); err != nil {
 			fatal(err)
 		}

@@ -13,7 +13,9 @@
 //	lakectl -data DIR swamp                   metadata-coverage audit
 //	lakectl -data DIR lineage ENTITY          upstream provenance
 //	lakectl -data DIR status                  maintenance + durability status
+//	lakectl -data DIR -metrics status         + the Prometheus metrics dump
 //	lakectl -data DIR serve [ADDR]            REST v1 API server
+//	lakectl -data DIR -pprof :6060 serve      + net/http/pprof on a side port
 //	lakectl registry                          the Table 1 function registry
 //	lakectl demo                              synthetic end-to-end walkthrough
 //
@@ -34,8 +36,15 @@
 // output order deterministic at any width. -fanin pins the width
 // (-fanin 1 forces the sequential union), -fanin-buffer sizes the
 // per-source window, -explain prints the typed plan without running,
-// and -stats prints per-source execution counters to stderr after the
-// query. The flags build one query.Request behind the scenes.
+// and -stats prints per-source execution counters and the trace spans
+// (plan, open-sources, execute, sort) to stderr after the query. The
+// flags build one query.Request behind the scenes.
+//
+// Operability: the server exports Prometheus metrics at GET
+// /v1/metrics (status -metrics prints the same dump locally), tags
+// every response with an X-Request-ID, and -pprof ADDR serves the
+// net/http/pprof profiling handlers on a separate listener so
+// profiling stays off the data-plane port.
 package main
 
 import (
@@ -48,6 +57,7 @@ import (
 	"io/fs"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -81,7 +91,11 @@ func main() {
 	explain := flag.Bool("explain", false,
 		"print the typed query plan instead of executing")
 	stats := flag.Bool("stats", false,
-		"print per-source execution stats to stderr after a query")
+		"print per-source execution stats and trace spans to stderr after a query")
+	metricsFlag := flag.Bool("metrics", false,
+		"with status, also dump the lake's metrics in Prometheus text format")
+	pprofAddr := flag.String("pprof", "",
+		"with serve, expose net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -111,22 +125,25 @@ func main() {
 	qf := queryFlags{
 		fanIn: *fanIn, bufferRows: *fanInBuffer,
 		order: *orderBy, explain: *explain, stats: *stats,
+		metrics: *metricsFlag, pprofAddr: *pprofAddr,
 	}
 	if err := dispatch(ctx, lake, *user, cmd, args[1:], qf); err != nil {
 		fatal(err)
 	}
 }
 
-// queryFlags bundles the flags the query command folds into one
-// query.Request.
+// queryFlags bundles the per-command flags: the query knobs folded
+// into one query.Request, plus the status/serve operability switches.
 type queryFlags struct {
 	fanIn, bufferRows int
 	order             string
 	explain, stats    bool
+	metrics           bool
+	pprofAddr         string
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-order COLS] [-explain] [-stats] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-order COLS] [-explain] [-stats] [-metrics] [-pprof ADDR] COMMAND [ARGS]")
 	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage status serve registry demo")
 	os.Exit(2)
 }
@@ -262,7 +279,7 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 		}
 		return nil
 	case "status":
-		return status(lake)
+		return status(lake, qf.metrics)
 	case "serve":
 		addr := ":8080"
 		if len(args) > 0 {
@@ -271,7 +288,18 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 		if st := lake.MaintenanceStatus(); st.Auto {
 			fmt.Println("background maintenance on: ingested data becomes explorable without a manual pass (GET /v1/maintenance for status)")
 		}
-		fmt.Printf("serving lake REST v1 API on %s under /v1/* (X-Lake-User header selects the user; unversioned routes are deprecated aliases)\n", addr)
+		if qf.pprofAddr != "" {
+			// The blank net/http/pprof import registered its handlers on
+			// the default mux; serve them on their own listener so
+			// profiling never rides the data-plane port.
+			go func() {
+				fmt.Printf("serving net/http/pprof on %s/debug/pprof/\n", qf.pprofAddr)
+				if err := http.ListenAndServe(qf.pprofAddr, nil); !errors.Is(err, http.ErrServerClosed) {
+					fmt.Fprintln(os.Stderr, "lakectl: pprof:", err)
+				}
+			}()
+		}
+		fmt.Printf("serving lake REST v1 API on %s under /v1/* (X-Lake-User header selects the user; unversioned routes are deprecated aliases; Prometheus metrics on GET /v1/metrics)\n", addr)
 		srv := &http.Server{Addr: addr, Handler: lake.HTTPHandler()}
 		go func() {
 			// Ctrl-C cancels ctx (signal.NotifyContext in main); drain
@@ -347,6 +375,12 @@ func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string, qf qu
 		for _, s := range es.Sources {
 			fmt.Fprintf(os.Stderr, "source %s: %d rows pulled, blocked %s\n",
 				s.Source, s.Rows, s.Blocked.Round(time.Microsecond))
+		}
+		for _, sp := range es.Trace {
+			fmt.Fprintf(os.Stderr, "span %-14s %s\n", sp.Name, sp.Duration.Round(time.Microsecond))
+		}
+		if es.SortHeapRows > 0 {
+			fmt.Fprintf(os.Stderr, "sort heap high-water: %d rows\n", es.SortHeapRows)
 		}
 	}
 	return nil
@@ -440,8 +474,10 @@ func joinSearch(ctx context.Context, lake *golake.Lake, user, tableName, column 
 }
 
 // status prints the maintenance snapshot plus, on a persistent lake,
-// the durability state (mirrors GET /v1/maintenance).
-func status(lake *golake.Lake) error {
+// the durability state (mirrors GET /v1/maintenance). With -metrics it
+// also dumps the lake's registry in Prometheus text format — the same
+// bytes GET /v1/metrics serves.
+func status(lake *golake.Lake, metrics bool) error {
 	st := lake.MaintenanceStatus()
 	fmt.Printf("maintenance: passes=%d failures=%d covered=%d stale=%v auto=%v\n",
 		st.PassesRun, st.Failures, st.Covered, st.Stale, st.Auto)
@@ -449,21 +485,33 @@ func status(lake *golake.Lake) error {
 		fmt.Printf("last pass: mode=%s datasets=%d tables=%d\n",
 			st.LastPass.Mode, st.LastPass.Datasets, st.LastPass.Tables)
 	}
-	if st.Durability == nil {
+	if d := st.Durability; d == nil {
 		fmt.Println("durability: off (run with -persist)")
-		return nil
+	} else {
+		fmt.Printf("durability: backend=%s wal=%dB (%d records) snapshot=%dB\n",
+			d.Backend, d.WALBytes, d.WALRecords, d.SnapshotBytes)
+		if d.LastSnapshot != nil {
+			fmt.Printf("last snapshot: %s\n", d.LastSnapshot.Format(time.RFC3339))
+		}
+		if r := d.Replay; r != nil {
+			fmt.Printf("recovered: %d snapshot datasets + %d wal records (%d skipped, %d torn bytes)\n",
+				r.SnapshotDatasets, r.WALRecords, r.WALSkipped, r.TornBytes)
+		}
 	}
-	d := st.Durability
-	fmt.Printf("durability: backend=%s wal=%dB (%d records) snapshot=%dB\n",
-		d.Backend, d.WALBytes, d.WALRecords, d.SnapshotBytes)
-	if d.LastSnapshot != nil {
-		fmt.Printf("last snapshot: %s\n", d.LastSnapshot.Format(time.RFC3339))
-	}
-	if r := d.Replay; r != nil {
-		fmt.Printf("recovered: %d snapshot datasets + %d wal records (%d skipped, %d torn bytes)\n",
-			r.SnapshotDatasets, r.WALRecords, r.WALSkipped, r.TornBytes)
+	if metrics {
+		return dumpMetrics(lake)
 	}
 	return nil
+}
+
+// dumpMetrics renders the lake's metric registry to stdout.
+func dumpMetrics(lake *golake.Lake) error {
+	reg := lake.Metrics()
+	if reg == nil {
+		fmt.Println("metrics: disabled")
+		return nil
+	}
+	return reg.WritePrometheus(os.Stdout)
 }
 
 func printRegistry() {

@@ -161,6 +161,7 @@ import (
 	"golake/internal/discovery"
 	"golake/internal/explore"
 	"golake/internal/maintain"
+	"golake/internal/obs"
 	"golake/internal/persist"
 	"golake/internal/query"
 	"golake/internal/table"
@@ -264,6 +265,12 @@ type DurabilityStatus = maintain.DurabilityStatus
 // ReplayStats summarizes one open-time crash recovery.
 type ReplayStats = maintain.ReplayStats
 
+// MetricsRegistry is the lake's metric registry, returned by
+// Lake.Metrics (nil with WithMetrics(false)). WritePrometheus renders
+// it in the Prometheus text exposition format — the same bytes GET
+// /v1/metrics serves.
+type MetricsRegistry = obs.Registry
+
 // PersistenceBackend is the pluggable durability store a lake writes
 // its WAL and snapshots through; see NewMemoryBackend and
 // NewLocalBackend for the built-ins. The interface is storage-agnostic
@@ -327,8 +334,17 @@ func WithPushdown(enabled bool) Option { return core.WithPushdown(enabled) }
 // unlimited).
 func WithMaxResults(n int) Option { return core.WithMaxResults(n) }
 
-// WithLogger installs a structured logger for REST request logging.
+// WithLogger installs a structured logger: one access-log line per
+// REST request (request_id included), audit events for query / ingest /
+// derive / evict, and persistence + maintenance lifecycle events.
 func WithLogger(l *slog.Logger) Option { return core.WithLogger(l) }
+
+// WithMetrics toggles the lake's metric registry (on by default). The
+// registry covers the HTTP, query-engine, maintenance, and persistence
+// layers and is served in Prometheus text format at GET /v1/metrics;
+// Lake.Metrics exposes it in-process. Disabling removes all metric
+// bookkeeping and turns the endpoint into a 503.
+func WithMetrics(enabled bool) Option { return core.WithMetrics(enabled) }
 
 // WithFanIn pins the lake-wide fan-in default for Lake.Query requests
 // that leave QueryRequest.FanIn unset: workers member-store scans

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"golake/internal/core"
+	"golake/internal/query"
+	"golake/internal/table"
+	"golake/internal/workload"
+)
+
+// The metrics-overhead benchmark corpus: a few mid-size tables so the
+// query hot path dominates and the per-row metric bookkeeping is the
+// only variable between configurations.
+const (
+	obsBenchTables = 4
+	obsBenchRows   = 500
+)
+
+// MetricsOverheadResults measures the cost of the observability layer
+// on the query hot path: the identical drained query — per-source
+// metering, trace spans, and the close-time registry fold — run on a
+// lake with metrics enabled versus WithMetrics(false). The acceptance
+// bar for the trajectory file is single-digit-percent overhead.
+func MetricsOverheadResults() ([]BenchResult, error) {
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: obsBenchTables, JoinGroups: 2, RowsPerTable: obsBenchRows,
+		ExtraCols: 1, KeyVocab: 60, KeySample: 40, Seed: 23,
+	})
+	var out []BenchResult
+	for _, cfg := range []struct {
+		name    string
+		metrics bool
+	}{
+		{name: "query_metrics_on", metrics: true},
+		{name: "query_metrics_off"},
+	} {
+		cfg := cfg
+		dir, err := os.MkdirTemp("", "golake-obsbench-*")
+		if err != nil {
+			return nil, err
+		}
+		l, err := core.Open(dir, core.WithMetrics(cfg.metrics))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		ctx := context.Background()
+		l.AddUser("bench", core.RoleDataScientist)
+		for _, t := range c.Tables {
+			if _, err := l.Ingest(ctx, "raw/"+t.Name+".csv", []byte(table.ToCSV(t)), "bench", "bench"); err != nil {
+				l.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+		}
+		if _, err := l.Maintain(ctx); err != nil {
+			l.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		sql := "SELECT id FROM rel:" + c.Tables[0].Name
+		// As elsewhere in this package, b.Fatal only kills the bench
+		// goroutine, so failures re-surface as errors instead of zero
+		// rows in the trajectory file.
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := l.Query(ctx, "bench", query.Request{SQL: sql})
+				if err != nil {
+					benchErr = fmt.Errorf("%s: %w", cfg.name, err)
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					_, err := st.Next(ctx)
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					if err != nil {
+						benchErr = fmt.Errorf("%s: %w", cfg.name, err)
+						b.Fatal(err)
+					}
+					n++
+				}
+				if err := st.Close(); err != nil {
+					benchErr = fmt.Errorf("%s: %w", cfg.name, err)
+					b.Fatal(err)
+				}
+				if n != obsBenchRows {
+					benchErr = fmt.Errorf("%s: drained %d rows, want %d", cfg.name, n, obsBenchRows)
+					b.Fatalf("drained %d rows, want %d", n, obsBenchRows)
+				}
+			}
+		})
+		l.Close()
+		os.RemoveAll(dir)
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run", cfg.name)
+		}
+		out = append(out, benchResult(cfg.name, obsBenchRows, r))
+	}
+	return out, nil
+}

@@ -14,6 +14,7 @@ import (
 	"golake/internal/discovery"
 	"golake/internal/explore"
 	"golake/internal/maintain"
+	"golake/internal/obs"
 	"golake/internal/query"
 	"golake/internal/table"
 	"golake/lakeerr"
@@ -69,6 +70,7 @@ func (l *Lake) HTTPHandler() http.Handler {
 	mux.HandleFunc("GET /v1/swamp", l.handleSwamp)
 	mux.HandleFunc("GET /v1/maintenance", l.handleMaintenanceStatus)
 	mux.HandleFunc("POST /v1/maintenance", l.handleMaintenanceTrigger)
+	mux.HandleFunc("GET /v1/metrics", l.handleMetrics)
 	// Deprecated pre-v1 aliases.
 	mux.HandleFunc("GET /datasets", deprecated("/v1/datasets", l.handleDatasetsLegacy))
 	mux.HandleFunc("GET /metadata", deprecated("/v1/metadata", l.handleMetadata))
@@ -77,7 +79,7 @@ func (l *Lake) HTTPHandler() http.Handler {
 	mux.HandleFunc("GET /lineage", deprecated("/v1/lineage", l.handleLineageLegacy))
 	mux.HandleFunc("GET /audit", deprecated("/v1/audit", l.handleAuditLegacy))
 	mux.HandleFunc("GET /swamp", deprecated("/v1/swamp", l.handleSwamp))
-	return l.recoverMW(l.logMW(mux))
+	return l.recoverMW(l.obsMW(mux))
 }
 
 type ctxKey int
@@ -158,23 +160,93 @@ func (s *statusWriter) Flush() {
 	}
 }
 
-// logMW logs one line per request when a logger is configured.
-func (l *Lake) logMW(next http.Handler) http.Handler {
-	if l.logger == nil {
-		return next
-	}
+// obsMW is the observability middleware: it stamps every request with
+// a request ID (honoring an incoming X-Request-ID, echoing it back on
+// the response), attaches a request-scoped logger to the context so
+// deeper layers — audit events included — log lines joinable on
+// request_id, records the HTTP metric series, and emits one structured
+// access-log line per request when a logger is configured.
+func (l *Lake) obsMW(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw, wrapped := w.(*statusWriter)
 		if !wrapped {
 			sw = &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		}
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		sw.Header().Set("X-Request-ID", id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		if l.logger != nil {
+			ctx = obs.WithLogger(ctx, l.logger.With("request_id", id))
+		}
+		r = r.WithContext(ctx)
+		route := routeOf(mux, r)
 		start := time.Now()
+		if m := l.metrics; m != nil {
+			m.httpInFlight.Inc()
+			defer m.httpInFlight.Dec()
+		}
+		next := http.Handler(mux)
 		next.ServeHTTP(sw, r)
-		l.logger.Info("request",
-			"method", r.Method, "path", r.URL.Path,
-			"user", userOf(r), "status", sw.status,
-			"duration", time.Since(start))
+		elapsed := time.Since(start)
+		if m := l.metrics; m != nil {
+			m.httpRequests.With(route, r.Method, statusClass(sw.status)).Inc()
+			m.httpDuration.With(route).Observe(elapsed.Seconds())
+		}
+		if l.logger != nil {
+			l.logger.Info("request",
+				"method", r.Method, "path", r.URL.Path,
+				"route", route, "user", userOf(r),
+				"status", sw.status, "duration", elapsed,
+				"request_id", id)
+		}
 	})
+}
+
+// routeOf recovers the matched route pattern for metric labels — the
+// registered pattern, not the raw path, so label cardinality stays
+// bounded no matter what paths clients probe.
+func routeOf(mux *http.ServeMux, r *http.Request) string {
+	_, pattern := mux.Handler(r)
+	if pattern == "" {
+		return "unmatched"
+	}
+	// Patterns read "METHOD /path"; the method is its own label.
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		return path
+	}
+	return pattern
+}
+
+// statusClass buckets a status code into its class label ("2xx"...).
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// handleMetrics serves the metric registry in the Prometheus text
+// exposition format (GET /v1/metrics).
+func (l *Lake) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := l.Metrics()
+	if reg == nil {
+		writeErr(w, r, lakeerr.Errorf(lakeerr.CodeUnavailable, "metrics: disabled on this lake (WithMetrics(false))"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = reg.WritePrometheus(w)
 }
 
 func userOf(r *http.Request) string {
@@ -599,6 +671,7 @@ type queryRequest struct {
 	} `json:"order"`
 	Limit      int  `json:"limit"`
 	Explain    bool `json:"explain"`
+	Analyze    bool `json:"analyze"`
 	FanIn      *int `json:"fanin"`
 	BufferRows *int `json:"buffer_rows"`
 }
@@ -606,7 +679,7 @@ type queryRequest struct {
 // request validates the body against the server-side caps and builds
 // the typed query.Request.
 func (b queryRequest) request() (query.Request, error) {
-	req := query.Request{SQL: b.SQL, Limit: b.Limit, Explain: b.Explain}
+	req := query.Request{SQL: b.SQL, Limit: b.Limit, Explain: b.Explain, Analyze: b.Analyze}
 	if b.Limit < 0 {
 		return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: limit must be >= 0")
 	}
@@ -673,7 +746,9 @@ func (l *Lake) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, err)
 		return
 	}
+	serStart := time.Now()
 	out := tableJSON(res)
+	st.AddSpan("serialize", time.Since(serStart))
 	out["stats"] = st.Stats()
 	writeJSON(w, http.StatusOK, out)
 }
@@ -703,13 +778,23 @@ func (l *Lake) handleQueryLegacy(w http.ResponseWriter, r *http.Request, sql str
 // cleanly-ended stream terminates with a {"stats":{...}} trailer
 // carrying the per-source execution counters when the caller supplies
 // them — clients distinguish rows (arrays) from the header and
-// trailers (objects) by the first byte of each line.
-func streamNDJSON(w http.ResponseWriter, ctx context.Context, it query.RowIterator, stats func() query.ExecStats) {
-	defer it.Close()
+// trailers (objects) by the first byte of each line. Time spent
+// encoding rows onto the wire is accumulated into the stream's
+// "serialize" trace span (when the iterator carries one) so the stats
+// trailer accounts for it.
+func streamNDJSON(w http.ResponseWriter, ctx context.Context, st query.RowIterator, stats func() query.ExecStats) {
+	defer st.Close()
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	if err := enc.Encode(map[string]any{"columns": orEmpty(it.Columns())}); err != nil {
+	var serialize time.Duration
+	encode := func(v any) error {
+		start := time.Now()
+		err := enc.Encode(v)
+		serialize += time.Since(start)
+		return err
+	}
+	if err := encode(map[string]any{"columns": orEmpty(st.Columns())}); err != nil {
 		return
 	}
 	flusher, _ := w.(http.Flusher)
@@ -718,7 +803,7 @@ func streamNDJSON(w http.ResponseWriter, ctx context.Context, it query.RowIterat
 	}
 	n := 0
 	for {
-		row, err := it.Next(ctx)
+		row, err := st.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -726,7 +811,7 @@ func streamNDJSON(w http.ResponseWriter, ctx context.Context, it query.RowIterat
 			writeNDJSONError(w, err)
 			return
 		}
-		if err := enc.Encode(row); err != nil {
+		if err := encode(row); err != nil {
 			// The client is gone; nobody is left to read a trailer.
 			return
 		}
@@ -734,6 +819,11 @@ func streamNDJSON(w http.ResponseWriter, ctx context.Context, it query.RowIterat
 		if n%ndjsonFlushEvery == 0 && flusher != nil {
 			flusher.Flush()
 		}
+	}
+	if sa, ok := st.(interface {
+		AddSpan(string, time.Duration)
+	}); ok {
+		sa.AddSpan("serialize", serialize)
 	}
 	if stats != nil {
 		_ = enc.Encode(map[string]any{"stats": stats()})

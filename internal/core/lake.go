@@ -33,6 +33,7 @@ import (
 	"golake/internal/maintain"
 	"golake/internal/metamodel"
 	"golake/internal/organize"
+	"golake/internal/obs"
 	"golake/internal/persist"
 	"golake/internal/provenance"
 	"golake/internal/query"
@@ -81,6 +82,7 @@ type options struct {
 	fanIn         query.FanInOptions
 	backend       persist.Backend
 	snapshotEvery int64
+	metricsOff    bool
 }
 
 // WithClock substitutes the lake's time source (tests, replays).
@@ -104,6 +106,15 @@ func WithMaxResults(n int) Option {
 // logging middleware uses it. Nil (the default) disables logging.
 func WithLogger(l *slog.Logger) Option {
 	return func(o *options) { o.logger = l }
+}
+
+// WithMetrics toggles the lake's metric registry (on by default): HTTP,
+// query, maintenance, and persistence series served at GET /v1/metrics
+// in the Prometheus text format and readable through Lake.Metrics.
+// Disabling removes the instrumentation fold entirely — the overhead
+// benchmark's baseline.
+func WithMetrics(enabled bool) Option {
+	return func(o *options) { o.metricsOff = !enabled }
 }
 
 // WithFanIn pins the lake-wide fan-in default for query requests that
@@ -215,6 +226,9 @@ type Lake struct {
 	clock      func() time.Time
 	maxResults int
 	logger     *slog.Logger
+	// metrics is the lake's metric surface (nil with WithMetrics(false));
+	// every layer records through its nil-safe observe helpers.
+	metrics *lakeMetrics
 }
 
 // defaultSnapshotEvery is the WAL size that triggers a checkpoint when
@@ -252,6 +266,9 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 		maxResults: o.maxResults,
 		logger:     o.logger,
 	}
+	if !o.metricsOff {
+		l.metrics = newLakeMetrics()
+	}
 	l.Engine = query.NewEngine(poly)
 	l.Engine.PushDown = o.pushdown
 	l.Engine.FanIn = o.fanIn
@@ -270,6 +287,13 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 		l.sched = maintain.NewScheduler(schedTarget{l}, maintain.Config{
 			Interval: o.autoMaintain,
 			Clock:    o.clock,
+			OnRetry: func(consecutive int, delay time.Duration) {
+				l.metrics.observeRetry()
+				if l.logger != nil {
+					l.logger.Warn("maintenance retry scheduled",
+						"consecutive_failures", consecutive, "delay", delay)
+				}
+			},
 		})
 		l.sched.Start()
 	}
@@ -373,6 +397,7 @@ func (l *Lake) Ingest(ctx context.Context, path string, data []byte, source, use
 	l.persistRecord(&walRecord{Kind: recIngest, Path: path, Data: data, Source: source, User: user})
 	l.ingestMu.Unlock()
 	l.Tracker.Ingest(path, source, user)
+	l.logAudit(ctx, "ingest", path, user)
 	return res, nil
 }
 
@@ -557,6 +582,11 @@ func (l *Lake) maintainLocked(ctx context.Context, wantFull bool) (*MaintenanceR
 		l.lastPassTime = l.clock()
 	}
 	l.mu.Unlock()
+	if err != nil {
+		l.metrics.observeMaintPass("", 0, 0, true)
+	} else {
+		l.metrics.observeMaintPass(rep.Mode, rep.Duration, rep.DatasetsReindexed, false)
+	}
 	if err == nil {
 		// Checkpoint the planner coverage so a reopened lake resumes
 		// incrementally instead of re-running this pass from scratch.
@@ -860,6 +890,7 @@ func (l *Lake) Explore(ctx context.Context, user string, req explore.Request) ([
 // stream.
 func (l *Lake) Query(ctx context.Context, user string, req query.Request) (*query.RowStream, error) {
 	if _, err := l.roleOf(user); err != nil {
+		l.metrics.observeRejected()
 		return nil, err
 	}
 	if l.maxResults > 0 {
@@ -867,12 +898,26 @@ func (l *Lake) Query(ctx context.Context, user string, req query.Request) (*quer
 	}
 	st, err := l.Engine.Query(ctx, req)
 	if err != nil {
+		l.metrics.observeRejected()
 		return nil, classifyQueryErr(err)
 	}
 	st.ErrMap = classifyQueryErr
-	if st.ExplainOnly() {
+	if st.ExplainOnly() && st.Plan().Analyzed == nil {
 		// Planning reads catalog shape, not data: nothing to audit.
 		return st, nil
+	}
+	if l.metrics != nil {
+		// Fold the final execution counters into the registry when the
+		// consumer closes the stream — the point where Stats is final.
+		// An EXPLAIN ANALYZE already ran to completion inside the
+		// engine; fold its analyzed stats immediately instead.
+		if a := st.Plan().Analyzed; a != nil {
+			l.metrics.observeQuery(st.Plan(), *a, false)
+		} else {
+			st.OnClose(func() {
+				l.metrics.observeQuery(st.Plan(), st.Stats(), st.Err() != nil)
+			})
+		}
 	}
 	// The engine already parsed the statement; the plan's source list
 	// drives the audit trail.
@@ -891,8 +936,17 @@ func (l *Lake) Query(ctx context.Context, user string, req query.Request) (*quer
 			entity = name
 		}
 		_ = l.Tracker.Query(entity, "sql", user)
+		l.logAudit(ctx, "query", entity, user)
 	}
 	return st, nil
+}
+
+// logAudit emits one audit event through the structured logger — the
+// request-scoped one when the context carries it (already tagged with
+// request_id by the middleware), so the audit row joins its HTTP
+// access-log line on request_id.
+func (l *Lake) logAudit(ctx context.Context, action, entity, user string) {
+	obs.Logger(ctx, l.logger).Info("audit", "action", action, "entity", entity, "user", user)
 }
 
 // QuerySQL executes a federated query and materializes the full
@@ -1131,6 +1185,7 @@ func (l *Lake) Derive(ctx context.Context, user, activity string, inputs []strin
 	if err := l.Tracker.Derive(activity, "lake", user, inputs, output.Name); err != nil {
 		return lakeerr.Wrap(lakeerr.CodeInternal, err)
 	}
+	l.logAudit(ctx, "derive", output.Name, user)
 	return nil
 }
 
@@ -1205,6 +1260,7 @@ func (l *Lake) Evict(ctx context.Context, user, path string) error {
 	l.maintMu.Unlock()
 	l.ingestMu.Unlock()
 	l.Tracker.Discard(path, "lake", user)
+	l.logAudit(ctx, "evict", path, user)
 	return nil
 }
 

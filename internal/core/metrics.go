@@ -1,0 +1,210 @@
+package core
+
+import (
+	"time"
+
+	"golake/internal/obs"
+	"golake/internal/query"
+)
+
+// fanInBuckets bracket the plan's effective union width (1 =
+// sequential) up to the request cap.
+var fanInBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// heapRowBuckets bracket the sort stage's heap high-water mark.
+var heapRowBuckets = []float64{10, 100, 1000, 10000, 100000, 1000000}
+
+// lakeMetrics is the lake's metric surface: one obs.Registry plus the
+// pre-registered series every layer records into. All series share the
+// golake_ prefix; /v1/metrics renders the registry.
+type lakeMetrics struct {
+	reg *obs.Registry
+
+	// HTTP middleware.
+	httpRequests *obs.CounterVec // route, method, class
+	httpDuration *obs.HistogramVec
+	httpInFlight *obs.Gauge
+
+	// Query engine, folded from RowStream.Stats at stream close.
+	queryTotal      *obs.CounterVec // outcome: ok | error | rejected
+	queryRowsOut    *obs.Counter
+	queryFanIn      *obs.Histogram
+	querySourceRows *obs.CounterVec // source
+	querySourceBlkd *obs.CounterVec // source
+	querySortHeap   *obs.Histogram
+
+	// Maintenance.
+	maintPasses    *obs.CounterVec // mode
+	maintFailures  *obs.Counter
+	maintDuration  *obs.Histogram
+	maintDatasets  *obs.Counter
+	maintRetries   *obs.Counter
+
+	// Persistence.
+	walAppends      *obs.Counter
+	walAppendBytes  *obs.Counter
+	walAppendDur    *obs.Histogram
+	checkpoints     *obs.Counter
+	checkpointDur   *obs.Histogram
+	replaySnapshot  *obs.Gauge
+	replayWALRecs   *obs.Gauge
+	replayWALSkip   *obs.Gauge
+	replayTornBytes *obs.Gauge
+}
+
+func newLakeMetrics() *lakeMetrics {
+	r := obs.NewRegistry()
+	return &lakeMetrics{
+		reg: r,
+		httpRequests: r.CounterVec("golake_http_requests_total",
+			"HTTP requests served, by route, method, and status class.",
+			"route", "method", "class"),
+		httpDuration: r.HistogramVec("golake_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", nil, "route"),
+		httpInFlight: r.Gauge("golake_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		queryTotal: r.CounterVec("golake_query_total",
+			"Queries by outcome: ok, error (failed mid-stream), rejected (refused before opening).",
+			"outcome"),
+		queryRowsOut: r.Counter("golake_query_rows_out_total",
+			"Rows delivered to query consumers, after sort and limit."),
+		queryFanIn: r.Histogram("golake_query_fanin_width",
+			"Effective fan-in width per executed query (1 = sequential union).",
+			fanInBuckets),
+		querySourceRows: r.CounterVec("golake_query_source_rows_total",
+			"Rows pulled from each member source across all queries.", "source"),
+		querySourceBlkd: r.CounterVec("golake_query_source_blocked_seconds_total",
+			"Seconds the pipeline spent blocked waiting on each member source.", "source"),
+		querySortHeap: r.Histogram("golake_query_sort_heap_rows",
+			"Sort-stage heap high-water mark per sorted query, in rows.",
+			heapRowBuckets),
+		maintPasses: r.CounterVec("golake_maintenance_passes_total",
+			"Completed maintenance passes by mode (full, incremental).", "mode"),
+		maintFailures: r.Counter("golake_maintenance_failures_total",
+			"Maintenance passes that failed."),
+		maintDuration: r.Histogram("golake_maintenance_pass_duration_seconds",
+			"Maintenance pass duration in seconds.", nil),
+		maintDatasets: r.Counter("golake_maintenance_datasets_reindexed_total",
+			"Datasets (re)indexed by maintenance passes."),
+		maintRetries: r.Counter("golake_maintenance_retries_total",
+			"Scheduler retries after failed passes (backoff events)."),
+		walAppends: r.Counter("golake_wal_appends_total",
+			"Records appended to the write-ahead log."),
+		walAppendBytes: r.Counter("golake_wal_appended_bytes_total",
+			"Bytes appended to the write-ahead log, framing included."),
+		walAppendDur: r.Histogram("golake_wal_append_duration_seconds",
+			"WAL append latency in seconds; with fsync-per-record this is the fsync latency.",
+			nil),
+		checkpoints: r.Counter("golake_checkpoints_total",
+			"Snapshot checkpoints taken (WAL truncations)."),
+		checkpointDur: r.Histogram("golake_checkpoint_duration_seconds",
+			"Checkpoint (snapshot + truncate) duration in seconds.", nil),
+		replaySnapshot: r.Gauge("golake_replay_snapshot_datasets",
+			"Datasets restored from the snapshot at the last open."),
+		replayWALRecs: r.Gauge("golake_replay_wal_records",
+			"WAL records replayed at the last open."),
+		replayWALSkip: r.Gauge("golake_replay_wal_skipped_records",
+			"WAL records skipped as unparseable at the last open."),
+		replayTornBytes: r.Gauge("golake_replay_torn_bytes",
+			"Bytes dropped from a torn WAL tail at the last open."),
+	}
+}
+
+// observeQuery folds one finished stream's stats into the registry:
+// outcome, rows out, fan-in width, per-source counters, and the sort
+// heap high-water. Called from the stream's close hook.
+func (m *lakeMetrics) observeQuery(plan *query.Plan, st query.ExecStats, failed bool) {
+	if m == nil {
+		return
+	}
+	outcome := "ok"
+	if failed {
+		outcome = "error"
+	}
+	m.queryTotal.With(outcome).Inc()
+	m.queryRowsOut.Add(float64(st.RowsOut))
+	if plan != nil {
+		m.queryFanIn.Observe(float64(plan.FanIn))
+	}
+	for _, s := range st.Sources {
+		if s.Rows > 0 {
+			m.querySourceRows.With(s.Source).Add(float64(s.Rows))
+		}
+		if s.Blocked > 0 {
+			m.querySourceBlkd.With(s.Source).Add(s.Blocked.Seconds())
+		}
+	}
+	if st.SortHeapRows > 0 {
+		m.querySortHeap.Observe(float64(st.SortHeapRows))
+	}
+}
+
+// observeRejected counts a query refused before a stream opened (parse
+// failure, unknown source, authorization).
+func (m *lakeMetrics) observeRejected() {
+	if m == nil {
+		return
+	}
+	m.queryTotal.With("rejected").Inc()
+}
+
+// observeMaintPass records one completed (or failed) maintenance pass.
+func (m *lakeMetrics) observeMaintPass(mode string, d time.Duration, datasets int, failed bool) {
+	if m == nil {
+		return
+	}
+	if failed {
+		m.maintFailures.Inc()
+		return
+	}
+	m.maintPasses.With(mode).Inc()
+	m.maintDuration.Observe(d.Seconds())
+	m.maintDatasets.Add(float64(datasets))
+}
+
+// observeWALAppend records one WAL append.
+func (m *lakeMetrics) observeWALAppend(bytes int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.walAppends.Inc()
+	m.walAppendBytes.Add(float64(bytes))
+	m.walAppendDur.Observe(d.Seconds())
+}
+
+// observeCheckpoint records one snapshot checkpoint.
+func (m *lakeMetrics) observeCheckpoint(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.checkpoints.Inc()
+	m.checkpointDur.Observe(d.Seconds())
+}
+
+// observeReplay records the crash-recovery stats of the last open.
+func (m *lakeMetrics) observeReplay(snapshotDatasets, walRecords, walSkipped int, tornBytes int64) {
+	if m == nil {
+		return
+	}
+	m.replaySnapshot.Set(float64(snapshotDatasets))
+	m.replayWALRecs.Set(float64(walRecords))
+	m.replayWALSkip.Set(float64(walSkipped))
+	m.replayTornBytes.Set(float64(tornBytes))
+}
+
+// observeRetry records one scheduler backoff event.
+func (m *lakeMetrics) observeRetry() {
+	if m == nil {
+		return
+	}
+	m.maintRetries.Inc()
+}
+
+// Metrics exposes the lake's metric registry, or nil when metrics are
+// disabled (WithMetrics(false)).
+func (l *Lake) Metrics() *obs.Registry {
+	if l.metrics == nil {
+		return nil
+	}
+	return l.metrics.reg
+}

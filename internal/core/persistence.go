@@ -140,15 +140,18 @@ func (p *persister) append(l *Lake, rec *walRecord) {
 		p.warn(l, "persist: encode wal record", "kind", rec.Kind, "error", err)
 		return
 	}
+	frame := persist.EncodeFrame(payload)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return
 	}
-	if err := p.backend.AppendWAL(persist.EncodeFrame(payload)); err != nil {
+	start := time.Now()
+	if err := p.backend.AppendWAL(frame); err != nil {
 		p.warn(l, "persist: append wal record", "kind", rec.Kind, "error", err)
 		return
 	}
+	l.metrics.observeWALAppend(len(frame), time.Since(start))
 	p.walRecords++
 	if p.threshold > 0 {
 		if sz, err := p.backend.WALSize(); err == nil && sz >= p.threshold {
@@ -173,6 +176,7 @@ func (p *persister) checkpoint(l *Lake) error {
 // component stores' own locks, but never ingestMu or maintMu — callers
 // may hold either.
 func (p *persister) checkpointLocked(l *Lake) error {
+	start := time.Now()
 	snap, err := l.buildSnapshot()
 	if err != nil {
 		return err
@@ -186,6 +190,11 @@ func (p *persister) checkpointLocked(l *Lake) error {
 	}
 	p.walRecords = 0
 	p.lastSnapshot = l.clock()
+	l.metrics.observeCheckpoint(time.Since(start))
+	if l.logger != nil {
+		l.logger.Info("persist: checkpoint",
+			"snapshot_bytes", len(data), "duration", time.Since(start))
+	}
 	return nil
 }
 
@@ -330,6 +339,14 @@ func (p *persister) restore(l *Lake) error {
 		p.mu.Lock()
 		p.replay = &rs
 		p.mu.Unlock()
+		l.metrics.observeReplay(rs.SnapshotDatasets, int(rs.WALRecords), int(rs.WALSkipped), rs.TornBytes)
+		if l.logger != nil {
+			l.logger.Info("persist: replayed",
+				"snapshot_datasets", rs.SnapshotDatasets,
+				"wal_records", rs.WALRecords,
+				"wal_skipped", rs.WALSkipped,
+				"torn_bytes", rs.TornBytes)
+		}
 	}
 	// Compact what was just replayed so the next open starts from a
 	// snapshot instead of re-replaying an ever-growing log.

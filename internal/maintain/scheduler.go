@@ -99,6 +99,10 @@ type Config struct {
 	// Clock is the time source for NextRun reporting (timers always use
 	// real time). Defaults to time.Now.
 	Clock func() time.Time
+	// OnRetry, when set, is called each time a failed pass schedules a
+	// backoff retry, with the consecutive-failure count and the chosen
+	// delay — the metrics/logging hook for backoff events.
+	OnRetry func(consecutive int, delay time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -252,6 +256,9 @@ func (s *Scheduler) run(ctx context.Context, first time.Duration) {
 			n := s.consecFails
 			s.mu.Unlock()
 			d = s.withJitter(backoffDelay(s.cfg.RetryBase, s.cfg.RetryMax, n))
+			if s.cfg.OnRetry != nil {
+				s.cfg.OnRetry(n, d)
+			}
 		}
 		s.mu.Lock()
 		s.nextRun = s.cfg.Clock().Add(d)

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	loggerKey
+)
+
+// NewRequestID returns a fresh 16-hex-char request identifier. It is
+// random, not sequential, so IDs from restarted or load-balanced
+// servers never collide in aggregated logs.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; a fixed
+		// fallback keeps the request serviceable rather than panicking
+		// in middleware.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stamps the request ID onto the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" outside a
+// request scope.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithLogger stamps a request-scoped logger onto the context.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger returns the request-scoped logger from ctx, falling back to
+// fallback, and to slog's disabled-by-default discard pattern (a
+// handler that drops everything) when both are nil — callers can
+// always log unconditionally.
+func Logger(ctx context.Context, fallback *slog.Logger) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	if fallback != nil {
+		return fallback
+	}
+	return discardLogger
+}
+
+// discardLogger drops every record; Logger returns it so call sites
+// never need nil checks.
+var discardLogger = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,426 @@
+// Package obs is golake's dependency-free observability kernel: a
+// registry of counters, gauges, and histograms safe for concurrent use
+// (atomic, -race-clean), exposable in the Prometheus text format, plus
+// the request-scoped context plumbing (request IDs, loggers) the HTTP
+// layer threads through every handler.
+//
+// The package deliberately mirrors the shape of the Prometheus client
+// library — Counter/Gauge/Histogram with *Vec variants keyed by label
+// values — without importing anything beyond the standard library, per
+// the repo's no-dependency rule. Metric and label names are validated
+// at registration and invalid names panic: a bad metric name is a
+// programmer error, not a runtime condition.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram buckets for latencies measured
+// in seconds: 100µs up to 10s, roughly logarithmic. They bracket both
+// the sub-millisecond in-memory query path and multi-second fsync or
+// maintenance stalls.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// metricType is the TYPE line vocabulary.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// Registry holds metric families in registration order and renders
+// them as one Prometheus text exposition. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// family is one named metric family: a HELP/TYPE header plus one child
+// per distinct label-value combination. Unlabeled metrics are the
+// degenerate family with a single child under the empty key.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]any // *Counter | *Gauge | *Histogram
+}
+
+// register returns the family for name, creating it on first use.
+// Re-registering with the same shape is idempotent (the existing family
+// is returned); re-registering with a different type, label set, or
+// bucket layout panics — two call sites disagreeing about a metric's
+// shape is a bug worth failing loudly on.
+func (r *Registry) register(name, help string, typ metricType, labels []string, buckets []float64) *family {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l))
+		}
+	}
+	if typ == typeHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("obs: metric %s: histogram buckets must be sorted", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: map[string]any{},
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// child returns the metric for one label-value tuple, creating it on
+// first use. values must match the family's label arity.
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s: got %d label values, want %d", f.name, len(values), len(f.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var c any
+	switch f.typ {
+	case typeCounter:
+		c = &Counter{}
+	case typeGauge:
+		c = &Gauge{}
+	case typeHistogram:
+		c = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	return c
+}
+
+// Counter registers (or fetches) an unlabeled monotonic counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, nil, nil).child(nil).(*Counter)
+}
+
+// CounterVec registers a counter family keyed by label values.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, typeCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeVec registers a gauge family keyed by label values.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. Nil buckets
+// select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, typeHistogram, nil, buckets).child(nil).(*Histogram)
+}
+
+// HistogramVec registers a histogram family keyed by label values.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, typeHistogram, labels, buckets)}
+}
+
+// CounterVec fans a counter family out by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label-value tuple.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec fans a gauge family out by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec fans a histogram family out by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Counter is a monotonically increasing float64, stored as IEEE bits
+// in an atomic word so Add is lock-free and -race-clean.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative deltas panic (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("obs: counter decrease")
+	}
+	addFloatBits(&c.bits, v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an arbitrary float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by v (negative to decrease).
+func (g *Gauge) Add(v float64) { addFloatBits(&g.bits, v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative buckets and tracks the
+// running sum. Observe is lock-free: one atomic add on the matching
+// bucket, one on the count, one CAS loop on the sum bits.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloatBits(&h.sumBits, v)
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// addFloatBits atomically adds delta to a float64 stored as bits.
+func addFloatBits(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4): HELP and TYPE lines, then one
+// sample line per child — counters and gauges as-is, histograms as
+// cumulative _bucket series plus _sum and _count. Children are sorted
+// by label values so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range families {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for i, c := range children {
+		var values []string
+		if keys[i] != "" || len(f.labels) > 0 {
+			values = strings.Split(keys[i], "\x00")
+		}
+		switch m := c.(type) {
+		case *Counter:
+			writeSample(b, f.name, f.labels, values, "", "", m.Value())
+		case *Gauge:
+			writeSample(b, f.name, f.labels, values, "", "", m.Value())
+		case *Histogram:
+			cum := uint64(0)
+			for j, bound := range m.bounds {
+				cum += m.counts[j].Load()
+				writeSample(b, f.name+"_bucket", f.labels, values, "le", formatLe(bound), float64(cum))
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			writeSample(b, f.name+"_bucket", f.labels, values, "le", "+Inf", float64(cum))
+			writeSample(b, f.name+"_sum", f.labels, values, "", "", m.Sum())
+			writeSample(b, f.name+"_count", f.labels, values, "", "", float64(m.Count()))
+		}
+	}
+}
+
+// writeSample renders one line: name{labels,extra="v"} value. extraName
+// is the histogram "le" label, appended after the family labels.
+func writeSample(b *strings.Builder, name string, labels, values []string, extraName, extraVal string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraVal)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// formatValue renders a sample value; integers print without exponent
+// noise, everything else in shortest-roundtrip form.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLe renders a bucket bound for the le label.
+func formatLe(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line: backslash and newline (quotes are
+// legal in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden locks the exact exposition text for one family
+// of each type: HELP/TYPE lines, label rendering, cumulative histogram
+// buckets with _sum and _count, deterministic child order.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("golake_requests_total", "Requests served.", "route", "class")
+	c.With("/v1/query", "2xx").Add(3)
+	c.With("/v1/query", "5xx").Inc()
+	g := r.Gauge("golake_in_flight", "Requests in flight.")
+	g.Set(2)
+	h := r.Histogram("golake_latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP golake_requests_total Requests served.",
+		"# TYPE golake_requests_total counter",
+		`golake_requests_total{route="/v1/query",class="2xx"} 3`,
+		`golake_requests_total{route="/v1/query",class="5xx"} 1`,
+		"# HELP golake_in_flight Requests in flight.",
+		"# TYPE golake_in_flight gauge",
+		"golake_in_flight 2",
+		"# HELP golake_latency_seconds Request latency.",
+		"# TYPE golake_latency_seconds histogram",
+		`golake_latency_seconds_bucket{le="0.1"} 1`,
+		`golake_latency_seconds_bucket{le="1"} 2`,
+		`golake_latency_seconds_bucket{le="+Inf"} 3`,
+		"golake_latency_seconds_sum 5.55",
+		"golake_latency_seconds_count 3",
+	}, "\n") + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping covers the three escaped characters in label
+// values and newline escaping in HELP text.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("golake_odd_total", "Line one\nline two.", "path").
+		With("a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP golake_odd_total Line one\nline two.`) {
+		t.Errorf("HELP newline not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `golake_odd_total{path="a\\b\"c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+// TestHistogramBuckets verifies boundary placement: a sample equal to
+// a bound lands in that bound's bucket (le is inclusive).
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1: got %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket le=2: got %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("bucket +Inf: got %d, want 1", got)
+	}
+	if h.Count() != 3 || h.Sum() != 6 {
+		t.Errorf("count/sum: got %d/%v, want 3/6", h.Count(), h.Sum())
+	}
+}
+
+// TestIdempotentRegistration checks same-shape re-registration returns
+// the same underlying metric and mismatched shapes panic.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("golake_x_total", "X.")
+	b := r.Counter("golake_x_total", "X.")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("golake_x_total", "X.")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on invalid metric name")
+		}
+	}()
+	r.Counter("bad name", "nope")
+}
+
+// TestConcurrentUse hammers every metric type from many goroutines
+// while scraping; run under -race this is the registry's thread-safety
+// proof.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("golake_c_total", "C.", "k")
+	g := r.Gauge("golake_g", "G.")
+	hv := r.HistogramVec("golake_h_seconds", "H.", nil, "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%4))
+			for j := 0; j < 1000; j++ {
+				cv.With(key).Inc()
+				g.Add(1)
+				g.Dec()
+				hv.With(key).Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total float64
+	for _, k := range []string{"a", "b", "c", "d"} {
+		total += cv.With(k).Value()
+	}
+	if total != 8000 {
+		t.Errorf("counter total: got %v, want 8000", total)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge: got %v, want 0", g.Value())
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Error("unexpected request ID on fresh context")
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Errorf("RequestID: got %q", got)
+	}
+	id1, id2 := NewRequestID(), NewRequestID()
+	if len(id1) != 16 || id1 == id2 {
+		t.Errorf("NewRequestID: got %q, %q", id1, id2)
+	}
+}
+
+func TestLoggerContext(t *testing.T) {
+	ctx := context.Background()
+	if Logger(ctx, nil) == nil {
+		t.Fatal("Logger returned nil")
+	}
+	// The discard logger must be safe to use.
+	Logger(ctx, nil).Info("dropped")
+	var sb strings.Builder
+	real := slog.New(slog.NewTextHandler(&sb, nil))
+	if Logger(ctx, real) != real {
+		t.Error("fallback not returned")
+	}
+	ctx = WithLogger(ctx, real)
+	if Logger(ctx, nil) != real {
+		t.Error("ctx logger not returned")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"golake/internal/storage/docstore"
 	"golake/internal/storage/filestore"
@@ -55,6 +56,7 @@ func NewEngine(p *polystore.Poly) *Engine {
 // Request.Explain — plans without opening any source scan and returns
 // a rowless stream whose Plan carries the answer.
 func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
+	planStart := time.Now()
 	q, err := Parse(req.SQL)
 	if err != nil {
 		return nil, err
@@ -69,7 +71,8 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	if q.Explain || req.Explain {
+	analyze := q.Analyze || req.Analyze
+	if (q.Explain || req.Explain) && !analyze {
 		// plan validated sort keys against an explicit projection; for
 		// SELECT * the header comes from the stores, so resolve it here
 		// — EXPLAIN must reject exactly what execution would.
@@ -80,11 +83,44 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 		}
 		return &RowStream{it: &emptyIterator{cols: q.Columns}, plan: plan, explain: true}, nil
 	}
+	trace := &Trace{}
+	trace.Add("plan", time.Since(planStart))
+	if analyze {
+		// stream rejects explain-marked queries; run the underlying
+		// SELECT with full instrumentation instead.
+		qq := *q
+		qq.Explain, qq.Analyze = false, false
+		q = &qq
+	}
+	openStart := time.Now()
 	it, counters, err := e.stream(ctx, q, order, limit, opts, true)
 	if err != nil {
 		return nil, err
 	}
-	return &RowStream{it: it, plan: plan, counters: counters}, nil
+	trace.Add("open-sources", time.Since(openStart))
+	st := &RowStream{it: it, plan: plan, counters: counters, trace: trace}
+	if s, ok := it.(*sortIterator); ok {
+		st.sorter = s
+	}
+	if !analyze {
+		return st, nil
+	}
+	// EXPLAIN ANALYZE: drain the instrumented pipeline to completion,
+	// discard the rows, and hand back a rowless stream whose plan
+	// carries the live counters and span timings.
+	for {
+		if _, err := st.Next(ctx); err != nil {
+			if err == io.EOF {
+				break
+			}
+			_ = st.Close()
+			return nil, err
+		}
+	}
+	_ = st.Close()
+	stats := st.Stats()
+	plan.Analyzed = &stats
+	return &RowStream{it: &emptyIterator{cols: st.Columns()}, plan: plan, explain: true}, nil
 }
 
 // resolveFanIn resolves a request's fan-in against the engine

@@ -93,6 +93,10 @@ type Query struct {
 	Limit int
 	// Explain marks an EXPLAIN statement: plan the query, run nothing.
 	Explain bool
+	// Analyze marks EXPLAIN ANALYZE: run the query to completion,
+	// discard the rows, and annotate the plan with live timings and
+	// counters. Implies Explain.
+	Analyze bool
 }
 
 // Parse parses the minimal SQL dialect.
@@ -136,6 +140,10 @@ func (p *parser) parse() (*Query, error) {
 	if strings.EqualFold(p.peek(), "EXPLAIN") {
 		p.next()
 		q.Explain = true
+		if strings.EqualFold(p.peek(), "ANALYZE") {
+			p.next()
+			q.Analyze = true
+		}
 	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
@@ -319,6 +327,9 @@ func (q *Query) String() string {
 	var sb strings.Builder
 	if q.Explain {
 		sb.WriteString("EXPLAIN ")
+		if q.Analyze {
+			sb.WriteString("ANALYZE ")
+		}
 	}
 	sb.WriteString("SELECT ")
 	if len(q.Columns) == 0 {

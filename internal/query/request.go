@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -26,6 +27,9 @@ import (
 //     engine default).
 //   - Explain plans the query without executing it, like an EXPLAIN
 //     statement.
+//   - Analyze (EXPLAIN ANALYZE) executes the query to completion,
+//     discards the rows, and returns the plan annotated with live
+//     timings and row counts (Plan.Analyzed).
 type Request struct {
 	SQL        string
 	Order      []OrderKey
@@ -33,6 +37,7 @@ type Request struct {
 	FanIn      int
 	BufferRows int
 	Explain    bool
+	Analyze    bool
 }
 
 // DefaultFanIn is the fan-in width used when neither the request nor
@@ -63,6 +68,10 @@ type Plan struct {
 	// Limit is the effective row cap (0 = unlimited), after composing
 	// the statement's LIMIT with request/lake caps.
 	Limit int `json:"limit,omitempty"`
+	// Analyzed carries the live execution stats of an EXPLAIN ANALYZE:
+	// the query ran to completion and these are its real counters and
+	// span timings. Nil for plain EXPLAIN.
+	Analyzed *ExecStats `json:"analyzed,omitempty"`
 }
 
 // SourcePlan is one FROM item's access path.
@@ -109,7 +118,51 @@ func (p *Plan) String() string {
 		}
 		sb.WriteString("\n")
 	}
+	if a := p.Analyzed; a != nil {
+		fmt.Fprintf(&sb, "  analyzed: %d rows out\n", a.RowsOut)
+		for _, s := range a.Sources {
+			fmt.Fprintf(&sb, "    source %s: %d rows, blocked %s\n",
+				s.Source, s.Rows, s.Blocked.Round(time.Microsecond))
+		}
+		for _, sp := range a.Trace {
+			fmt.Fprintf(&sb, "    %s: %s\n", sp.Name, sp.Duration.Round(time.Microsecond))
+		}
+		if a.SortHeapRows > 0 {
+			fmt.Fprintf(&sb, "    sort heap high-water: %d rows\n", a.SortHeapRows)
+		}
+	}
 	return sb.String()
+}
+
+// Span is one named stage timing inside a query trace.
+type Span struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Trace collects span timings for one query: plan, open-sources,
+// execute, sort, serialize. The engine records the build-time spans;
+// the stream computes execute/sort live; transport layers append their
+// own (serialize) through RowStream.AddSpan. Concurrency-safe — spans
+// are added by the consumer goroutine while Stats snapshots may happen
+// elsewhere.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Add appends one span.
+func (t *Trace) Add(name string, d time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Duration: d})
+	t.mu.Unlock()
+}
+
+// Spans snapshots the spans recorded so far.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
 }
 
 // SourceStats is one source's execution counters, snapshotted by
@@ -122,11 +175,15 @@ type SourceStats struct {
 	Blocked time.Duration `json:"blocked_ns"`
 }
 
-// ExecStats snapshots a stream's execution: per-source pull counters
-// plus the rows actually delivered to the consumer (after sort/limit).
+// ExecStats snapshots a stream's execution: per-source pull counters,
+// the rows actually delivered to the consumer (after sort/limit), the
+// per-stage trace spans, and the sort stage's heap high-water mark
+// (0 when the query had no sort).
 type ExecStats struct {
-	Sources []SourceStats `json:"sources"`
-	RowsOut int64         `json:"rows_out"`
+	Sources      []SourceStats `json:"sources"`
+	RowsOut      int64         `json:"rows_out"`
+	Trace        []Span        `json:"trace,omitempty"`
+	SortHeapRows int64         `json:"sort_heap_rows,omitempty"`
 }
 
 // sourceCounter is the mutable, atomically-updated collector behind
@@ -178,6 +235,29 @@ type RowStream struct {
 	counters []*sourceCounter
 	rowsOut  atomic.Int64
 
+	// trace carries the build-time spans the engine recorded (plan,
+	// open-sources) plus any the transport appends via AddSpan. Nil on
+	// explain-only streams.
+	trace *Trace
+	// sorter is the sort stage's handle when the plan has one, so
+	// Stats can report the sort span and heap high-water mark live.
+	sorter *sortIterator
+	// execStartNs/execDoneNs bracket the execute span: first Next and
+	// terminal event (EOF, error, or Close), CAS-set so each end is
+	// stamped exactly once and Stats computes the span instead of
+	// storing it.
+	execStartNs atomic.Int64
+	execDoneNs  atomic.Int64
+
+	// errMu guards firstErr, the first non-EOF error Next surfaced —
+	// what Err reports to the metrics fold at close.
+	errMu    sync.Mutex
+	firstErr error
+	// closeHooks run exactly once, after the underlying iterator is
+	// closed — the Lake folds the final Stats into its metrics here.
+	closeHooks []func()
+	closeOnce  sync.Once
+
 	// ErrMap rewrites row-level errors before they surface from Next
 	// (io.EOF passes through). Nil means errors surface unchanged.
 	ErrMap func(error) error
@@ -188,10 +268,19 @@ func (s *RowStream) Columns() []string { return s.it.Columns() }
 
 // Next returns the next row or io.EOF; see RowIterator.
 func (s *RowStream) Next(ctx context.Context) (Row, error) {
+	s.execStartNs.CompareAndSwap(0, time.Now().UnixNano())
 	row, err := s.it.Next(ctx)
 	if err != nil {
-		if err != io.EOF && s.ErrMap != nil {
-			err = s.ErrMap(err)
+		s.execDoneNs.CompareAndSwap(0, time.Now().UnixNano())
+		if err != io.EOF {
+			if s.ErrMap != nil {
+				err = s.ErrMap(err)
+			}
+			s.errMu.Lock()
+			if s.firstErr == nil {
+				s.firstErr = err
+			}
+			s.errMu.Unlock()
 		}
 		return nil, err
 	}
@@ -199,8 +288,38 @@ func (s *RowStream) Next(ctx context.Context) (Row, error) {
 	return row, nil
 }
 
-// Close releases the stream; idempotent.
-func (s *RowStream) Close() error { return s.it.Close() }
+// Close releases the stream; idempotent. Close hooks registered with
+// OnClose run exactly once, after the pipeline is released.
+func (s *RowStream) Close() error {
+	err := s.it.Close()
+	s.execDoneNs.CompareAndSwap(0, time.Now().UnixNano())
+	s.closeOnce.Do(func() {
+		for _, fn := range s.closeHooks {
+			fn()
+		}
+	})
+	return err
+}
+
+// OnClose registers fn to run exactly once when the stream is closed,
+// after the pipeline is released — the point where Stats is final.
+func (s *RowStream) OnClose(fn func()) { s.closeHooks = append(s.closeHooks, fn) }
+
+// AddSpan appends a span to the stream's trace — transport layers
+// record serialize time here. No-op on an explain-only stream.
+func (s *RowStream) AddSpan(name string, d time.Duration) {
+	if s.trace != nil {
+		s.trace.Add(name, d)
+	}
+}
+
+// Err returns the first non-EOF error the stream surfaced, or nil on a
+// clean stream.
+func (s *RowStream) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
 
 // Plan returns the typed execution plan (never nil).
 func (s *RowStream) Plan() *Plan { return s.plan }
@@ -209,13 +328,29 @@ func (s *RowStream) Plan() *Plan { return s.plan }
 // explain request: the Plan is the whole result.
 func (s *RowStream) ExplainOnly() bool { return s.explain }
 
-// Stats snapshots the per-source execution counters. Safe to call
-// while the stream is still being consumed and after Close; an
-// explain-only stream reports zero counters.
+// Stats snapshots the per-source execution counters and trace. Safe to
+// call while the stream is still being consumed and after Close; an
+// explain-only stream reports zero counters. The execute span covers
+// first Next to the terminal event (now, if the stream is still live);
+// the sort span is the time the sort stage spent draining its input.
 func (s *RowStream) Stats() ExecStats {
 	st := ExecStats{Sources: make([]SourceStats, len(s.counters)), RowsOut: s.rowsOut.Load()}
 	for i, c := range s.counters {
 		st.Sources[i] = c.snapshot()
+	}
+	if s.trace != nil {
+		st.Trace = s.trace.Spans()
+	}
+	if start := s.execStartNs.Load(); start != 0 {
+		done := s.execDoneNs.Load()
+		if done == 0 {
+			done = time.Now().UnixNano()
+		}
+		st.Trace = append(st.Trace, Span{Name: "execute", Duration: time.Duration(done - start)})
+	}
+	if s.sorter != nil {
+		st.Trace = append(st.Trace, Span{Name: "sort", Duration: time.Duration(s.sorter.fillNs.Load())})
+		st.SortHeapRows = s.sorter.maxHeld.Load()
 	}
 	return st
 }

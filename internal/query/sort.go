@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // Sort wraps an iterator with an ORDER BY stage. With limit > 0 it
@@ -37,11 +39,15 @@ type sortIterator struct {
 	buf    []Row
 	pos    int
 	filled bool
-	// maxHeld is the buffer's high-water mark — the top-K memory-bound
-	// tests read it.
-	maxHeld int
-	err     error
-	closed  bool
+	// maxHeld is the buffer's high-water mark — the top-K memory bound
+	// the tests assert and the golake_query_sort_heap_rows metric
+	// observes. Atomic so Stats snapshots race-cleanly with fill.
+	maxHeld atomic.Int64
+	// fillNs accumulates wall time spent draining and sorting the input
+	// — the "sort" trace span. Atomic for the same reason.
+	fillNs atomic.Int64
+	err    error
+	closed bool
 	// inClosed tracks whether the input was already released (it is
 	// closed eagerly once drained, before the consumer sees a row).
 	inClosed bool
@@ -85,6 +91,8 @@ func (s *sortIterator) Next(ctx context.Context) (Row, error) {
 // later Next with a live context resumes the drain — while any other
 // input error is sticky and releases everything.
 func (s *sortIterator) fill(ctx context.Context) error {
+	start := time.Now()
+	defer func() { s.fillNs.Add(int64(time.Since(start))) }()
 	h := rowHeap{rows: s.buf, cmp: s.cmp}
 	for {
 		row, err := s.in.Next(ctx)
@@ -111,8 +119,8 @@ func (s *sortIterator) fill(ctx context.Context) error {
 		} else {
 			heap.Push(&h, row)
 		}
-		if len(h.rows) > s.maxHeld {
-			s.maxHeld = len(h.rows)
+		if n := int64(len(h.rows)); n > s.maxHeld.Load() {
+			s.maxHeld.Store(n)
 		}
 	}
 	s.buf = h.rows

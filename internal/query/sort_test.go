@@ -147,8 +147,8 @@ func TestSortTopKMemoryBound(t *testing.T) {
 	if src.pulled != n {
 		t.Errorf("pulled %d rows from source, want all %d", src.pulled, n)
 	}
-	if s.maxHeld > limit {
-		t.Errorf("heap held %d rows, bound is %d", s.maxHeld, limit)
+	if held := s.maxHeld.Load(); held > limit {
+		t.Errorf("heap held %d rows, bound is %d", held, limit)
 	}
 	if !src.closed {
 		t.Error("source not closed after drain")

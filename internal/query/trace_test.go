@@ -1,0 +1,213 @@
+package query
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+func spanNames(spans []Span) map[string]bool {
+	m := map[string]bool{}
+	for _, s := range spans {
+		m[s.Name] = true
+	}
+	return m
+}
+
+// TestParseExplainAnalyze: the ANALYZE verb parses, implies Explain,
+// and round-trips through String.
+func TestParseExplainAnalyze(t *testing.T) {
+	q, err := Parse("EXPLAIN ANALYZE SELECT id FROM rel:orders LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Explain || !q.Analyze {
+		t.Errorf("Explain/Analyze = %v/%v, want true/true", q.Explain, q.Analyze)
+	}
+	const want = "EXPLAIN ANALYZE SELECT id FROM rel:orders LIMIT 3"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	q2, err := Parse("EXPLAIN SELECT id FROM rel:orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Analyze {
+		t.Error("plain EXPLAIN parsed as ANALYZE")
+	}
+}
+
+// TestExplainAnalyzeExecutes: EXPLAIN ANALYZE runs the query to
+// completion and returns a rowless stream whose plan carries the live
+// counters and span timings.
+func TestExplainAnalyzeExecutes(t *testing.T) {
+	e := multiSourcePoly(t)
+	ctx := context.Background()
+	st, err := e.Query(ctx, Request{
+		SQL: "EXPLAIN ANALYZE SELECT id, total FROM rel:orders, rel:more_orders ORDER BY total DESC LIMIT 5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.ExplainOnly() {
+		t.Fatal("EXPLAIN ANALYZE stream is not explain-only")
+	}
+	if _, err := st.Next(ctx); err != io.EOF {
+		t.Fatalf("EXPLAIN ANALYZE emitted rows (err=%v)", err)
+	}
+	a := st.Plan().Analyzed
+	if a == nil {
+		t.Fatal("Plan().Analyzed is nil")
+	}
+	if a.RowsOut != 5 {
+		t.Errorf("analyzed rows_out = %d, want 5", a.RowsOut)
+	}
+	var pulled int64
+	for _, s := range a.Sources {
+		pulled += s.Rows
+	}
+	if pulled == 0 {
+		t.Error("analyzed per-source counters are all zero — the query did not execute")
+	}
+	names := spanNames(a.Trace)
+	for _, want := range []string{"plan", "open-sources", "execute", "sort"} {
+		if !names[want] {
+			t.Errorf("analyzed trace missing span %q (have %v)", want, a.Trace)
+		}
+	}
+	if a.SortHeapRows == 0 || a.SortHeapRows > 5 {
+		t.Errorf("sort heap high-water = %d, want in (0, 5]", a.SortHeapRows)
+	}
+	// The rendered plan includes the analyzed block.
+	if s := st.Plan().String(); !strings.Contains(s, "analyzed: 5 rows out") {
+		t.Errorf("plan text missing analyzed block:\n%s", s)
+	}
+}
+
+// TestRequestAnalyzeOption: Request.Analyze behaves like the SQL verb.
+func TestRequestAnalyzeOption(t *testing.T) {
+	e := multiSourcePoly(t)
+	st, err := e.Query(context.Background(), Request{
+		SQL:     "SELECT id FROM rel:orders",
+		Analyze: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.ExplainOnly() || st.Plan().Analyzed == nil {
+		t.Error("Request.Analyze did not produce an analyzed explain-only stream")
+	}
+}
+
+// TestTraceSpansOnLiveStream: a normal query's Stats carries the
+// build-time spans, the execute span once consumption starts, and the
+// sort span when the plan has one.
+func TestTraceSpansOnLiveStream(t *testing.T) {
+	e := multiSourcePoly(t)
+	ctx := context.Background()
+	st, err := e.Query(ctx, Request{
+		SQL: "SELECT id, total FROM rel:orders, rel:more_orders ORDER BY total LIMIT 4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st.AddSpan("serialize", 42)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names := spanNames(st.Stats().Trace)
+	for _, want := range []string{"plan", "open-sources", "serialize", "execute", "sort"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, st.Stats().Trace)
+		}
+	}
+}
+
+// TestStatsWidthIndependence is the regression pin for the sequential
+// union's instrumentation: on a full drain, the per-source rows-pulled
+// counters are identical at fan-in 1 and fan-in 8, and blocked-time is
+// non-zero in both — the sequential path meters its sources with the
+// same counters the parallel pullers use.
+func TestStatsWidthIndependence(t *testing.T) {
+	e := multiSourcePoly(t)
+	ctx := context.Background()
+	const sql = "SELECT id FROM rel:orders, rel:more_orders, doc:events"
+	perSource := func(fanIn int) map[string]SourceStats {
+		t.Helper()
+		st, err := e.Query(ctx, Request{SQL: sql, FanIn: fanIn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := st.Next(ctx); err != nil {
+				if err == io.EOF {
+					break
+				}
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]SourceStats{}
+		for _, s := range st.Stats().Sources {
+			out[s.Source] = s
+		}
+		return out
+	}
+	seq, par := perSource(1), perSource(8)
+	if len(seq) != 3 || len(par) != 3 {
+		t.Fatalf("source count: seq=%d par=%d, want 3", len(seq), len(par))
+	}
+	for src, ss := range seq {
+		ps, ok := par[src]
+		if !ok {
+			t.Errorf("source %s missing from parallel stats", src)
+			continue
+		}
+		if ss.Rows != ps.Rows {
+			t.Errorf("source %s: rows seq=%d par=%d — stats are width-dependent", src, ss.Rows, ps.Rows)
+		}
+		if ss.Rows > 0 && ss.Blocked == 0 {
+			t.Errorf("source %s: sequential blocked-time is zero despite %d rows pulled", src, ss.Rows)
+		}
+	}
+}
+
+// TestRowStreamCloseHooksAndErr: OnClose hooks fire exactly once even
+// on double Close, and Err reports the first row-level error.
+func TestRowStreamCloseHooksAndErr(t *testing.T) {
+	e := multiSourcePoly(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := e.Query(ctx, Request{SQL: "SELECT id FROM rel:orders"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	st.OnClose(func() { fired++ })
+	if _, err := st.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st.Err() != nil {
+		t.Errorf("Err() = %v before any failure", st.Err())
+	}
+	cancel()
+	if _, err := st.Next(ctx); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if st.Err() == nil {
+		t.Error("Err() did not capture the cancellation")
+	}
+	st.Close()
+	st.Close()
+	if fired != 1 {
+		t.Errorf("close hook fired %d times, want 1", fired)
+	}
+}
