@@ -9,12 +9,14 @@
 //
 // Without -only, every experiment runs in DESIGN.md order. With -json,
 // the fan-in (plain and ORDER BY — what default-on fan-in ships),
-// streaming, ingest-durability (WAL off / WAL no-fsync / WAL fsync),
-// and metrics-overhead (identical drained query with the observability
-// layer on vs WithMetrics(false)) benchmarks run through
-// testing.Benchmark and their machine-readable results (ns/op,
-// allocs/op, rows/s) are written to BENCH_7.json (or -json-out) — the
-// in-repo perf trajectory file.
+// streaming, scan-pipeline (scan_row vs scan_batch — the row and
+// columnar executions of the same selective scan), ingest-durability
+// (WAL off / WAL no-fsync / WAL fsync), and metrics-overhead
+// (identical drained query with the observability layer on vs
+// WithMetrics(false)) benchmarks run through testing.Benchmark and
+// their machine-readable results (ns/op, allocs/op, rows/s) are
+// written to BENCH_8.json (or -json-out) — the in-repo perf
+// trajectory file.
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment")
 	jsonOut := flag.Bool("json", false, "write machine-readable benchmark results instead of reports")
-	jsonPath := flag.String("json-out", "BENCH_7.json", "output path for -json")
+	jsonPath := flag.String("json-out", "BENCH_8.json", "output path for -json")
 	flag.Parse()
 	dir, err := os.MkdirTemp("", "golake-benchreport-*")
 	if err != nil {
@@ -41,6 +43,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		scan, err := bench.ScanBenchResults(dir + "/scanjson")
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, scan...)
 		ingest, err := bench.IngestBenchResults()
 		if err != nil {
 			fatal(err)

@@ -35,7 +35,9 @@
 // buffers, and an ORDER BY — in the SQL or via -order — keeps the
 // output order deterministic at any width. -fanin pins the width
 // (-fanin 1 forces the sequential union), -fanin-buffer sizes the
-// per-source window, -explain prints the typed plan without running,
+// per-source window, -batch-rows sizes the columnar batches the
+// pipeline moves (0 = engine default), -explain prints the typed plan
+// without running,
 // and -stats prints per-source execution counters and the trace spans
 // (plan, open-sources, execute, sort) to stderr after the query. The
 // flags build one query.Request behind the scenes.
@@ -86,6 +88,8 @@ func main() {
 		"federated-query fan-in width (0 = one puller per CPU, 1 = sequential)")
 	fanInBuffer := flag.Int("fanin-buffer", 0,
 		"per-source fan-in buffer in rows (0 = default)")
+	batchRows := flag.Int("batch-rows", 0,
+		"rows per columnar batch for federated queries (0 = engine default)")
 	orderBy := flag.String("order", "",
 		"ORDER BY passthrough for query: col[:desc][,col...]")
 	explain := flag.Bool("explain", false,
@@ -123,7 +127,7 @@ func main() {
 	}
 	defer lake.Close()
 	qf := queryFlags{
-		fanIn: *fanIn, bufferRows: *fanInBuffer,
+		fanIn: *fanIn, bufferRows: *fanInBuffer, batchRows: *batchRows,
 		order: *orderBy, explain: *explain, stats: *stats,
 		metrics: *metricsFlag, pprofAddr: *pprofAddr,
 	}
@@ -136,6 +140,7 @@ func main() {
 // into one query.Request, plus the status/serve operability switches.
 type queryFlags struct {
 	fanIn, bufferRows int
+	batchRows         int
 	order             string
 	explain, stats    bool
 	metrics           bool
@@ -143,7 +148,7 @@ type queryFlags struct {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-order COLS] [-explain] [-stats] [-metrics] [-pprof ADDR] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-batch-rows ROWS] [-order COLS] [-explain] [-stats] [-metrics] [-pprof ADDR] COMMAND [ARGS]")
 	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage status serve registry demo")
 	os.Exit(2)
 }
@@ -333,6 +338,7 @@ func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string, qf qu
 		Order:      order,
 		FanIn:      qf.fanIn,
 		BufferRows: qf.bufferRows,
+		BatchRows:  qf.batchRows,
 		Explain:    qf.explain,
 	})
 	if err != nil {
@@ -381,6 +387,9 @@ func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string, qf qu
 		}
 		if es.SortHeapRows > 0 {
 			fmt.Fprintf(os.Stderr, "sort heap high-water: %d rows\n", es.SortHeapRows)
+		}
+		if es.Batches > 0 {
+			fmt.Fprintf(os.Stderr, "columnar batches: %d\n", es.Batches)
 		}
 	}
 	return nil

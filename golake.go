@@ -82,6 +82,13 @@
 // sequential source-concatenation union), WithFanIn pins a lake-wide
 // default, and QueryRequest.BufferRows sizes the per-source window.
 //
+// Queries whose FROM list is entirely relational run on a columnar
+// batch pipeline — typed column vectors moved ~1024 rows at a time,
+// vectorized filtering, fan-in shipping whole batches — with output
+// byte-identical to the row pipeline; any other source mix falls back
+// to row mode (the plan says which ran). QueryRequest.BatchRows sizes
+// the batches.
+//
 // Plan introspection rides on the same request: EXPLAIN SELECT ... (or
 // QueryRequest.Explain) returns a rowless stream whose Plan() carries
 // the per-source access paths, pushed-down predicates, fan-in width
@@ -93,7 +100,7 @@
 // over Query (they keep their frozen sequential-by-default behavior).
 //
 // Over REST, POST /v1/query accepts {"sql", "order", "limit", "fanin",
-// "buffer_rows", "explain"} and streams chunked NDJSON when the
+// "buffer_rows", "batch_rows", "explain"} and streams chunked NDJSON when the
 // request carries Accept: application/x-ndjson (header line, one JSON
 // row per line, a {"stats":{...}} trailer on clean end, a final
 // {"error":{...}} line on mid-stream failure). With "explain": true it

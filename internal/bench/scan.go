@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"golake/internal/query"
+)
+
+// The scan benchmark corpus and query: a selective predicate over a
+// wide scan, the shape the columnar batch pipeline targets. The same
+// engine, query, and row counts back the go-test benches
+// (BenchmarkScan*) and the -json trajectory rows (scan_row /
+// scan_batch), so both measure the same work.
+const (
+	scanBenchRows = 200000
+	scanBenchSQL  = "SELECT id, v FROM rel:big WHERE v > 400"
+)
+
+// scanBenchHits is the query's output cardinality over scanBenchRows
+// rows of the BigEngine corpus (v = i % 997, predicate v > 400).
+func scanBenchHits() int {
+	n := 0
+	for i := 0; i < scanBenchRows; i++ {
+		if i%997 > 400 {
+			n++
+		}
+	}
+	return n
+}
+
+// ScanEngines builds the row-mode and batch-mode engines for the scan
+// benchmarks over a shared 200k-row corpus: same polystore, same
+// table, only the execution pipeline differs. dir is a scratch
+// directory for the backing store (the caller owns its lifecycle).
+func ScanEngines(dir string) (row, batch *query.Engine, err error) {
+	batch, err = BigEngine(dir, scanBenchRows)
+	if err != nil {
+		return nil, nil, err
+	}
+	row = query.NewEngine(batch.Poly)
+	row.DisableBatch = true
+	return row, batch, nil
+}
+
+// DrainScan runs the scan benchmark query through the engine's
+// streaming pipeline and returns the output row count — the shared
+// experiment body of the scan_row/scan_batch trajectory rows and the
+// BenchmarkScan* go-test benches. A stream with a columnar face is
+// drained batch-wise through one reused scratch row, the same shape
+// the NDJSON serializer uses, so the benchmark measures the pipeline
+// rather than a per-row adapter it would never run through.
+func DrainScan(ctx context.Context, e *query.Engine) (int, error) {
+	st, err := e.Query(ctx, query.Request{SQL: scanBenchSQL})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	n := 0
+	if st.BatchOutput() {
+		scratch := make([]string, len(st.Columns()))
+		for {
+			b, err := st.NextBatch(ctx)
+			if err == io.EOF {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+			for i, bn := 0, b.Len(); i < bn; i++ {
+				b.CopyRow(scratch, i)
+				n++
+			}
+		}
+	}
+	for {
+		_, err := st.Next(ctx)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ScanBenchResults runs the row-versus-columnar scan benchmarks
+// through testing.Benchmark and returns their machine-readable
+// results. rows/s is normalized on rows scanned (scanBenchRows), not
+// rows returned: the pipelines do the same scan work per op and the
+// trajectory metric tracks scan throughput.
+func ScanBenchResults(dir string) ([]BenchResult, error) {
+	rowEng, batchEng, err := ScanEngines(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	want := scanBenchHits()
+	var out []BenchResult
+	var benchErr error
+	run := func(name string, e *query.Engine) error {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := DrainScan(ctx, e)
+				if err != nil {
+					benchErr = fmt.Errorf("%s: %w", name, err)
+					b.Fatal(err)
+				}
+				if n != want {
+					benchErr = fmt.Errorf("%s: drained %d rows, want %d", name, n, want)
+					b.Fatalf("drained %d rows, want %d", n, want)
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		if r.N == 0 {
+			return fmt.Errorf("%s: benchmark did not run", name)
+		}
+		out = append(out, benchResult(name, scanBenchRows, r))
+		return nil
+	}
+	if err := run("scan_row", rowEng); err != nil {
+		return nil, err
+	}
+	if err := run("scan_batch", batchEng); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

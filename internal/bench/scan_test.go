@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkScanRow measures the row-at-a-time pipeline on the scan
+// benchmark query (the DisableBatch escape hatch) — the baseline the
+// scan_batch trajectory row is compared against.
+func BenchmarkScanRow(b *testing.B) {
+	rowEng, _, err := ScanEngines(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	want := scanBenchHits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := DrainScan(ctx, rowEng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != want {
+			b.Fatalf("drained %d rows, want %d", n, want)
+		}
+	}
+}
+
+// BenchmarkScanBatch measures the columnar batch pipeline on the same
+// query, corpus, and store — the tentpole's headline number.
+func BenchmarkScanBatch(b *testing.B) {
+	_, batchEng, err := ScanEngines(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	want := scanBenchHits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := DrainScan(ctx, batchEng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != want {
+			b.Fatalf("drained %d rows, want %d", n, want)
+		}
+	}
+}
+
+// TestScanBenchAgreement pins the two pipelines to the same output
+// cardinality on the shared corpus — the invariant that makes the
+// scan_row/scan_batch trajectory rows comparable.
+func TestScanBenchAgreement(t *testing.T) {
+	rowEng, batchEng, err := ScanEngines(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want := scanBenchHits()
+	if n, err := DrainScan(ctx, rowEng); err != nil || n != want {
+		t.Fatalf("row pipeline: n=%d err=%v, want %d", n, err, want)
+	}
+	if n, err := DrainScan(ctx, batchEng); err != nil || n != want {
+		t.Fatalf("batch pipeline: n=%d err=%v, want %d", n, err, want)
+	}
+}

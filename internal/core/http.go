@@ -37,7 +37,8 @@ import (
 //	POST /v1/explore                     any discovery mode (JSON body)
 //	POST /v1/query                       body: {"sql", "order", "limit",
 //	                                     "fanin", "buffer_rows",
-//	                                     "explain"}; JSON rows + stats,
+//	                                     "batch_rows", "explain"};
+//	                                     JSON rows + stats,
 //	                                     the typed plan when explaining,
 //	                                     or chunked NDJSON streaming
 //	                                     with Accept: application/x-ndjson
@@ -651,18 +652,23 @@ const ndjsonFlushEvery = 64
 
 // Per-request fan-in bounds: a request may widen concurrency only up to
 // these caps, so one query cannot ask the server for unbounded
-// goroutines or buffer memory.
+// goroutines or buffer memory. batch_rows is capped for the same
+// reason — a batch is materialized per source, so its size bounds
+// per-query memory.
 const (
 	maxQueryFanIn      = 64
 	maxQueryBufferRows = 1 << 16
+	maxQueryBatchRows  = 1 << 16
 )
 
 // queryRequest is the POST /v1/query body: one statement plus the
 // typed execution options of query.Request. fanin/buffer_rows absent
 // means the lake default (fan-in on, one puller per CPU, unless
 // WithFanIn pinned a width); fanin 1 forces the sequential union.
-// order entries sort the result ({"column": ..., "desc": ...});
-// explain returns the typed plan instead of executing.
+// batch_rows sizes the columnar pipeline's batches (absent = the lake
+// default; ignored on queries that fall back to row mode). order
+// entries sort the result ({"column": ..., "desc": ...}); explain
+// returns the typed plan instead of executing.
 type queryRequest struct {
 	SQL   string `json:"sql"`
 	Order []struct {
@@ -674,6 +680,7 @@ type queryRequest struct {
 	Analyze    bool `json:"analyze"`
 	FanIn      *int `json:"fanin"`
 	BufferRows *int `json:"buffer_rows"`
+	BatchRows  *int `json:"batch_rows"`
 }
 
 // request validates the body against the server-side caps and builds
@@ -700,6 +707,12 @@ func (b queryRequest) request() (query.Request, error) {
 			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: buffer_rows must be 0..%d", maxQueryBufferRows)
 		}
 		req.BufferRows = *b.BufferRows
+	}
+	if b.BatchRows != nil {
+		if *b.BatchRows < 0 || *b.BatchRows > maxQueryBatchRows {
+			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: batch_rows must be 0..%d", maxQueryBatchRows)
+		}
+		req.BatchRows = *b.BatchRows
 	}
 	return req, nil
 }
@@ -770,6 +783,13 @@ func (l *Lake) handleQueryLegacy(w http.ResponseWriter, r *http.Request, sql str
 	writeJSON(w, http.StatusOK, tableJSON(res))
 }
 
+// batchStreamer is the columnar face a stream may expose (RowStream
+// does, when the engine picked the batch pipeline end-to-end).
+type batchStreamer interface {
+	BatchOutput() bool
+	NextBatch(ctx context.Context) (*query.Batch, error)
+}
+
 // streamNDJSON writes a query stream as chunked NDJSON: a header
 // object {"columns":[...]}, then one JSON array per row, flushed every
 // ndjsonFlushEvery rows so the first rows reach the client while the
@@ -782,6 +802,11 @@ func (l *Lake) handleQueryLegacy(w http.ResponseWriter, r *http.Request, sql str
 // encoding rows onto the wire is accumulated into the stream's
 // "serialize" trace span (when the iterator carries one) so the stats
 // trailer accounts for it.
+//
+// A stream with a columnar face is drained batch-wise: each batch's
+// vectors are walked through one reused scratch row instead of
+// materializing a fresh []string per row. The wire bytes are identical
+// either way — each line is still the JSON array of the row's cells.
 func streamNDJSON(w http.ResponseWriter, ctx context.Context, st query.RowIterator, stats func() query.ExecStats) {
 	defer st.Close()
 	w.Header().Set("Content-Type", ndjsonContentType)
@@ -802,22 +827,48 @@ func streamNDJSON(w http.ResponseWriter, ctx context.Context, st query.RowIterat
 		flusher.Flush()
 	}
 	n := 0
-	for {
-		row, err := st.Next(ctx)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			writeNDJSONError(w, err)
-			return
-		}
+	emit := func(row []string) (ok bool) {
 		if err := encode(row); err != nil {
 			// The client is gone; nobody is left to read a trailer.
-			return
+			return false
 		}
 		n++
 		if n%ndjsonFlushEvery == 0 && flusher != nil {
 			flusher.Flush()
+		}
+		return true
+	}
+	if bs, ok := st.(batchStreamer); ok && bs.BatchOutput() {
+		scratch := make([]string, len(st.Columns()))
+		for {
+			b, err := bs.NextBatch(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				writeNDJSONError(w, err)
+				return
+			}
+			for i, bn := 0, b.Len(); i < bn; i++ {
+				b.CopyRow(scratch, i)
+				if !emit(scratch) {
+					return
+				}
+			}
+		}
+	} else {
+		for {
+			row, err := st.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				writeNDJSONError(w, err)
+				return
+			}
+			if !emit(row) {
+				return
+			}
 		}
 	}
 	if sa, ok := st.(interface {

@@ -917,6 +917,11 @@ func (l *Lake) Query(ctx context.Context, user string, req query.Request) (*quer
 			st.OnClose(func() {
 				l.metrics.observeQuery(st.Plan(), st.Stats(), st.Err() != nil)
 			})
+			// Batch-mode streams additionally report each batch's size
+			// and fill ratio as it moves through the pipeline.
+			if st.BatchMode() {
+				st.OnBatch(l.metrics.observeBatch)
+			}
 		}
 	}
 	// The engine already parsed the statement; the plan's source list

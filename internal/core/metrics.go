@@ -14,6 +14,15 @@ var fanInBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 // heapRowBuckets bracket the sort stage's heap high-water mark.
 var heapRowBuckets = []float64{10, 100, 1000, 10000, 100000, 1000000}
 
+// batchRowBuckets bracket the logical rows per columnar batch, up to
+// the request cap on batch_rows.
+var batchRowBuckets = []float64{1, 8, 64, 256, 512, 1024, 4096, 16384, 65536}
+
+// fillRatioBuckets bracket how full each columnar batch is relative to
+// the configured batch size (1.0 = every batch at capacity; low values
+// signal selective filters or fragmented sources).
+var fillRatioBuckets = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1}
+
 // lakeMetrics is the lake's metric surface: one obs.Registry plus the
 // pre-registered series every layer records into. All series share the
 // golake_ prefix; /v1/metrics renders the registry.
@@ -32,6 +41,8 @@ type lakeMetrics struct {
 	querySourceRows *obs.CounterVec // source
 	querySourceBlkd *obs.CounterVec // source
 	querySortHeap   *obs.Histogram
+	queryBatchRows  *obs.Histogram
+	queryBatchFill  *obs.Histogram
 
 	// Maintenance.
 	maintPasses    *obs.CounterVec // mode
@@ -78,6 +89,12 @@ func newLakeMetrics() *lakeMetrics {
 		querySortHeap: r.Histogram("golake_query_sort_heap_rows",
 			"Sort-stage heap high-water mark per sorted query, in rows.",
 			heapRowBuckets),
+		queryBatchRows: r.Histogram("golake_query_batch_rows",
+			"Logical rows per columnar batch moved by the batch pipeline.",
+			batchRowBuckets),
+		queryBatchFill: r.Histogram("golake_query_batch_fill_ratio",
+			"Per-batch fill ratio (logical rows / configured batch size) of the columnar pipeline.",
+			fillRatioBuckets),
 		maintPasses: r.CounterVec("golake_maintenance_passes_total",
 			"Completed maintenance passes by mode (full, incremental).", "mode"),
 		maintFailures: r.Counter("golake_maintenance_failures_total",
@@ -136,6 +153,21 @@ func (m *lakeMetrics) observeQuery(plan *query.Plan, st query.ExecStats, failed 
 	}
 	if st.SortHeapRows > 0 {
 		m.querySortHeap.Observe(float64(st.SortHeapRows))
+	}
+}
+
+// observeBatch records one columnar batch moving through a query
+// pipeline: its logical row count and how full it is relative to the
+// configured batch size. Installed as the stream's OnBatch hook, so it
+// runs on the consumer's goroutine per batch — both series are plain
+// histogram observations, cheap enough for that cadence.
+func (m *lakeMetrics) observeBatch(rows, capacity int) {
+	if m == nil {
+		return
+	}
+	m.queryBatchRows.Observe(float64(rows))
+	if capacity > 0 {
+		m.queryBatchFill.Observe(float64(rows) / float64(capacity))
 	}
 }
 

@@ -1,0 +1,198 @@
+package query
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+// batchHop is the unit crossing a puller→consumer channel hop in the
+// batch fan-in: one already-remapped batch, or the source's terminal
+// state after its last batch was delivered.
+type batchHop struct {
+	b   *Batch
+	err error
+}
+
+// ParallelUnionBatches merges batch sources concurrently with bounded
+// buffering — the columnar ParallelUnion. The architecture is the same:
+// one puller goroutine per source (at most opts.Workers running at
+// once) drains its source into a per-source queue, the consumer serves
+// batches in arrival order, the first source error is sticky and stops
+// all pullers, and Close cancels and joins every puller leak-free. The
+// difference is the payload: whole batches ride the queue, so the
+// fan-in synchronization and the remap onto the union header are paid
+// once per batch instead of re-rowifying at the merge.
+//
+// batchRows is the pipeline's configured batch size; the queue depth is
+// the backpressure window divided by it (minimum one batch), keeping
+// the buffered row bound comparable to the row fan-in's.
+//
+// With Workers <= 1 (or fewer than two sources) it returns the
+// sequential UnionBatches and its deterministic source order.
+func ParallelUnionBatches(ctx context.Context, sources []BatchIterator, want []string, opts FanInOptions, batchRows int) BatchIterator {
+	if len(sources) < 2 || opts.sequential() {
+		return UnionBatches(sources, want)
+	}
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	depth := opts.bufferRows() / batchRows
+	if depth < 1 {
+		depth = 1
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	p := &parallelUnionBatches{
+		cols:   unionBatchColumns(sources, want),
+		pctx:   pctx,
+		cancel: cancel,
+		queues: make([]chan batchHop, len(sources)),
+		// Sized so pullers never block on ready (see parallelUnion).
+		ready: make(chan int, len(sources)*depth),
+	}
+	var sem chan struct{}
+	if opts.Workers > 0 && opts.Workers < len(sources) {
+		sem = make(chan struct{}, opts.Workers)
+	}
+	p.wg.Add(len(sources))
+	for i, src := range sources {
+		p.queues[i] = make(chan batchHop, depth)
+		go p.pull(pctx, i, src, sem)
+	}
+	return p
+}
+
+// parallelUnionBatches is the consumer half of the columnar fan-in;
+// field semantics mirror parallelUnion.
+type parallelUnionBatches struct {
+	cols   []string
+	pctx   context.Context
+	cancel context.CancelFunc
+	queues []chan batchHop
+	ready  chan int
+	wg     sync.WaitGroup
+
+	closeMu  sync.Mutex
+	closeErr error
+
+	// Consumer-side state (single consumer, no locking needed).
+	done   int
+	err    error
+	closed bool
+}
+
+// pull drains one source: acquire a worker slot, remap each batch onto
+// the union header, queue it, and finish with the source's terminal
+// state. The source is closed here, exactly once, however the stream
+// ends.
+func (p *parallelUnionBatches) pull(ctx context.Context, i int, src BatchIterator, sem chan struct{}) {
+	defer p.wg.Done()
+	defer func() {
+		if err := src.Close(); err != nil {
+			p.closeMu.Lock()
+			if p.closeErr == nil {
+				p.closeErr = err
+			}
+			p.closeMu.Unlock()
+		}
+	}()
+	if sem != nil {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-ctx.Done():
+			return
+		}
+	}
+	srcMap := batchMapping(src.Columns(), p.cols)
+	for {
+		b, err := src.Next(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Torn down by Close/cancel: nobody is reading anymore.
+				return
+			}
+			p.send(ctx, i, batchHop{err: err})
+			return
+		}
+		if !p.send(ctx, i, batchHop{b: remapBatch(b, p.cols, srcMap)}) {
+			return
+		}
+	}
+}
+
+// send queues one hop and announces its arrival; false means the
+// stream was torn down and the puller should exit.
+func (p *parallelUnionBatches) send(ctx context.Context, i int, h batchHop) bool {
+	select {
+	case p.queues[i] <- h:
+	case <-ctx.Done():
+		return false
+	}
+	select {
+	case p.ready <- i:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (p *parallelUnionBatches) Columns() []string { return p.cols }
+
+func (p *parallelUnionBatches) Next(ctx context.Context) (*Batch, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.closed {
+		return nil, io.EOF
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for {
+		if p.done == len(p.queues) {
+			return nil, io.EOF
+		}
+		var i int
+		select {
+		case i = <-p.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-p.pctx.Done():
+			// Open-scope cancellation under a live per-call context:
+			// serve anything already announced, then surface the
+			// cancellation (sticky) — see parallelUnion.Next.
+			select {
+			case i = <-p.ready:
+			default:
+				p.err = p.pctx.Err()
+				return nil, p.err
+			}
+		}
+		h := <-p.queues[i]
+		if h.err == io.EOF {
+			p.done++
+			continue
+		}
+		if h.err != nil {
+			// First source error: sticky, and the remaining pullers stop
+			// and close their sources on the way out.
+			p.err = h.err
+			p.cancel()
+			return nil, h.err
+		}
+		return h.b, nil
+	}
+}
+
+func (p *parallelUnionBatches) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.cancel()
+	p.wg.Wait()
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	return p.closeErr
+}

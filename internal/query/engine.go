@@ -41,6 +41,13 @@ type Engine struct {
 	// zero value keeps the sequential union and its deterministic
 	// source-concatenation row order.
 	FanIn FanInOptions
+	// BatchRows sizes the columnar pipeline's batches (0 =
+	// DefaultBatchRows); Request.BatchRows overrides it per query.
+	BatchRows int
+	// DisableBatch forces row-mode execution even for queries the
+	// columnar pipeline could serve — the regression/benchmark escape
+	// hatch.
+	DisableBatch bool
 }
 
 // NewEngine creates an engine with pushdown enabled.
@@ -71,6 +78,13 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 	if err != nil {
 		return nil, err
 	}
+	batchRows := e.resolveBatchRows(req)
+	useBatch := e.batchEligible(q)
+	if useBatch {
+		plan.Batch = fmt.Sprintf("columnar (%d rows/batch)", batchRows)
+	} else {
+		plan.Batch = "row (source without batch scan)"
+	}
 	analyze := q.Analyze || req.Analyze
 	if (q.Explain || req.Explain) && !analyze {
 		// plan validated sort keys against an explicit projection; for
@@ -93,12 +107,20 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 		q = &qq
 	}
 	openStart := time.Now()
-	it, counters, err := e.stream(ctx, q, order, limit, opts, true)
+	var it RowIterator
+	var counters []*sourceCounter
+	var bit BatchIterator
+	var bmeter *batchMeter
+	if useBatch {
+		it, bit, bmeter, counters, err = e.streamBatches(ctx, q, order, limit, opts, batchRows)
+	} else {
+		it, counters, err = e.stream(ctx, q, order, limit, opts, true)
+	}
 	if err != nil {
 		return nil, err
 	}
 	trace.Add("open-sources", time.Since(openStart))
-	st := &RowStream{it: it, plan: plan, counters: counters, trace: trace}
+	st := &RowStream{it: it, bit: bit, bmeter: bmeter, plan: plan, counters: counters, trace: trace}
 	if s, ok := it.(*sortIterator); ok {
 		st.sorter = s
 	}
@@ -139,6 +161,36 @@ func (e *Engine) resolveFanIn(req Request) FanInOptions {
 		b = e.FanIn.BufferRows
 	}
 	return FanInOptions{Workers: w, BufferRows: b}
+}
+
+// resolveBatchRows resolves a request's batch size against the engine
+// configuration: an explicit request size wins, then the engine's, then
+// DefaultBatchRows.
+func (e *Engine) resolveBatchRows(req Request) int {
+	if req.BatchRows > 0 {
+		return req.BatchRows
+	}
+	if e.BatchRows > 0 {
+		return e.BatchRows
+	}
+	return DefaultBatchRows
+}
+
+// batchEligible reports whether the columnar pipeline can serve the
+// query: every FROM item must resolve to the relational store (the one
+// member store with a batch scan). Anything else — document, graph,
+// file, or mixed sources — falls back to the row pipeline unchanged.
+func (e *Engine) batchEligible(q *Query) bool {
+	if e.DisableBatch || len(q.Sources) == 0 {
+		return false
+	}
+	for _, src := range q.Sources {
+		kind, _, err := e.resolveKind(src)
+		if err != nil || kind != "rel" {
+			return false
+		}
+	}
+	return true
 }
 
 // CombineLimit composes two row caps; zero means unbounded, otherwise
@@ -337,6 +389,121 @@ func (e *Engine) stream(ctx context.Context, q *Query, order []OrderKey, limit i
 	}
 	return it, counters, nil
 }
+
+// streamBatches assembles the columnar pipeline for an all-relational
+// query: per-source batch scans fill vectors zero-copy from the store
+// snapshot, the vectorized filter narrows each batch's selection
+// centrally (predicates are evaluated once per vector, not pushed into
+// the cursor), the batch union remaps whole columns onto the result
+// header (null-padding what a source lacks — the projection stage), a
+// meter counts batches for stats and observability, and LIMIT slices
+// the final batch. ORDER BY re-rowifies through the shared top-K sort
+// stage — then the returned BatchIterator is nil and only the row face
+// serves the output. Output is byte-identical to the row pipeline
+// (modulo the arrival-order nondeterminism a parallel fan-in already
+// has).
+func (e *Engine) streamBatches(ctx context.Context, q *Query, order []OrderKey, limit int, opts FanInOptions, batchRows int) (RowIterator, BatchIterator, *batchMeter, []*sourceCounter, error) {
+	sources := make([]BatchIterator, 0, len(q.Sources))
+	counters := make([]*sourceCounter, 0, len(q.Sources))
+	closeAll := func() {
+		for _, s := range sources {
+			_ = s.Close()
+		}
+	}
+	for _, src := range q.Sources {
+		if err := ctx.Err(); err != nil {
+			closeAll()
+			return nil, nil, nil, nil, err
+		}
+		_, name, err := e.resolveKind(src) // kind is "rel" (batchEligible)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, nil, err
+		}
+		var proj []string
+		if e.PushDown {
+			proj = batchPushableColumns(name, q, e)
+		}
+		cur, err := e.Poly.Rel.ScanWhere(name, nil, proj)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, nil, err
+		}
+		var bi BatchIterator = &relBatchIterator{cur: cur, rows: batchRows}
+		bi = FilterBatches(bi, q.Where)
+		c := &sourceCounter{source: src}
+		counters = append(counters, c)
+		sources = append(sources, &meteredBatchIterator{in: bi, c: c})
+	}
+	u := ParallelUnionBatches(ctx, sources, q.Columns, opts, batchRows)
+	if len(order) > 0 {
+		if err := validateOrder(order, u.Columns()); err != nil {
+			_ = u.Close()
+			return nil, nil, nil, nil, err
+		}
+	}
+	meter := &batchMeter{in: u, capacity: batchRows}
+	if len(order) > 0 {
+		return SortBatches(meter, order, limit), nil, meter, counters, nil
+	}
+	bit := LimitBatches(meter, limit)
+	return Rows(bit), bit, meter, counters, nil
+}
+
+// batchPushableColumns is the projection the batch pipeline pushes into
+// the store: the requested columns plus the predicate columns (the
+// filter runs centrally over vectors, so its inputs must survive the
+// scan), intersected with what the table has. nil for SELECT *.
+func batchPushableColumns(name string, q *Query, e *Engine) []string {
+	want := withPredicateColumns(q)
+	if want == nil {
+		return nil
+	}
+	names, err := e.Poly.Rel.ColumnNames(name)
+	if err != nil {
+		return nil
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	var cols []string
+	for _, c := range want {
+		if have[c] {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// relBatchIterator adapts a relational store cursor to the batch
+// pipeline: each Next pulls one column-wise batch from the snapshot —
+// zero-copy runs when nothing was pushed down — and wraps the runs as
+// typed vectors carrying the table's column kinds.
+type relBatchIterator struct {
+	cur  *polystore.Cursor
+	rows int
+}
+
+func (r *relBatchIterator) Columns() []string { return r.cur.Columns() }
+
+func (r *relBatchIterator) Next(ctx context.Context) (*Batch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cells, n := r.cur.NextBatch(r.rows)
+	if n == 0 {
+		return nil, io.EOF
+	}
+	kinds := r.cur.Kinds()
+	vecs := make([]*Vector, len(cells))
+	for j := range cells {
+		vecs[j] = NewVector(kinds[j], cells[j])
+	}
+	return NewBatch(r.cur.Columns(), vecs), nil
+}
+
+func (r *relBatchIterator) Close() error { return r.cur.Close() }
 
 // starColumns computes the SELECT * result header without opening any
 // scan: the union of the source headers in first-seen order, mirroring

@@ -354,6 +354,11 @@ func (u *unionIterator) Close() error {
 // (column types inferred), closing it afterwards — the bridge that
 // keeps materialized callers working on top of the streaming pipeline.
 func Collect(ctx context.Context, it RowIterator) (*table.Table, error) {
+	// A stream with a columnar face drains column-wise: whole vector
+	// runs are appended per batch instead of one cell at a time.
+	if bs, ok := it.(batchSource); ok && bs.BatchOutput() {
+		return collectBatchSource(ctx, bs)
+	}
 	defer it.Close()
 	out := table.New("result")
 	for _, c := range it.Columns() {

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -25,6 +26,9 @@ import (
 //     sources concurrently.
 //   - BufferRows sizes the per-source backpressure window (0 =
 //     engine default).
+//   - BatchRows sizes the columnar pipeline's batches (0 = engine
+//     default, then DefaultBatchRows); ignored when the query falls
+//     back to row-mode execution.
 //   - Explain plans the query without executing it, like an EXPLAIN
 //     statement.
 //   - Analyze (EXPLAIN ANALYZE) executes the query to completion,
@@ -36,6 +40,7 @@ type Request struct {
 	Limit      int
 	FanIn      int
 	BufferRows int
+	BatchRows  int
 	Explain    bool
 	Analyze    bool
 }
@@ -60,6 +65,10 @@ type Plan struct {
 	// BufferRows is the per-source backpressure window of a parallel
 	// union (0 when sequential).
 	BufferRows int `json:"buffer_rows,omitempty"`
+	// Batch describes the execution mode: "columnar (N rows/batch)"
+	// when the vectorized pipeline serves the query, "row" with the
+	// fallback reason otherwise.
+	Batch string `json:"batch,omitempty"`
 	// Sort names the sort strategy: "none", "full sort", or
 	// "top-k heap (k=N)".
 	Sort string `json:"sort"`
@@ -100,6 +109,9 @@ func (p *Plan) String() string {
 		union = fmt.Sprintf("parallel fan-in %d (buffer %d rows/source)", p.FanIn, p.BufferRows)
 	}
 	fmt.Fprintf(&sb, "  union: %s\n", union)
+	if p.Batch != "" {
+		fmt.Fprintf(&sb, "  batch: %s\n", p.Batch)
+	}
 	fmt.Fprintf(&sb, "  sort: %s", p.Sort)
 	if len(p.Order) > 0 {
 		fmt.Fprintf(&sb, " [%s]", strings.Join(p.Order, ", "))
@@ -120,6 +132,9 @@ func (p *Plan) String() string {
 	}
 	if a := p.Analyzed; a != nil {
 		fmt.Fprintf(&sb, "  analyzed: %d rows out\n", a.RowsOut)
+		if a.Batches > 0 {
+			fmt.Fprintf(&sb, "    batches: %d\n", a.Batches)
+		}
 		for _, s := range a.Sources {
 			fmt.Fprintf(&sb, "    source %s: %d rows, blocked %s\n",
 				s.Source, s.Rows, s.Blocked.Round(time.Microsecond))
@@ -177,13 +192,15 @@ type SourceStats struct {
 
 // ExecStats snapshots a stream's execution: per-source pull counters,
 // the rows actually delivered to the consumer (after sort/limit), the
-// per-stage trace spans, and the sort stage's heap high-water mark
-// (0 when the query had no sort).
+// per-stage trace spans, the sort stage's heap high-water mark (0 when
+// the query had no sort), and the number of columnar batches the
+// pipeline moved (0 in row mode).
 type ExecStats struct {
 	Sources      []SourceStats `json:"sources"`
 	RowsOut      int64         `json:"rows_out"`
 	Trace        []Span        `json:"trace,omitempty"`
 	SortHeapRows int64         `json:"sort_heap_rows,omitempty"`
+	Batches      int64         `json:"batches,omitempty"`
 }
 
 // sourceCounter is the mutable, atomically-updated collector behind
@@ -234,6 +251,16 @@ type RowStream struct {
 	explain  bool
 	counters []*sourceCounter
 	rowsOut  atomic.Int64
+
+	// bit is the stream's columnar face: set when the batch pipeline
+	// runs end-to-end, so NextBatch can drain whole batches without the
+	// row adapter in between. it and bit share the underlying pipeline
+	// — a consumer picks one drain mode, not both.
+	bit BatchIterator
+	// bmeter counts the pipeline's batches (set whenever the engine
+	// picked batch execution, even when a sort stage re-rowifies the
+	// output) and carries the per-batch observability hook.
+	bmeter *batchMeter
 
 	// trace carries the build-time spans the engine recorded (plan,
 	// open-sources) plus any the transport appends via AddSpan. Nil on
@@ -286,6 +313,54 @@ func (s *RowStream) Next(ctx context.Context) (Row, error) {
 	}
 	s.rowsOut.Add(1)
 	return row, nil
+}
+
+// BatchMode reports whether the engine executed this query through the
+// columnar batch pipeline (true even when the output is row-shaped,
+// e.g. behind a sort stage).
+func (s *RowStream) BatchMode() bool { return s.bmeter != nil }
+
+// BatchOutput reports whether the stream can be drained batch-wise via
+// NextBatch — true when the batch pipeline runs end-to-end with no
+// re-rowifying stage on top.
+func (s *RowStream) BatchOutput() bool { return s.bit != nil }
+
+// NextBatch returns the next columnar batch or io.EOF; it errors on a
+// stream without batch output (check BatchOutput first). A consumer
+// drains the stream either row-wise via Next or batch-wise via
+// NextBatch — mixing the two mid-stream is not supported.
+func (s *RowStream) NextBatch(ctx context.Context) (*Batch, error) {
+	if s.bit == nil {
+		return nil, errors.New("query: stream has no batch output; drain rows via Next")
+	}
+	s.execStartNs.CompareAndSwap(0, time.Now().UnixNano())
+	b, err := s.bit.Next(ctx)
+	if err != nil {
+		s.execDoneNs.CompareAndSwap(0, time.Now().UnixNano())
+		if err != io.EOF {
+			if s.ErrMap != nil {
+				err = s.ErrMap(err)
+			}
+			s.errMu.Lock()
+			if s.firstErr == nil {
+				s.firstErr = err
+			}
+			s.errMu.Unlock()
+		}
+		return nil, err
+	}
+	s.rowsOut.Add(int64(b.Len()))
+	return b, nil
+}
+
+// OnBatch installs fn to observe every batch the pipeline moves (rows
+// is the batch's logical row count, capacity the configured batch
+// size) — the observability layer's hook for batch-size and fill-ratio
+// metrics. No-op on a row-mode stream.
+func (s *RowStream) OnBatch(fn func(rows, capacity int)) {
+	if s.bmeter != nil {
+		s.bmeter.hook.Store(&fn)
+	}
 }
 
 // Close releases the stream; idempotent. Close hooks registered with
@@ -351,6 +426,9 @@ func (s *RowStream) Stats() ExecStats {
 	if s.sorter != nil {
 		st.Trace = append(st.Trace, Span{Name: "sort", Duration: time.Duration(s.sorter.fillNs.Load())})
 		st.SortHeapRows = s.sorter.maxHeld.Load()
+	}
+	if s.bmeter != nil {
+		st.Batches = s.bmeter.batches.Load()
 	}
 	return st
 }

@@ -311,6 +311,7 @@ func TestExplainGolden(t *testing.T) {
 	golden := strings.Join([]string{
 		"EXPLAIN SELECT id, total FROM rel:orders, doc:events WHERE total > 10 ORDER BY total DESC LIMIT 5",
 		"  union: parallel fan-in 2 (buffer 256 rows/source)",
+		"  batch: row (source without batch scan)",
 		"  sort: top-k heap (k=5) [total DESC]",
 		"  limit: 5",
 		"  source rel:orders: rel scan, table orders, pushdown [total > 10], project [id, total]",

@@ -29,10 +29,26 @@ func Sort(in RowIterator, keys []OrderKey, limit int) RowIterator {
 	return &sortIterator{in: in, limit: limit, cmp: rowComparator(in.Columns(), keys)}
 }
 
+// SortBatches wraps a batch stream with the same ORDER BY stage: the
+// fill drains whole batches into the identical bounded top-K heap, and
+// under a limit each candidate row is compared through a reused scratch
+// row and only materialized when it is actually admitted — evicted rows
+// never allocate. The output is row-shaped (sort is where the columnar
+// pipeline re-rowifies: the heap holds rows either way).
+func SortBatches(in BatchIterator, keys []OrderKey, limit int) RowIterator {
+	if len(keys) == 0 {
+		return Rows(in)
+	}
+	return &sortIterator{bin: in, limit: limit, cmp: rowComparator(in.Columns(), keys)}
+}
+
 // sortIterator is the sort stage: a pipeline breaker that fills its
-// buffer from the input on first use, then serves rows from it.
+// buffer from the input on first use, then serves rows from it. Exactly
+// one of in/bin is set — the stage consumes rows or batches, and emits
+// rows either way.
 type sortIterator struct {
 	in    RowIterator
+	bin   BatchIterator
 	limit int
 	cmp   func(a, b Row) int
 
@@ -53,7 +69,12 @@ type sortIterator struct {
 	inClosed bool
 }
 
-func (s *sortIterator) Columns() []string { return s.in.Columns() }
+func (s *sortIterator) Columns() []string {
+	if s.bin != nil {
+		return s.bin.Columns()
+	}
+	return s.in.Columns()
+}
 
 func (s *sortIterator) Next(ctx context.Context) (Row, error) {
 	if s.err != nil {
@@ -94,34 +115,21 @@ func (s *sortIterator) fill(ctx context.Context) error {
 	start := time.Now()
 	defer func() { s.fillNs.Add(int64(time.Since(start))) }()
 	h := rowHeap{rows: s.buf, cmp: s.cmp}
-	for {
-		row, err := s.in.Next(ctx)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			if ctx.Err() != nil {
-				s.buf = h.rows
-				return err
-			}
-			s.err = err
-			s.buf = nil
-			s.closeIn()
+	var err error
+	if s.bin != nil {
+		err = s.fillFromBatches(ctx, &h)
+	} else {
+		err = s.fillFromRows(ctx, &h)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			s.buf = h.rows
 			return err
 		}
-		if s.limit > 0 && len(h.rows) >= s.limit {
-			// Bounded top-K: only admit rows that beat the current
-			// worst, evicting it — the heap never exceeds limit rows.
-			if s.cmp(row, h.rows[0]) < 0 {
-				h.rows[0] = row
-				heap.Fix(&h, 0)
-			}
-		} else {
-			heap.Push(&h, row)
-		}
-		if n := int64(len(h.rows)); n > s.maxHeld.Load() {
-			s.maxHeld.Store(n)
-		}
+		s.err = err
+		s.buf = nil
+		s.closeIn()
+		return err
 	}
 	s.buf = h.rows
 	s.closeIn()
@@ -130,10 +138,77 @@ func (s *sortIterator) fill(ctx context.Context) error {
 	return nil
 }
 
+// fillFromRows drains the row input into the heap.
+func (s *sortIterator) fillFromRows(ctx context.Context, h *rowHeap) error {
+	for {
+		row, err := s.in.Next(ctx)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.admit(h, row, nil)
+	}
+}
+
+// fillFromBatches drains the batch input into the heap. Candidate rows
+// are staged through one reused scratch row; admit clones only the
+// rows that actually enter the heap, so under a top-K limit the
+// (input - k) evicted rows cost zero allocations.
+func (s *sortIterator) fillFromBatches(ctx context.Context, h *rowHeap) error {
+	var scratch Row
+	for {
+		b, err := s.bin.Next(ctx)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if scratch == nil {
+			scratch = make(Row, len(b.Columns()))
+		}
+		for i, n := 0, b.Len(); i < n; i++ {
+			b.CopyRow(scratch, i)
+			s.admit(h, scratch, func() Row { return b.Row(i) })
+		}
+	}
+}
+
+// admit offers one row to the heap under the top-K bound. clone, when
+// set, materializes an owned copy of the row on admission (the batch
+// fill's scratch row is reused and must not be retained as-is).
+func (s *sortIterator) admit(h *rowHeap, row Row, clone func() Row) {
+	if s.limit > 0 && len(h.rows) >= s.limit {
+		// Bounded top-K: only admit rows that beat the current
+		// worst, evicting it — the heap never exceeds limit rows.
+		if s.cmp(row, h.rows[0]) < 0 {
+			if clone != nil {
+				row = clone()
+			}
+			h.rows[0] = row
+			heap.Fix(h, 0)
+		}
+	} else {
+		if clone != nil {
+			row = clone()
+		}
+		heap.Push(h, row)
+	}
+	if n := int64(len(h.rows)); n > s.maxHeld.Load() {
+		s.maxHeld.Store(n)
+	}
+}
+
 func (s *sortIterator) closeIn() {
 	if !s.inClosed {
 		s.inClosed = true
-		_ = s.in.Close()
+		if s.bin != nil {
+			_ = s.bin.Close()
+		} else {
+			_ = s.in.Close()
+		}
 	}
 }
 
@@ -147,6 +222,9 @@ func (s *sortIterator) Close() error {
 		return nil
 	}
 	s.inClosed = true
+	if s.bin != nil {
+		return s.bin.Close()
+	}
 	return s.in.Close()
 }
 

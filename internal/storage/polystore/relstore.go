@@ -195,6 +195,60 @@ rows:
 	return nil, false
 }
 
+// Kinds returns the per-column inferred kinds of the cursor's output,
+// aligned with Columns — the type information the columnar pipeline
+// attaches to its vectors without re-inferring per batch.
+func (c *Cursor) Kinds() []table.Kind { return c.kinds }
+
+// NextBatch returns up to max rows column-wise: cells[j] is the run of
+// output column j, n the number of rows (0 when the scan is done).
+// This is the store-side batch scan of the columnar pipeline: without
+// predicates the runs are zero-copy subslices of the snapshot — no
+// cell is copied or re-sliced per row — and with predicates matching
+// rows are compacted into fresh runs until max rows match or the
+// snapshot ends. The returned runs stay valid after Close (they alias
+// or copy the snapshot, which concurrent Inserts never mutate).
+func (c *Cursor) NextBatch(max int) (cells [][]string, n int) {
+	if max <= 0 {
+		max = 1
+	}
+	if c.at >= c.n {
+		return nil, 0
+	}
+	if len(c.preds) == 0 {
+		end := c.at + max
+		if end > c.n {
+			end = c.n
+		}
+		cells = make([][]string, len(c.cells))
+		for j, col := range c.cells {
+			cells[j] = col[c.at:end:end]
+		}
+		n = end - c.at
+		c.at = end
+		return cells, n
+	}
+	cells = make([][]string, len(c.cells))
+rows:
+	for c.at < c.n && n < max {
+		i := c.at
+		c.at++
+		for _, bp := range c.preds {
+			if !bp.match(bp.cells[i]) {
+				continue rows
+			}
+		}
+		for j, col := range c.cells {
+			cells[j] = append(cells[j], col[i])
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	return cells, n
+}
+
 // Close releases the snapshot. Idempotent.
 func (c *Cursor) Close() error {
 	c.at = c.n
