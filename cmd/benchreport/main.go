@@ -11,12 +11,13 @@
 // the fan-in (plain and ORDER BY — what default-on fan-in ships),
 // streaming, scan-pipeline (scan_row vs scan_batch — the row and
 // columnar executions of the same selective scan), ingest-durability
-// (WAL off / WAL no-fsync / WAL fsync), and metrics-overhead
-// (identical drained query with the observability layer on vs
-// WithMetrics(false)) benchmarks run through testing.Benchmark and
-// their machine-readable results (ns/op, allocs/op, rows/s) are
-// written to BENCH_8.json (or -json-out) — the in-repo perf
-// trajectory file.
+// (WAL off / WAL no-fsync / WAL fsync), metrics-overhead (identical
+// drained query with the observability layer on vs WithMetrics(false)),
+// and admission-overhead (the same drained query bare vs behind a
+// generous WithAdmission controller) benchmarks run through
+// testing.Benchmark and their machine-readable results (ns/op,
+// allocs/op, rows/s) are written to BENCH_9.json (or -json-out) — the
+// in-repo perf trajectory file.
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment")
 	jsonOut := flag.Bool("json", false, "write machine-readable benchmark results instead of reports")
-	jsonPath := flag.String("json-out", "BENCH_8.json", "output path for -json")
+	jsonPath := flag.String("json-out", "BENCH_9.json", "output path for -json")
 	flag.Parse()
 	dir, err := os.MkdirTemp("", "golake-benchreport-*")
 	if err != nil {
@@ -58,6 +59,11 @@ func main() {
 			fatal(err)
 		}
 		results = append(results, overhead...)
+		adm, err := bench.AdmissionOverheadResults()
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, adm...)
 		if err := bench.WriteBenchJSON(*jsonPath, results); err != nil {
 			fatal(err)
 		}

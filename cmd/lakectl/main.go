@@ -47,6 +47,14 @@
 // every response with an X-Request-ID, and -pprof ADDR serves the
 // net/http/pprof profiling handlers on a separate listener so
 // profiling stays off the data-plane port.
+//
+// Resilience: -timeout and -memory-budget bound one query's wall-clock
+// time and buffered-row footprint (typed deadline_exceeded /
+// resource_exhausted failures when exceeded). In serve mode,
+// -max-concurrent and -rate put an admission controller in front of
+// POST /v1/query — shed queries return HTTP 429 with a Retry-After
+// header — and -shutdown-grace bounds how long a SIGINT/SIGTERM drain
+// waits for in-flight requests before the process exits.
 package main
 
 import (
@@ -65,6 +73,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"golake"
@@ -100,12 +109,22 @@ func main() {
 		"with status, also dump the lake's metrics in Prometheus text format")
 	pprofAddr := flag.String("pprof", "",
 		"with serve, expose net/http/pprof on this address (e.g. localhost:6060)")
+	queryTimeout := flag.Duration("timeout", 0,
+		"query deadline (0 = none); an exceeded deadline fails the query with a typed deadline_exceeded error")
+	memBudget := flag.Int("memory-budget", 0,
+		"per-query buffered-row budget (0 = unlimited); exceeding it fails with resource_exhausted")
+	maxConcurrent := flag.Int("max-concurrent", 0,
+		"serve: per-user concurrent-query quota (0 = off); over-quota queries shed with HTTP 429 + Retry-After")
+	rateLimit := flag.Float64("rate", 0,
+		"serve: per-user query rate limit in queries/sec (0 = off)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
+		"serve: drain window for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cmd := args[0]
 	switch cmd {
@@ -121,7 +140,7 @@ func main() {
 	if *dataDir == "" {
 		fatal(fmt.Errorf("command %q needs -data DIR", cmd))
 	}
-	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain, *fanIn, *fanInBuffer, *persistFlag, *fsync)
+	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain, *fanIn, *fanInBuffer, *persistFlag, *fsync, *maxConcurrent, *rateLimit)
 	if err != nil {
 		fatal(err)
 	}
@@ -130,6 +149,8 @@ func main() {
 		fanIn: *fanIn, bufferRows: *fanInBuffer, batchRows: *batchRows,
 		order: *orderBy, explain: *explain, stats: *stats,
 		metrics: *metricsFlag, pprofAddr: *pprofAddr,
+		timeout: *queryTimeout, memoryRows: *memBudget,
+		shutdownGrace: *shutdownGrace,
 	}
 	if err := dispatch(ctx, lake, *user, cmd, args[1:], qf); err != nil {
 		fatal(err)
@@ -145,10 +166,13 @@ type queryFlags struct {
 	explain, stats    bool
 	metrics           bool
 	pprofAddr         string
+	timeout           time.Duration
+	memoryRows        int
+	shutdownGrace     time.Duration
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-batch-rows ROWS] [-order COLS] [-explain] [-stats] [-metrics] [-pprof ADDR] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-batch-rows ROWS] [-order COLS] [-timeout DUR] [-memory-budget ROWS] [-max-concurrent N] [-rate QPS] [-shutdown-grace DUR] [-explain] [-stats] [-metrics] [-pprof ADDR] COMMAND [ARGS]")
 	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage status serve registry demo")
 	os.Exit(2)
 }
@@ -158,7 +182,7 @@ func usage() {
 // a rerun replays the previous invocation's state, files already
 // cataloged are skipped, and the maintenance pass resumes
 // incrementally over just the new data.
-func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration, fanIn, fanInBuffer int, persistLake, fsync bool) (*golake.Lake, error) {
+func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration, fanIn, fanInBuffer int, persistLake, fsync bool, maxConcurrent int, rateLimit float64) (*golake.Lake, error) {
 	workdir, err := os.MkdirTemp("", "golake-lakectl-*")
 	if err != nil {
 		return nil, err
@@ -168,6 +192,13 @@ func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration,
 	}
 	if autoMaintain > 0 {
 		opts = append(opts, golake.WithAutoMaintain(autoMaintain))
+	}
+	if maxConcurrent > 0 || rateLimit > 0 {
+		opts = append(opts, golake.WithAdmission(golake.AdmissionConfig{
+			MaxConcurrentPerUser: maxConcurrent,
+			RatePerSec:           rateLimit,
+			MaxQueueWait:         2 * time.Second,
+		}))
 	}
 	if fanIn > 0 || fanInBuffer > 0 {
 		// Pins the lake-level default (what serve-mode HTTP queries
@@ -305,16 +336,31 @@ func dispatch(ctx context.Context, lake *golake.Lake, user, cmd string, args []s
 			}()
 		}
 		fmt.Printf("serving lake REST v1 API on %s under /v1/* (X-Lake-User header selects the user; unversioned routes are deprecated aliases; Prometheus metrics on GET /v1/metrics)\n", addr)
-		srv := &http.Server{Addr: addr, Handler: lake.HTTPHandler()}
+		srv := &http.Server{
+			Addr:    addr,
+			Handler: lake.HTTPHandler(),
+			// Header-read and idle timeouts bound what a slow or stalled
+			// client can pin: a connection that never finishes its headers
+			// or sits idle on keep-alive is reclaimed.
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		done := make(chan struct{})
 		go func() {
-			// Ctrl-C cancels ctx (signal.NotifyContext in main); drain
-			// in-flight requests and exit instead of ignoring it.
+			// SIGINT/SIGTERM cancels ctx (signal.NotifyContext in main);
+			// drain in-flight requests within the grace window, then exit.
+			defer close(done)
 			<-ctx.Done()
-			_ = srv.Shutdown(context.Background())
+			sctx, cancel := context.WithTimeout(context.Background(), qf.shutdownGrace)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
 		}()
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		// ListenAndServe returns the moment Shutdown is *called*; wait
+		// for the drain itself so in-flight streams finish.
+		<-done
 		return nil
 	default:
 		usage()
@@ -340,6 +386,8 @@ func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string, qf qu
 		BufferRows: qf.bufferRows,
 		BatchRows:  qf.batchRows,
 		Explain:    qf.explain,
+		Timeout:    qf.timeout,
+		MemoryRows: qf.memoryRows,
 	})
 	if err != nil {
 		return err

@@ -164,6 +164,7 @@ import (
 	"log/slog"
 	"time"
 
+	"golake/internal/admission"
 	"golake/internal/core"
 	"golake/internal/discovery"
 	"golake/internal/explore"
@@ -380,6 +381,29 @@ func WithPersistence(backend PersistenceBackend) Option { return core.WithPersis
 // snapshot + log truncation (default 4 MiB; 0 disables size-triggered
 // snapshots, leaving only the Close-time flush).
 func WithSnapshotEvery(walBytes int64) Option { return core.WithSnapshotEvery(walBytes) }
+
+// AdmissionConfig configures the admission controller WithAdmission
+// installs: per-user concurrency quotas (MaxConcurrentPerUser) with
+// bounded-wait queueing (MaxQueuedPerUser, MaxQueueWait), per-user
+// token-bucket rate limits (RatePerSec, Burst), a global in-flight
+// ceiling (MaxInFlight), default and maximum query deadlines
+// (DefaultTimeout, MaxTimeout) and memory budgets (DefaultMemoryRows,
+// MaxMemoryRows), and the Retry-After hint for shed queries. Zero
+// values leave each dimension unenforced.
+type AdmissionConfig = admission.Config
+
+// WithAdmission places an admission controller in front of every query
+// entry point. Shed queries fail fast with typed lakeerr codes —
+// resource_exhausted (HTTP 429 plus Retry-After) for per-user quota or
+// rate rejections, unavailable (HTTP 503) at the global ceiling — and
+// admitted queries inherit the configured default deadline and memory
+// budget unless their QueryRequest says otherwise (requests are clamped
+// to the configured maximums either way).
+func WithAdmission(cfg AdmissionConfig) Option { return core.WithAdmission(cfg) }
+
+// RetryAfterOf extracts the retry hint from a shed-query error, when
+// present.
+func RetryAfterOf(err error) (time.Duration, bool) { return admission.RetryAfterOf(err) }
 
 // Open assembles a data lake rooted at dir.
 func Open(dir string, opts ...Option) (*Lake, error) { return core.Open(dir, opts...) }

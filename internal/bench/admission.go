@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"golake/internal/admission"
+	"golake/internal/core"
+	"golake/internal/query"
+	"golake/internal/table"
+	"golake/internal/workload"
+)
+
+// The admission-overhead benchmark corpus mirrors the metrics one: a
+// few mid-size tables so the query hot path dominates and the
+// admission fold (admit + effective-limit clamps + deadline context +
+// per-row budget accounting) is the only variable.
+const (
+	admBenchTables = 4
+	admBenchRows   = 500
+)
+
+// AdmissionOverheadResults prices the admission-controlled serving
+// path: the identical drained query run on a bare lake versus one
+// behind WithAdmission with a generous quota, deadline, and memory
+// budget — the configuration where every query is admitted, so the
+// measurement isolates the control overhead (slot bookkeeping, token
+// refill, context deadline, budget charge/release per buffered row)
+// rather than shedding. The acceptance bar for the trajectory file is
+// overhead within noise of the uncontrolled path.
+func AdmissionOverheadResults() ([]BenchResult, error) {
+	c := workload.GenerateCorpus(workload.CorpusSpec{
+		NumTables: admBenchTables, JoinGroups: 2, RowsPerTable: admBenchRows,
+		ExtraCols: 1, KeyVocab: 60, KeySample: 40, Seed: 29,
+	})
+	var out []BenchResult
+	for _, cfg := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{name: "query_admission_off"},
+		{name: "query_admission_on", opts: []core.Option{
+			core.WithAdmission(admission.Config{
+				MaxConcurrentPerUser: 64,
+				RatePerSec:           1e9,
+				MaxQueueWait:         time.Second,
+				DefaultTimeout:       time.Minute,
+				DefaultMemoryRows:    1 << 20,
+			}),
+		}},
+	} {
+		cfg := cfg
+		dir, err := os.MkdirTemp("", "golake-admbench-*")
+		if err != nil {
+			return nil, err
+		}
+		l, err := core.Open(dir, cfg.opts...)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		ctx := context.Background()
+		l.AddUser("bench", core.RoleDataScientist)
+		for _, t := range c.Tables {
+			if _, err := l.Ingest(ctx, "raw/"+t.Name+".csv", []byte(table.ToCSV(t)), "bench", "bench"); err != nil {
+				l.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+		}
+		if _, err := l.Maintain(ctx); err != nil {
+			l.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		sql := "SELECT id FROM rel:" + c.Tables[0].Name
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := l.Query(ctx, "bench", query.Request{SQL: sql})
+				if err != nil {
+					benchErr = fmt.Errorf("%s: %w", cfg.name, err)
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					_, err := st.Next(ctx)
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					if err != nil {
+						benchErr = fmt.Errorf("%s: %w", cfg.name, err)
+						b.Fatal(err)
+					}
+					n++
+				}
+				if err := st.Close(); err != nil {
+					benchErr = fmt.Errorf("%s: %w", cfg.name, err)
+					b.Fatal(err)
+				}
+				if n != admBenchRows {
+					benchErr = fmt.Errorf("%s: drained %d rows, want %d", cfg.name, n, admBenchRows)
+					b.Fatalf("drained %d rows, want %d", n, admBenchRows)
+				}
+			}
+		})
+		l.Close()
+		os.RemoveAll(dir)
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run", cfg.name)
+		}
+		out = append(out, benchResult(cfg.name, admBenchRows, r))
+	}
+	return out, nil
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"golake/internal/admission"
 	"golake/internal/discovery"
 	"golake/internal/explore"
 	"golake/internal/maintain"
@@ -37,7 +38,8 @@ import (
 //	POST /v1/explore                     any discovery mode (JSON body)
 //	POST /v1/query                       body: {"sql", "order", "limit",
 //	                                     "fanin", "buffer_rows",
-//	                                     "batch_rows", "explain"};
+//	                                     "batch_rows", "timeout_ms",
+//	                                     "memory_rows", "explain"};
 //	                                     JSON rows + stats,
 //	                                     the typed plan when explaining,
 //	                                     or chunked NDJSON streaming
@@ -286,6 +288,15 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 		return
 	}
 	code := lakeerr.CodeOf(err)
+	// Load-shedding rejections carry a retry hint; surface it as the
+	// standard header so well-behaved clients back off before retrying.
+	if ra, ok := admission.RetryAfterOf(err); ok {
+		secs := int(ra / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	if r != nil && r.Context().Value(legacyKey) != nil {
 		writeJSON(w, httpStatus(code), map[string]string{"error": err.Error()})
 		return
@@ -306,6 +317,10 @@ func httpStatus(code lakeerr.Code) int {
 		return http.StatusBadRequest
 	case lakeerr.CodeConflict:
 		return http.StatusConflict
+	case lakeerr.CodeResourceExhausted:
+		return http.StatusTooManyRequests
+	case lakeerr.CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
 	case lakeerr.CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:
@@ -668,7 +683,10 @@ const (
 // batch_rows sizes the columnar pipeline's batches (absent = the lake
 // default; ignored on queries that fall back to row mode). order
 // entries sort the result ({"column": ..., "desc": ...}); explain
-// returns the typed plan instead of executing.
+// returns the typed plan instead of executing. timeout_ms bounds the
+// query's wall-clock time and memory_rows its buffered-row footprint —
+// both are clamped by the lake's admission configuration (absent = the
+// admission defaults; ignored without WithAdmission).
 type queryRequest struct {
 	SQL   string `json:"sql"`
 	Order []struct {
@@ -681,6 +699,8 @@ type queryRequest struct {
 	FanIn      *int `json:"fanin"`
 	BufferRows *int `json:"buffer_rows"`
 	BatchRows  *int `json:"batch_rows"`
+	TimeoutMS  *int `json:"timeout_ms"`
+	MemoryRows *int `json:"memory_rows"`
 }
 
 // request validates the body against the server-side caps and builds
@@ -713,6 +733,18 @@ func (b queryRequest) request() (query.Request, error) {
 			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: batch_rows must be 0..%d", maxQueryBatchRows)
 		}
 		req.BatchRows = *b.BatchRows
+	}
+	if b.TimeoutMS != nil {
+		if *b.TimeoutMS < 0 {
+			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: timeout_ms must be >= 0")
+		}
+		req.Timeout = time.Duration(*b.TimeoutMS) * time.Millisecond
+	}
+	if b.MemoryRows != nil {
+		if *b.MemoryRows < 0 {
+			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: memory_rows must be >= 0")
+		}
+		req.MemoryRows = *b.MemoryRows
 	}
 	return req, nil
 }

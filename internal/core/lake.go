@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"golake/internal/admission"
 	"golake/internal/clean"
 	"golake/internal/discovery"
 	"golake/internal/enrich"
@@ -32,8 +33,8 @@ import (
 	"golake/internal/extract"
 	"golake/internal/maintain"
 	"golake/internal/metamodel"
-	"golake/internal/organize"
 	"golake/internal/obs"
+	"golake/internal/organize"
 	"golake/internal/persist"
 	"golake/internal/provenance"
 	"golake/internal/query"
@@ -83,6 +84,8 @@ type options struct {
 	backend       persist.Backend
 	snapshotEvery int64
 	metricsOff    bool
+	admission     admission.Config
+	admissionSet  bool
 }
 
 // WithClock substitutes the lake's time source (tests, replays).
@@ -152,6 +155,24 @@ func WithPersistence(backend persist.Backend) Option {
 // negative disables size-triggered checkpoints (Close still flushes).
 func WithSnapshotEvery(walBytes int64) Option {
 	return func(o *options) { o.snapshotEvery = walBytes }
+}
+
+// WithAdmission places an admission controller in front of every query
+// entry point (Lake.Query and everything that shims onto it, including
+// POST /v1/query). The controller enforces, per the config: per-user
+// concurrency quotas with bounded-wait queueing, per-user token-bucket
+// rate limits, a global in-flight ceiling, and default/maximum query
+// deadlines and memory budgets. Rejections are typed lakeerr failures —
+// resource_exhausted for quota/rate shedding (HTTP 429 with a
+// Retry-After hint), unavailable for global saturation (HTTP 503) — so
+// clients can distinguish "back off and retry" from "the lake is
+// overloaded". The zero Config admits everything; without this option
+// no controller is installed at all.
+func WithAdmission(cfg admission.Config) Option {
+	return func(o *options) {
+		o.admission = cfg
+		o.admissionSet = true
+	}
 }
 
 // WithAutoMaintain starts a background maintenance scheduler when the
@@ -229,6 +250,9 @@ type Lake struct {
 	// metrics is the lake's metric surface (nil with WithMetrics(false));
 	// every layer records through its nil-safe observe helpers.
 	metrics *lakeMetrics
+	// adm is the admission controller WithAdmission installs (nil
+	// without — every query is admitted unconditionally).
+	adm *admission.Controller
 }
 
 // defaultSnapshotEvery is the WAL size that triggers a checkpoint when
@@ -268,6 +292,18 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 	}
 	if !o.metricsOff {
 		l.metrics = newLakeMetrics()
+	}
+	if o.admissionSet {
+		l.adm = admission.New(o.admission, o.clock)
+		if l.metrics != nil {
+			l.adm.SetHooks(admission.Hooks{
+				Admitted:  l.metrics.observeAdmitted,
+				Queued:    l.metrics.observeAdmissionQueued,
+				Shed:      func(user, _ string) { l.metrics.observeAdmissionShed(user) },
+				Released:  l.metrics.observeAdmissionReleased,
+				QueueWait: l.metrics.observeAdmissionWait,
+			})
+		}
 	}
 	l.Engine = query.NewEngine(poly)
 	l.Engine.PushDown = o.pushdown
@@ -896,14 +932,56 @@ func (l *Lake) Query(ctx context.Context, user string, req query.Request) (*quer
 	if l.maxResults > 0 {
 		req.Limit = query.CombineLimit(req.Limit, l.maxResults)
 	}
+	// Admission: acquire a slot (or get shed) before any engine work,
+	// and fold the controller's default/maximum deadline and memory
+	// budget into the request.
+	release := func() {}
+	if l.adm != nil {
+		ticket, err := l.adm.Admit(ctx, user)
+		if err != nil {
+			l.metrics.observeRejected()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Caller gave up while queued: classify the bare context
+				// error like any other cancellation.
+				return nil, classifyQueryErr(err)
+			}
+			// Shed/saturation errors are already typed lakeerr failures
+			// carrying Retry-After; re-wrapping would bury the code.
+			return nil, err
+		}
+		release = ticket.Release
+		req.Timeout = l.adm.EffectiveTimeout(req.Timeout)
+		req.MemoryRows = l.adm.EffectiveMemoryRows(req.MemoryRows)
+	}
+	// Deadline: bound the open context (tears pullers down) and stamp
+	// the stream (deterministic typed error from Next even when the
+	// per-call context lacks the deadline).
+	cancel := context.CancelFunc(func() {})
+	var deadline time.Time
+	if req.Timeout > 0 {
+		deadline = time.Now().Add(req.Timeout)
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+	}
 	st, err := l.Engine.Query(ctx, req)
 	if err != nil {
+		cancel()
+		release()
 		l.metrics.observeRejected()
 		return nil, classifyQueryErr(err)
 	}
 	st.ErrMap = classifyQueryErr
+	if !deadline.IsZero() {
+		st.SetDeadline(deadline)
+	}
+	st.OnClose(cancel)
+	st.OnClose(release)
 	if st.ExplainOnly() && st.Plan().Analyzed == nil {
-		// Planning reads catalog shape, not data: nothing to audit.
+		// Planning reads catalog shape, not data: nothing to audit, and
+		// nothing executes — hand the admission slot back immediately
+		// (Release is idempotent, so the OnClose hook firing again is
+		// harmless).
+		cancel()
+		release()
 		return st, nil
 	}
 	if l.metrics != nil {
@@ -1021,14 +1099,19 @@ func (l *Lake) QueryStreamFanIn(ctx context.Context, user, sql string, opts quer
 
 // classifyQueryErr maps engine failures onto the taxonomy: syntax
 // errors are invalid queries, missing sources/tables are not-found,
-// cancellation is unavailable.
+// a blown memory budget is resource-exhausted, a missed deadline is
+// deadline-exceeded, and cancellation is unavailable.
 func classifyQueryErr(err error) error {
 	switch {
 	case errors.Is(err, query.ErrSyntax):
 		return lakeerr.Wrap(lakeerr.CodeInvalidQuery, err)
 	case errors.Is(err, query.ErrUnknownSource), errors.Is(err, polystore.ErrNoTable):
 		return lakeerr.Wrap(lakeerr.CodeNotFound, err)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, query.ErrBudgetExceeded):
+		return lakeerr.Wrap(lakeerr.CodeResourceExhausted, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return lakeerr.Wrap(lakeerr.CodeDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
 		return lakeerr.Wrap(lakeerr.CodeUnavailable, err)
 	default:
 		return lakeerr.Wrap(lakeerr.CodeInternal, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"golake/internal/obs"
@@ -23,6 +24,15 @@ var batchRowBuckets = []float64{1, 8, 64, 256, 512, 1024, 4096, 16384, 65536}
 // signal selective filters or fragmented sources).
 var fillRatioBuckets = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1}
 
+// queueWaitBuckets bracket the time a query spends queued for an
+// admission slot, in seconds.
+var queueWaitBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10}
+
+// admissionUserCardinality caps the distinct user label values the
+// per-user admission series may hold; users beyond the first N fold
+// into "other", so a tenant sweep cannot blow the exposition up.
+const admissionUserCardinality = 10
+
 // lakeMetrics is the lake's metric surface: one obs.Registry plus the
 // pre-registered series every layer records into. All series share the
 // golake_ prefix; /v1/metrics renders the registry.
@@ -44,17 +54,30 @@ type lakeMetrics struct {
 	queryBatchRows  *obs.Histogram
 	queryBatchFill  *obs.Histogram
 
+	// Admission control, per user (bounded cardinality: the first
+	// admissionUserCardinality users keep their own label, the rest
+	// fold into "other").
+	admAdmitted  *obs.CounterVec // user
+	admQueued    *obs.CounterVec // user
+	admShed      *obs.CounterVec // user
+	admQueueWait *obs.Histogram
+	admInFlight  *obs.GaugeVec // user
+	admUserMu    sync.Mutex
+	admUsers     map[string]bool
+
 	// Maintenance.
-	maintPasses    *obs.CounterVec // mode
-	maintFailures  *obs.Counter
-	maintDuration  *obs.Histogram
-	maintDatasets  *obs.Counter
-	maintRetries   *obs.Counter
+	maintPasses   *obs.CounterVec // mode
+	maintFailures *obs.Counter
+	maintDuration *obs.Histogram
+	maintDatasets *obs.Counter
+	maintRetries  *obs.Counter
 
 	// Persistence.
 	walAppends      *obs.Counter
 	walAppendBytes  *obs.Counter
 	walAppendDur    *obs.Histogram
+	walRetries      *obs.Counter
+	walDropped      *obs.Counter
 	checkpoints     *obs.Counter
 	checkpointDur   *obs.Histogram
 	replaySnapshot  *obs.Gauge
@@ -95,6 +118,22 @@ func newLakeMetrics() *lakeMetrics {
 		queryBatchFill: r.Histogram("golake_query_batch_fill_ratio",
 			"Per-batch fill ratio (logical rows / configured batch size) of the columnar pipeline.",
 			fillRatioBuckets),
+		admAdmitted: r.CounterVec("golake_admission_admitted_total",
+			"Queries admitted by the scheduler, by user (top-N users; the rest fold into \"other\").",
+			"user"),
+		admQueued: r.CounterVec("golake_admission_queued_total",
+			"Queries that waited in the admission queue before a decision, by user.",
+			"user"),
+		admShed: r.CounterVec("golake_admission_shed_total",
+			"Queries rejected by admission control (quota, rate, queue overflow, saturation), by user.",
+			"user"),
+		admQueueWait: r.Histogram("golake_admission_queue_wait_seconds",
+			"Time queries spent queued for an admission slot, in seconds.",
+			queueWaitBuckets),
+		admInFlight: r.GaugeVec("golake_admission_in_flight",
+			"Admitted queries currently executing, by user.",
+			"user"),
+		admUsers: map[string]bool{},
 		maintPasses: r.CounterVec("golake_maintenance_passes_total",
 			"Completed maintenance passes by mode (full, incremental).", "mode"),
 		maintFailures: r.Counter("golake_maintenance_failures_total",
@@ -112,6 +151,10 @@ func newLakeMetrics() *lakeMetrics {
 		walAppendDur: r.Histogram("golake_wal_append_duration_seconds",
 			"WAL append latency in seconds; with fsync-per-record this is the fsync latency.",
 			nil),
+		walRetries: r.Counter("golake_wal_append_retries_total",
+			"WAL appends retried after a transient backend failure."),
+		walDropped: r.Counter("golake_wal_dropped_records_total",
+			"WAL records dropped after exhausting append retries (durability degraded for those records)."),
 		checkpoints: r.Counter("golake_checkpoints_total",
 			"Snapshot checkpoints taken (WAL truncations)."),
 		checkpointDur: r.Histogram("golake_checkpoint_duration_seconds",
@@ -180,6 +223,70 @@ func (m *lakeMetrics) observeRejected() {
 	m.queryTotal.With("rejected").Inc()
 }
 
+// admissionUser resolves the bounded-cardinality user label: the first
+// admissionUserCardinality distinct users keep their own label, later
+// ones fold into "other". The mapping is sticky, so a user's inc and
+// dec always hit the same series.
+func (m *lakeMetrics) admissionUser(user string) string {
+	if m == nil {
+		return user
+	}
+	m.admUserMu.Lock()
+	defer m.admUserMu.Unlock()
+	if m.admUsers[user] {
+		return user
+	}
+	if len(m.admUsers) < admissionUserCardinality {
+		m.admUsers[user] = true
+		return user
+	}
+	return "other"
+}
+
+// observeAdmitted records one admitted query and bumps its user's
+// in-flight gauge.
+func (m *lakeMetrics) observeAdmitted(user string) {
+	if m == nil {
+		return
+	}
+	u := m.admissionUser(user)
+	m.admAdmitted.With(u).Inc()
+	m.admInFlight.With(u).Add(1)
+}
+
+// observeAdmissionQueued records one query entering the wait queue.
+func (m *lakeMetrics) observeAdmissionQueued(user string) {
+	if m == nil {
+		return
+	}
+	m.admQueued.With(m.admissionUser(user)).Inc()
+}
+
+// observeAdmissionShed records one load-shedding rejection.
+func (m *lakeMetrics) observeAdmissionShed(user string) {
+	if m == nil {
+		return
+	}
+	m.admShed.With(m.admissionUser(user)).Inc()
+}
+
+// observeAdmissionReleased decrements the user's in-flight gauge when
+// an admitted query finishes.
+func (m *lakeMetrics) observeAdmissionReleased(user string) {
+	if m == nil {
+		return
+	}
+	m.admInFlight.With(m.admissionUser(user)).Add(-1)
+}
+
+// observeAdmissionWait records the time one query spent queued.
+func (m *lakeMetrics) observeAdmissionWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.admQueueWait.Observe(d.Seconds())
+}
+
 // observeMaintPass records one completed (or failed) maintenance pass.
 func (m *lakeMetrics) observeMaintPass(mode string, d time.Duration, datasets int, failed bool) {
 	if m == nil {
@@ -202,6 +309,22 @@ func (m *lakeMetrics) observeWALAppend(bytes int, d time.Duration) {
 	m.walAppends.Inc()
 	m.walAppendBytes.Add(float64(bytes))
 	m.walAppendDur.Observe(d.Seconds())
+}
+
+// observeWALRetry records one retried WAL append.
+func (m *lakeMetrics) observeWALRetry() {
+	if m == nil {
+		return
+	}
+	m.walRetries.Inc()
+}
+
+// observeWALDropped records one record dropped after retries ran out.
+func (m *lakeMetrics) observeWALDropped() {
+	if m == nil {
+		return
+	}
+	m.walDropped.Inc()
 }
 
 // observeCheckpoint records one snapshot checkpoint.

@@ -130,10 +130,25 @@ func (p *persister) warn(l *Lake, msg string, args ...any) {
 	lg.Warn(msg, args...)
 }
 
+// walRetry bounds the transient-failure retry loop of append: up to
+// walRetries re-attempts, sleeping backoffDelay-style (base doubled per
+// attempt, capped) between them. The delays are short because append
+// runs inline on the mutating operation's goroutine.
+const (
+	walRetries   = 3
+	walRetryBase = 2 * time.Millisecond
+	walRetryMax  = 20 * time.Millisecond
+)
+
 // append frames one record onto the WAL and checkpoints if the log
-// crossed the snapshot threshold. Persistence failures degrade to a
-// logged warning — the in-memory lake stays correct, it just loses
-// crash durability for the failed record.
+// crossed the snapshot threshold. A failed append is retried with
+// capped exponential backoff (the same shape as the maintenance
+// scheduler's backoffDelay) — transient backend faults, the
+// fail-every-Nth kind the chaos harness injects, recover without
+// losing the record. Only after the retries run out does the failure
+// degrade to a logged warning and a dropped-record counter bump — the
+// in-memory lake stays correct, it just loses crash durability for
+// that record.
 func (p *persister) append(l *Lake, rec *walRecord) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -147,8 +162,20 @@ func (p *persister) append(l *Lake, rec *walRecord) {
 		return
 	}
 	start := time.Now()
-	if err := p.backend.AppendWAL(frame); err != nil {
-		p.warn(l, "persist: append wal record", "kind", rec.Kind, "error", err)
+	appendErr := p.backend.AppendWAL(frame)
+	for attempt := 1; appendErr != nil && attempt <= walRetries; attempt++ {
+		l.metrics.observeWALRetry()
+		delay := walRetryBase << (attempt - 1)
+		if delay > walRetryMax {
+			delay = walRetryMax
+		}
+		time.Sleep(delay)
+		appendErr = p.backend.AppendWAL(frame)
+	}
+	if appendErr != nil {
+		l.metrics.observeWALDropped()
+		p.warn(l, "persist: append wal record dropped after retries",
+			"kind", rec.Kind, "retries", walRetries, "error", appendErr)
 		return
 	}
 	l.metrics.observeWALAppend(len(frame), time.Since(start))

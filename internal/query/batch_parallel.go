@@ -46,6 +46,7 @@ func ParallelUnionBatches(ctx context.Context, sources []BatchIterator, want []s
 		cols:   unionBatchColumns(sources, want),
 		pctx:   pctx,
 		cancel: cancel,
+		budget: opts.Budget,
 		queues: make([]chan batchHop, len(sources)),
 		// Sized so pullers never block on ready (see parallelUnion).
 		ready: make(chan int, len(sources)*depth),
@@ -68,6 +69,9 @@ type parallelUnionBatches struct {
 	cols   []string
 	pctx   context.Context
 	cancel context.CancelFunc
+	// budget, when set, holds the charge for batches parked in the
+	// queues (charged by row count); see parallelUnion.
+	budget *MemBudget
 	queues []chan batchHop
 	ready  chan int
 	wg     sync.WaitGroup
@@ -112,6 +116,12 @@ func (p *parallelUnionBatches) pull(ctx context.Context, i int, src BatchIterato
 				// Torn down by Close/cancel: nobody is reading anymore.
 				return
 			}
+			p.send(ctx, i, batchHop{err: err})
+			return
+		}
+		if err := p.budget.Acquire(b.Len()); err != nil {
+			// Budget exceeded: surface it in-band as this source's
+			// terminal error instead of buffering on.
 			p.send(ctx, i, batchHop{err: err})
 			return
 		}
@@ -170,6 +180,11 @@ func (p *parallelUnionBatches) Next(ctx context.Context) (*Batch, error) {
 			}
 		}
 		h := <-p.queues[i]
+		if h.b != nil {
+			// Dequeued batches leave the fan-in buffer: release their
+			// budget charge.
+			p.budget.Release(h.b.Len())
+		}
 		if h.err == io.EOF {
 			p.done++
 			continue

@@ -48,6 +48,12 @@ type Engine struct {
 	// columnar pipeline could serve — the regression/benchmark escape
 	// hatch.
 	DisableBatch bool
+	// Fault is the chaos-test stage hook: when set, it is consulted at
+	// named pipeline points ("open" before the source scans, "next"
+	// before each row the stream serves) and a non-nil return is
+	// injected as that stage's failure. Nil in production — the check
+	// costs one pointer test per query.
+	Fault func(stage string) error
 }
 
 // NewEngine creates an engine with pushdown enabled.
@@ -74,10 +80,15 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 	}
 	limit := CombineLimit(q.Limit, req.Limit)
 	opts := e.resolveFanIn(req)
+	// The memory budget is shared by every buffering stage of this one
+	// query: fan-in queues and the sort heap charge against it.
+	opts.Budget = NewMemBudget(req.MemoryRows)
 	plan, err := e.plan(q, order, limit, opts)
 	if err != nil {
 		return nil, err
 	}
+	plan.MemoryRows = req.MemoryRows
+	plan.Timeout = req.Timeout
 	batchRows := e.resolveBatchRows(req)
 	useBatch := e.batchEligible(q)
 	if useBatch {
@@ -106,6 +117,11 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 		qq.Explain, qq.Analyze = false, false
 		q = &qq
 	}
+	if e.Fault != nil {
+		if err := e.Fault("open"); err != nil {
+			return nil, err
+		}
+	}
 	openStart := time.Now()
 	var it RowIterator
 	var counters []*sourceCounter
@@ -123,6 +139,12 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 	st := &RowStream{it: it, bit: bit, bmeter: bmeter, plan: plan, counters: counters, trace: trace}
 	if s, ok := it.(*sortIterator); ok {
 		st.sorter = s
+	}
+	if e.Fault != nil {
+		st.it = &faultIterator{in: it, fault: e.Fault}
+		if bit != nil {
+			st.bit = &faultBatchIterator{in: bit, fault: e.Fault}
+		}
 	}
 	if !analyze {
 		return st, nil
@@ -383,7 +405,7 @@ func (e *Engine) stream(ctx context.Context, q *Query, order []OrderKey, limit i
 			_ = it.Close()
 			return nil, nil, err
 		}
-		it = Sort(it, order, limit)
+		it = SortWithBudget(it, order, limit, opts.Budget)
 	} else {
 		it = Limit(it, limit)
 	}
@@ -444,7 +466,7 @@ func (e *Engine) streamBatches(ctx context.Context, q *Query, order []OrderKey, 
 	}
 	meter := &batchMeter{in: u, capacity: batchRows}
 	if len(order) > 0 {
-		return SortBatches(meter, order, limit), nil, meter, counters, nil
+		return SortBatchesWithBudget(meter, order, limit, opts.Budget), nil, meter, counters, nil
 	}
 	bit := LimitBatches(meter, limit)
 	return Rows(bit), bit, meter, counters, nil

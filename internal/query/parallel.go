@@ -30,6 +30,12 @@ type FanInOptions struct {
 	// a puller may additionally hold one partially built batch in hand,
 	// overshooting by up to one batch. 0 means DefaultFanInBufferRows.
 	BufferRows int
+	// Budget, when set, is the query's shared memory budget: rows are
+	// charged while they sit in the fan-in queues and released as the
+	// consumer dequeues them. A puller whose charge would exceed the
+	// budget surfaces ErrBudgetExceeded in-band instead of buffering
+	// on. Nil means unlimited.
+	Budget *MemBudget
 }
 
 // sequential reports whether the options degenerate to the sequential
@@ -94,6 +100,7 @@ func ParallelUnion(ctx context.Context, sources []RowIterator, want []string, op
 		cols:   cols,
 		pctx:   pctx,
 		cancel: cancel,
+		budget: opts.Budget,
 		queues: make([]chan rowBatch, len(sources)),
 		// A token is pushed only after its batch is queued, so tokens
 		// never outnumber queued batches and this capacity guarantees
@@ -140,6 +147,10 @@ type parallelUnion struct {
 	// consumer whose per-call context is still live.
 	pctx   context.Context
 	cancel context.CancelFunc
+	// budget, when set, holds the charge for rows parked in the
+	// queues; pullers acquire before queueing, the consumer releases
+	// on dequeue.
+	budget *MemBudget
 	queues []chan rowBatch
 	// ready carries source indexes in batch-arrival order; the consumer
 	// blocks here, then pops the announced queue.
@@ -191,7 +202,7 @@ func (p *parallelUnion) pull(ctx context.Context, i int, src RowIterator, sem ch
 				return
 			}
 			if rows := b.take(); len(rows) > 0 {
-				if !p.send(ctx, i, rowBatch{rows: rows}) {
+				if !p.sendRows(ctx, i, rows) {
 					return
 				}
 			}
@@ -200,11 +211,22 @@ func (p *parallelUnion) pull(ctx context.Context, i int, src RowIterator, sem ch
 		}
 		b.add(row)
 		if b.full() {
-			if !p.send(ctx, i, rowBatch{rows: b.take()}) {
+			if !p.sendRows(ctx, i, b.take()) {
 				return
 			}
 		}
 	}
+}
+
+// sendRows charges the batch against the memory budget and queues it;
+// an exceeded budget is surfaced in-band as this source's terminal
+// error (the consumer makes it sticky and tears the fan-in down).
+func (p *parallelUnion) sendRows(ctx context.Context, i int, rows []Row) bool {
+	if err := p.budget.Acquire(len(rows)); err != nil {
+		p.send(ctx, i, rowBatch{err: err})
+		return false
+	}
+	return p.send(ctx, i, rowBatch{rows: rows})
 }
 
 // send queues one batch and announces its arrival; false means the
@@ -269,6 +291,9 @@ func (p *parallelUnion) Next(ctx context.Context) (Row, error) {
 			}
 		}
 		b := <-p.queues[i]
+		// Dequeued rows leave the fan-in buffer: hand their budget
+		// charge back (a downstream buffering stage re-charges its own).
+		p.budget.Release(len(b.rows))
 		if b.err == io.EOF {
 			p.done++
 			continue

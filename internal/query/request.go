@@ -34,6 +34,15 @@ import (
 //   - Analyze (EXPLAIN ANALYZE) executes the query to completion,
 //     discards the rows, and returns the plan annotated with live
 //     timings and row counts (Plan.Analyzed).
+//   - Timeout is the query deadline, covering the whole stream
+//     lifetime (open through last row). 0 means no deadline of its
+//     own (the lake's admission defaults may still apply one).
+//     Expiry surfaces as a typed deadline_exceeded error.
+//   - MemoryRows is the query's memory budget: the maximum rows
+//     buffered at once across the fan-in queues and the sort stage.
+//     0 means unlimited (again modulo admission defaults). Exceeding
+//     it fails the query fast with a typed resource_exhausted error
+//     instead of letting an unbounded ORDER BY grow the heap.
 type Request struct {
 	SQL        string
 	Order      []OrderKey
@@ -43,6 +52,8 @@ type Request struct {
 	BatchRows  int
 	Explain    bool
 	Analyze    bool
+	Timeout    time.Duration
+	MemoryRows int
 }
 
 // DefaultFanIn is the fan-in width used when neither the request nor
@@ -77,6 +88,11 @@ type Plan struct {
 	// Limit is the effective row cap (0 = unlimited), after composing
 	// the statement's LIMIT with request/lake caps.
 	Limit int `json:"limit,omitempty"`
+	// MemoryRows is the query's effective memory budget in buffered
+	// rows (0 = unlimited).
+	MemoryRows int `json:"memory_rows,omitempty"`
+	// Timeout is the query's effective deadline (0 = none).
+	Timeout time.Duration `json:"timeout_ns,omitempty"`
 	// Analyzed carries the live execution stats of an EXPLAIN ANALYZE:
 	// the query ran to completion and these are its real counters and
 	// span timings. Nil for plain EXPLAIN.
@@ -119,6 +135,12 @@ func (p *Plan) String() string {
 	sb.WriteString("\n")
 	if p.Limit > 0 {
 		fmt.Fprintf(&sb, "  limit: %d\n", p.Limit)
+	}
+	if p.MemoryRows > 0 {
+		fmt.Fprintf(&sb, "  memory budget: %d buffered rows\n", p.MemoryRows)
+	}
+	if p.Timeout > 0 {
+		fmt.Fprintf(&sb, "  timeout: %s\n", p.Timeout)
 	}
 	for _, s := range p.Sources {
 		fmt.Fprintf(&sb, "  source %s: %s scan, %s", s.Source, s.Store, s.Access)
@@ -288,15 +310,76 @@ type RowStream struct {
 	// ErrMap rewrites row-level errors before they surface from Next
 	// (io.EOF passes through). Nil means errors surface unchanged.
 	ErrMap func(error) error
+
+	// deadline, when set, bounds the whole stream lifetime: Next and
+	// NextBatch fail with context.DeadlineExceeded once it passes,
+	// independent of the per-call context (an HTTP request context,
+	// for example, carries no query deadline of its own). Set via
+	// SetDeadline before the first Next. deadlineCountdown amortizes
+	// the wall-clock read on the row path: Next re-checks the clock
+	// every deadlineEvery rows instead of every row (NextBatch checks
+	// every batch — batches are already coarse).
+	deadline          time.Time
+	deadlineCountdown int
+}
+
+// deadlineEvery bounds how many rows may pass between wall-clock
+// deadline checks on the row path. The open context carries the same
+// deadline and tears the pullers down promptly either way; this only
+// bounds how many already-buffered rows may still surface first.
+const deadlineEvery = 64
+
+// SetDeadline installs the stream's deadline; zero means none. The
+// deadline is checked between rows (at deadlineEvery granularity) and
+// between batches, so a query that outlives it fails mid-stream with a
+// typed deadline error rather than running unbounded. The next pull
+// after a SetDeadline always checks.
+func (s *RowStream) SetDeadline(t time.Time) {
+	s.deadline = t
+	s.deadlineCountdown = 0
+}
+
+// expired surfaces the stream deadline as the standard context error,
+// so the lakeerr classifier (and ErrMap) route it exactly like a
+// context-level expiry. Row-path callers pay one wall-clock read per
+// deadlineEvery rows.
+func (s *RowStream) expired() error {
+	if s.deadline.IsZero() {
+		return nil
+	}
+	if s.deadlineCountdown > 0 {
+		s.deadlineCountdown--
+		return nil
+	}
+	s.deadlineCountdown = deadlineEvery - 1
+	if time.Now().After(s.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// expiredNow is the batch-path check: batches are coarse already, so
+// every pull reads the clock.
+func (s *RowStream) expiredNow() error {
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // Columns is the stream's output header.
 func (s *RowStream) Columns() []string { return s.it.Columns() }
 
-// Next returns the next row or io.EOF; see RowIterator.
+// Next returns the next row or io.EOF; see RowIterator. A stream
+// deadline (SetDeadline) that has passed fails the call with a
+// deadline error even while the per-call context is live.
 func (s *RowStream) Next(ctx context.Context) (Row, error) {
 	s.execStartNs.CompareAndSwap(0, time.Now().UnixNano())
-	row, err := s.it.Next(ctx)
+	var row Row
+	err := s.expired()
+	if err == nil {
+		row, err = s.it.Next(ctx)
+	}
 	if err != nil {
 		s.execDoneNs.CompareAndSwap(0, time.Now().UnixNano())
 		if err != io.EOF {
@@ -334,7 +417,11 @@ func (s *RowStream) NextBatch(ctx context.Context) (*Batch, error) {
 		return nil, errors.New("query: stream has no batch output; drain rows via Next")
 	}
 	s.execStartNs.CompareAndSwap(0, time.Now().UnixNano())
-	b, err := s.bit.Next(ctx)
+	var b *Batch
+	err := s.expiredNow()
+	if err == nil {
+		b, err = s.bit.Next(ctx)
+	}
 	if err != nil {
 		s.execDoneNs.CompareAndSwap(0, time.Now().UnixNano())
 		if err != io.EOF {

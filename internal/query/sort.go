@@ -23,10 +23,18 @@ import (
 // idempotent, and the backing array is dropped as soon as the last row
 // is emitted rather than held until Close.
 func Sort(in RowIterator, keys []OrderKey, limit int) RowIterator {
+	return SortWithBudget(in, keys, limit, nil)
+}
+
+// SortWithBudget is Sort with a memory budget: every row admitted to
+// the buffer is charged against it, so an unbounded ORDER BY over a
+// budgeted query fails fast with ErrBudgetExceeded instead of
+// buffering the whole input. A nil budget is unlimited.
+func SortWithBudget(in RowIterator, keys []OrderKey, limit int, budget *MemBudget) RowIterator {
 	if len(keys) == 0 {
 		return in
 	}
-	return &sortIterator{in: in, limit: limit, cmp: rowComparator(in.Columns(), keys)}
+	return &sortIterator{in: in, limit: limit, cmp: rowComparator(in.Columns(), keys), budget: budget}
 }
 
 // SortBatches wraps a batch stream with the same ORDER BY stage: the
@@ -36,10 +44,16 @@ func Sort(in RowIterator, keys []OrderKey, limit int) RowIterator {
 // never allocate. The output is row-shaped (sort is where the columnar
 // pipeline re-rowifies: the heap holds rows either way).
 func SortBatches(in BatchIterator, keys []OrderKey, limit int) RowIterator {
+	return SortBatchesWithBudget(in, keys, limit, nil)
+}
+
+// SortBatchesWithBudget is SortBatches with a memory budget; see
+// SortWithBudget.
+func SortBatchesWithBudget(in BatchIterator, keys []OrderKey, limit int, budget *MemBudget) RowIterator {
 	if len(keys) == 0 {
 		return Rows(in)
 	}
-	return &sortIterator{bin: in, limit: limit, cmp: rowComparator(in.Columns(), keys)}
+	return &sortIterator{bin: in, limit: limit, cmp: rowComparator(in.Columns(), keys), budget: budget}
 }
 
 // sortIterator is the sort stage: a pipeline breaker that fills its
@@ -51,6 +65,12 @@ type sortIterator struct {
 	bin   BatchIterator
 	limit int
 	cmp   func(a, b Row) int
+	// budget, when set, is charged one row per buffered row and
+	// released as rows are emitted — the memory-bound enforcement of
+	// the admission layer. charged tracks the stage's outstanding
+	// charge (consumer-side state, no locking needed).
+	budget  *MemBudget
+	charged int
 
 	buf    []Row
 	pos    int
@@ -103,6 +123,10 @@ func (s *sortIterator) Next(ctx context.Context) (Row, error) {
 	row := s.buf[s.pos]
 	s.buf[s.pos] = nil
 	s.pos++
+	if s.charged > 0 {
+		s.budget.Release(1)
+		s.charged--
+	}
 	return row, nil
 }
 
@@ -128,6 +152,8 @@ func (s *sortIterator) fill(ctx context.Context) error {
 		}
 		s.err = err
 		s.buf = nil
+		s.budget.Release(s.charged)
+		s.charged = 0
 		s.closeIn()
 		return err
 	}
@@ -148,7 +174,9 @@ func (s *sortIterator) fillFromRows(ctx context.Context, h *rowHeap) error {
 		if err != nil {
 			return err
 		}
-		s.admit(h, row, nil)
+		if err := s.admit(h, row, nil); err != nil {
+			return err
+		}
 	}
 }
 
@@ -171,15 +199,20 @@ func (s *sortIterator) fillFromBatches(ctx context.Context, h *rowHeap) error {
 		}
 		for i, n := 0, b.Len(); i < n; i++ {
 			b.CopyRow(scratch, i)
-			s.admit(h, scratch, func() Row { return b.Row(i) })
+			if err := s.admit(h, scratch, func() Row { return b.Row(i) }); err != nil {
+				return err
+			}
 		}
 	}
 }
 
 // admit offers one row to the heap under the top-K bound. clone, when
 // set, materializes an owned copy of the row on admission (the batch
-// fill's scratch row is reused and must not be retained as-is).
-func (s *sortIterator) admit(h *rowHeap, row Row, clone func() Row) {
+// fill's scratch row is reused and must not be retained as-is). Heap
+// growth is charged against the memory budget — a top-K replacement
+// is footprint-neutral and charges nothing — and an exceeded budget
+// aborts the fill.
+func (s *sortIterator) admit(h *rowHeap, row Row, clone func() Row) error {
 	if s.limit > 0 && len(h.rows) >= s.limit {
 		// Bounded top-K: only admit rows that beat the current
 		// worst, evicting it — the heap never exceeds limit rows.
@@ -191,6 +224,10 @@ func (s *sortIterator) admit(h *rowHeap, row Row, clone func() Row) {
 			heap.Fix(h, 0)
 		}
 	} else {
+		if err := s.budget.Acquire(1); err != nil {
+			return err
+		}
+		s.charged++
 		if clone != nil {
 			row = clone()
 		}
@@ -199,6 +236,7 @@ func (s *sortIterator) admit(h *rowHeap, row Row, clone func() Row) {
 	if n := int64(len(h.rows)); n > s.maxHeld.Load() {
 		s.maxHeld.Store(n)
 	}
+	return nil
 }
 
 func (s *sortIterator) closeIn() {
@@ -218,6 +256,8 @@ func (s *sortIterator) Close() error {
 	}
 	s.closed = true
 	s.buf = nil
+	s.budget.Release(s.charged)
+	s.charged = 0
 	if s.inClosed {
 		return nil
 	}

@@ -23,6 +23,16 @@ const (
 	CodeConflict     Code = "conflict"
 	CodeUnavailable  Code = "unavailable"
 	CodeInternal     Code = "internal"
+	// CodeDeadlineExceeded classifies a query that ran past its
+	// deadline (Request.Timeout / "timeout_ms"). Distinct from
+	// CodeUnavailable so clients can tell "the server is overloaded"
+	// from "my query was too slow for the deadline I set".
+	CodeDeadlineExceeded Code = "deadline_exceeded"
+	// CodeResourceExhausted classifies admission rejections (quota,
+	// rate limit, queue overflow) and memory-budget overruns — the
+	// request was well-formed but the resources it needs are not
+	// currently grantable. Maps to HTTP 429.
+	CodeResourceExhausted Code = "resource_exhausted"
 )
 
 // Error is a classified lake error. It wraps the underlying cause, so
@@ -62,8 +72,9 @@ func Wrap(code Code, err error) error {
 }
 
 // CodeOf extracts the classification of err: the code of the outermost
-// *Error, CodeUnavailable for context cancellation/deadline, and
-// CodeInternal for everything else (nil maps to the empty code).
+// *Error, CodeDeadlineExceeded for an expired context deadline,
+// CodeUnavailable for plain cancellation, and CodeInternal for
+// everything else (nil maps to the empty code).
 func CodeOf(err error) Code {
 	if err == nil {
 		return ""
@@ -72,7 +83,10 @@ func CodeOf(err error) Code {
 	if errors.As(err, &e) {
 		return e.Code
 	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CodeDeadlineExceeded
+	}
+	if errors.Is(err, context.Canceled) {
 		return CodeUnavailable
 	}
 	return CodeInternal
@@ -92,3 +106,11 @@ func IsConflict(err error) bool { return CodeOf(err) == CodeConflict }
 
 // IsUnavailable reports whether err is classified CodeUnavailable.
 func IsUnavailable(err error) bool { return CodeOf(err) == CodeUnavailable }
+
+// IsDeadlineExceeded reports whether err is classified
+// CodeDeadlineExceeded.
+func IsDeadlineExceeded(err error) bool { return CodeOf(err) == CodeDeadlineExceeded }
+
+// IsResourceExhausted reports whether err is classified
+// CodeResourceExhausted.
+func IsResourceExhausted(err error) bool { return CodeOf(err) == CodeResourceExhausted }

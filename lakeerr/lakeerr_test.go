@@ -38,8 +38,35 @@ func TestCodeOfFallbacks(t *testing.T) {
 	if CodeOf(context.Canceled) != CodeUnavailable {
 		t.Error("canceled context should map to unavailable")
 	}
-	if CodeOf(fmt.Errorf("op: %w", context.DeadlineExceeded)) != CodeUnavailable {
-		t.Error("deadline should map to unavailable")
+	if CodeOf(fmt.Errorf("op: %w", context.DeadlineExceeded)) != CodeDeadlineExceeded {
+		t.Error("deadline should map to deadline_exceeded")
+	}
+}
+
+func TestDeadlineAndResourceCodes(t *testing.T) {
+	// A raw expired-context error classifies as deadline_exceeded even
+	// without an explicit Wrap — the NDJSON trailer depends on this.
+	if !IsDeadlineExceeded(context.DeadlineExceeded) {
+		t.Error("bare context.DeadlineExceeded should classify as deadline_exceeded")
+	}
+	if IsUnavailable(context.DeadlineExceeded) {
+		t.Error("deadline must no longer classify as unavailable")
+	}
+	// Plain cancellation stays unavailable: the client went away, the
+	// server was fine.
+	if !IsUnavailable(context.Canceled) {
+		t.Error("canceled should stay unavailable")
+	}
+	// An explicit Wrap still wins over the context fallback.
+	err := Wrap(CodeResourceExhausted, fmt.Errorf("budget: %w", context.DeadlineExceeded))
+	if !IsResourceExhausted(err) || IsDeadlineExceeded(err) {
+		t.Errorf("outer resource_exhausted should win, got %q", CodeOf(err))
+	}
+	if !IsResourceExhausted(New(CodeResourceExhausted, "quota")) {
+		t.Error("IsResourceExhausted rejected its own code")
+	}
+	if !IsDeadlineExceeded(New(CodeDeadlineExceeded, "too slow")) {
+		t.Error("IsDeadlineExceeded rejected its own code")
 	}
 }
 
