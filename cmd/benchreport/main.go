@@ -13,10 +13,12 @@
 // columnar executions of the same selective scan), ingest-durability
 // (WAL off / WAL no-fsync / WAL fsync), metrics-overhead (identical
 // drained query with the observability layer on vs WithMetrics(false)),
-// and admission-overhead (the same drained query bare vs behind a
-// generous WithAdmission controller) benchmarks run through
+// admission-overhead (the same drained query bare vs behind a
+// generous WithAdmission controller), and federation (the identical
+// two-dataset scatter-gather through two remote member lakes over real
+// HTTP vs co-located in one lake) benchmarks run through
 // testing.Benchmark and their machine-readable results (ns/op,
-// allocs/op, rows/s) are written to BENCH_9.json (or -json-out) — the
+// allocs/op, rows/s) are written to BENCH_10.json (or -json-out) — the
 // in-repo perf trajectory file.
 package main
 
@@ -32,7 +34,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment")
 	jsonOut := flag.Bool("json", false, "write machine-readable benchmark results instead of reports")
-	jsonPath := flag.String("json-out", "BENCH_9.json", "output path for -json")
+	jsonPath := flag.String("json-out", "BENCH_10.json", "output path for -json")
 	flag.Parse()
 	dir, err := os.MkdirTemp("", "golake-benchreport-*")
 	if err != nil {
@@ -64,6 +66,11 @@ func main() {
 			fatal(err)
 		}
 		results = append(results, adm...)
+		fed, err := bench.FederationBenchResults()
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, fed...)
 		if err := bench.WriteBenchJSON(*jsonPath, results); err != nil {
 			fatal(err)
 		}

@@ -55,6 +55,14 @@
 // POST /v1/query — shed queries return HTTP 429 with a Retry-After
 // header — and -shutdown-grace bounds how long a SIGINT/SIGTERM drain
 // waits for in-flight requests before the process exits.
+//
+// Federation: each -remote NAME=URL (repeatable) registers another
+// golake as a remote member store, so queries address its datasets as
+// "NAME:dataset" and scatter-gather across members through the same
+// fan-in that drains local scans. -remote-token forwards a bearer token
+// on every remote hop, -remote-route resolves bare dataset names
+// through a consistent-hash ring over the members, and -shards K
+// range-partitions each local relational scan into K parallel cursors.
 package main
 
 import (
@@ -119,6 +127,15 @@ func main() {
 		"serve: per-user query rate limit in queries/sec (0 = off)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
 		"serve: drain window for in-flight requests on SIGINT/SIGTERM")
+	var remotes multiFlag
+	flag.Var(&remotes, "remote",
+		"federate a remote member lake as NAME=URL (repeatable); query its datasets as NAME:dataset")
+	remoteToken := flag.String("remote-token", "",
+		"bearer token forwarded on every remote member hop (Authorization: Bearer)")
+	remoteRoute := flag.Bool("remote-route", false,
+		"route bare dataset names to remote members via consistent hashing")
+	shards := flag.Int("shards", 0,
+		"range-partition each relational scan into N parallel shard cursors (0 = off)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -140,14 +157,22 @@ func main() {
 	if *dataDir == "" {
 		fatal(fmt.Errorf("command %q needs -data DIR", cmd))
 	}
-	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain, *fanIn, *fanInBuffer, *persistFlag, *fsync, *maxConcurrent, *rateLimit)
+	remoteOpts, err := parseRemoteFlags(remotes, *remoteToken)
+	if err != nil {
+		fatal(err)
+	}
+	if *remoteRoute {
+		remoteOpts = append(remoteOpts, golake.WithRemoteRouting(true))
+	}
+	lake, err := loadLake(ctx, *dataDir, *user, *autoMaintain, *fanIn, *fanInBuffer, *persistFlag, *fsync, *maxConcurrent, *rateLimit, remoteOpts)
 	if err != nil {
 		fatal(err)
 	}
 	defer lake.Close()
 	qf := queryFlags{
 		fanIn: *fanIn, bufferRows: *fanInBuffer, batchRows: *batchRows,
-		order: *orderBy, explain: *explain, stats: *stats,
+		shards: *shards,
+		order:  *orderBy, explain: *explain, stats: *stats,
 		metrics: *metricsFlag, pprofAddr: *pprofAddr,
 		timeout: *queryTimeout, memoryRows: *memBudget,
 		shutdownGrace: *shutdownGrace,
@@ -162,6 +187,7 @@ func main() {
 type queryFlags struct {
 	fanIn, bufferRows int
 	batchRows         int
+	shards            int
 	order             string
 	explain, stats    bool
 	metrics           bool
@@ -172,9 +198,33 @@ type queryFlags struct {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-batch-rows ROWS] [-order COLS] [-timeout DUR] [-memory-budget ROWS] [-max-concurrent N] [-rate QPS] [-shutdown-grace DUR] [-explain] [-stats] [-metrics] [-pprof ADDR] COMMAND [ARGS]")
+	fmt.Fprintln(os.Stderr, "usage: lakectl [-data DIR] [-user NAME] [-persist] [-fsync] [-auto-maintain 5s] [-fanin N] [-fanin-buffer ROWS] [-batch-rows ROWS] [-shards N] [-order COLS] [-timeout DUR] [-memory-budget ROWS] [-max-concurrent N] [-rate QPS] [-shutdown-grace DUR] [-remote NAME=URL] [-remote-token TOKEN] [-remote-route] [-explain] [-stats] [-metrics] [-pprof ADDR] COMMAND [ARGS]")
 	fmt.Fprintln(os.Stderr, "commands: profile catalog discover join query swamp lineage status serve registry demo")
 	os.Exit(2)
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// parseRemoteFlags turns -remote NAME=URL registrations into lake
+// options; the shared -remote-token rides along on every member.
+func parseRemoteFlags(remotes []string, token string) ([]golake.Option, error) {
+	var opts []golake.Option
+	for _, spec := range remotes {
+		name, url, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("-remote: want NAME=URL, got %q", spec)
+		}
+		opts = append(opts, golake.WithRemoteStore(name, url, golake.RemoteOptions{Token: token}))
+	}
+	return opts, nil
 }
 
 // loadLake bulk-ingests every regular file under dir and brings the
@@ -182,7 +232,7 @@ func usage() {
 // a rerun replays the previous invocation's state, files already
 // cataloged are skipped, and the maintenance pass resumes
 // incrementally over just the new data.
-func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration, fanIn, fanInBuffer int, persistLake, fsync bool, maxConcurrent int, rateLimit float64) (*golake.Lake, error) {
+func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration, fanIn, fanInBuffer int, persistLake, fsync bool, maxConcurrent int, rateLimit float64, extra []golake.Option) (*golake.Lake, error) {
 	workdir, err := os.MkdirTemp("", "golake-lakectl-*")
 	if err != nil {
 		return nil, err
@@ -190,6 +240,7 @@ func loadLake(ctx context.Context, dir, user string, autoMaintain time.Duration,
 	opts := []golake.Option{
 		golake.WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))),
 	}
+	opts = append(opts, extra...)
 	if autoMaintain > 0 {
 		opts = append(opts, golake.WithAutoMaintain(autoMaintain))
 	}
@@ -385,6 +436,7 @@ func streamQuery(ctx context.Context, lake *golake.Lake, user, sql string, qf qu
 		FanIn:      qf.fanIn,
 		BufferRows: qf.bufferRows,
 		BatchRows:  qf.batchRows,
+		Shards:     qf.shards,
 		Explain:    qf.explain,
 		Timeout:    qf.timeout,
 		MemoryRows: qf.memoryRows,

@@ -25,7 +25,7 @@ func writeDataDir(t *testing.T) string {
 }
 
 func TestLoadLakeIngestsAndMaintains(t *testing.T) {
-	lake, err := loadLake(context.Background(), writeDataDir(t), "cli", 0, 0, 0, false, false, 0, 0)
+	lake, err := loadLake(context.Background(), writeDataDir(t), "cli", 0, 0, 0, false, false, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestLoadLakeIngestsAndMaintains(t *testing.T) {
 }
 
 func TestDispatchCommands(t *testing.T) {
-	lake, err := loadLake(context.Background(), writeDataDir(t), "cli", 0, 0, 0, false, false, 0, 0)
+	lake, err := loadLake(context.Background(), writeDataDir(t), "cli", 0, 0, 0, false, false, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestParseOrderFlag(t *testing.T) {
 // TestQueryFlagsDispatch drives the query command through the -order,
 // -explain and fan-in flags — the one-Request plumbing.
 func TestQueryFlagsDispatch(t *testing.T) {
-	lake, err := loadLake(context.Background(), writeDataDir(t), "cli", 0, 0, 0, false, false, 0, 0)
+	lake, err := loadLake(context.Background(), writeDataDir(t), "cli", 0, 0, 0, false, false, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

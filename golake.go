@@ -106,6 +106,34 @@
 // {"error":{...}} line on mid-stream failure). With "explain": true it
 // returns {"plan": {...}} instead of rows.
 //
+// # Distributed federation
+//
+// A lake can federate other lakes as remote member stores: register
+// each member with WithRemoteStore and address its datasets as
+// "member:dataset" (or enable WithRemoteRouting to resolve bare names
+// through a consistent-hash ring over the members). The remote hop
+// speaks the same POST /v1/query NDJSON protocol any client does, with
+// predicates, projections, and ORDER BY+LIMIT pushed down to the
+// member; to the fan-in machinery a remote lake is just a slow member
+// store, so scatter-gather across N members is the ordinary parallel
+// union. QueryRequest.Shards additionally range-partitions each local
+// relational scan into K cursors drained through the same fan-in.
+// Remote failures keep their lakeerr codes end to end, and a connection
+// dropped mid-stream surfaces as a typed unavailable error, never a
+// silent short result:
+//
+//	lake, _ := golake.Open(dir,
+//		golake.WithRemoteStore("east", "http://east.lake:8080",
+//			golake.RemoteOptions{Timeout: 5 * time.Second, Token: eastToken}),
+//		golake.WithRemoteStore("west", "http://west.lake:8080",
+//			golake.RemoteOptions{Timeout: 5 * time.Second, Token: westToken}))
+//	rows, _ := lake.QuerySQL(ctx, "dana",
+//		"SELECT city, price FROM east:hotels, west:hotels WHERE price > 40")
+//
+// Member lakes authenticate the hop with bearer tokens (Lake.AddToken
+// registers one; only its sha256 digest is stored) and audit the
+// originating user via the forwarded X-Lake-User identity.
+//
 // # Background maintenance
 //
 // The manual Maintain call above can be replaced by an always-on
@@ -172,6 +200,7 @@ import (
 	"golake/internal/obs"
 	"golake/internal/persist"
 	"golake/internal/query"
+	"golake/internal/remote"
 	"golake/internal/table"
 )
 
@@ -404,6 +433,37 @@ func WithAdmission(cfg AdmissionConfig) Option { return core.WithAdmission(cfg) 
 // RetryAfterOf extracts the retry hint from a shed-query error, when
 // present.
 func RetryAfterOf(err error) (time.Duration, bool) { return admission.RetryAfterOf(err) }
+
+// RemoteOptions tunes one remote member store: per-request Timeout,
+// ConnectRetries with capped exponential backoff, the bearer Token the
+// hop authenticates with, and an overriding http.Client (tests).
+type RemoteOptions = remote.Options
+
+// WithRemoteStore federates another golake into this one as a member
+// store named name: queries addressing "name:dataset" stream from the
+// member's POST /v1/query endpoint with predicates, projections, and
+// ORDER BY+LIMIT pushed down. See the "Distributed federation" section
+// of the package documentation.
+func WithRemoteStore(name, baseURL string, opts RemoteOptions) Option {
+	return core.WithRemoteStore(name, baseURL, opts)
+}
+
+// WithRemoteRouting routes bare dataset names that resolve to no local
+// store through a consistent-hash ring over the registered remote
+// members, so callers need not name the member holding a dataset.
+func WithRemoteRouting(enabled bool) Option { return core.WithRemoteRouting(enabled) }
+
+// HashRing is the consistent-hash placement helper the router uses;
+// exported for planning dataset placement across member lakes.
+type HashRing = remote.Ring
+
+// NewHashRing builds a consistent-hash ring over member names with
+// vnodes virtual nodes per member (<= 0 uses the default, 64). The same
+// member set always yields the same placements, and placements mostly
+// survive membership changes.
+func NewHashRing(members []string, vnodes int) *HashRing {
+	return remote.NewRing(members, vnodes)
+}
 
 // Open assembles a data lake rooted at dir.
 func Open(dir string, opts ...Option) (*Lake, error) { return core.Open(dir, opts...) }

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"golake/internal/core"
+	"golake/internal/query"
+	"golake/internal/remote"
+)
+
+// The federation benchmark corpus: two member datasets of fedBenchRows
+// rows each, queried with a selective predicate so pushdown matters —
+// the members filter before a byte crosses the wire.
+const (
+	fedBenchRows = 20000
+	fedBenchMod  = 997
+	fedBenchSQL  = "WHERE v > 500"
+)
+
+// fedBenchCSV renders one member's dataset.
+func fedBenchCSV(prefix string) []byte {
+	var sb strings.Builder
+	sb.WriteString("id,site,v\n")
+	for i := 0; i < fedBenchRows; i++ {
+		fmt.Fprintf(&sb, "%s%d,s%d,%d\n", prefix, i, i%50, i%fedBenchMod)
+	}
+	return []byte(sb.String())
+}
+
+// fedBenchLake opens a scratch lake and ingests the named datasets.
+// The caller cleans up via the returned func.
+func fedBenchLake(datasets []string, opts ...core.Option) (*core.Lake, func(), error) {
+	dir, err := os.MkdirTemp("", "golake-fedbench-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := core.Open(dir, opts...)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	cleanup := func() { l.Close(); os.RemoveAll(dir) }
+	l.AddUser("bench", core.RoleDataScientist)
+	for _, ds := range datasets {
+		if _, err := l.Ingest(context.Background(), "raw/"+ds+".csv", fedBenchCSV(ds), "bench", "bench"); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	}
+	return l, cleanup, nil
+}
+
+// drainLakeQuery runs one SQL statement and counts the rows.
+func drainLakeQuery(ctx context.Context, l *core.Lake, sql string, fanIn int) (int, error) {
+	st, err := l.Query(ctx, "bench", query.Request{SQL: sql, FanIn: fanIn})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	n := 0
+	for {
+		_, err := st.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// FederationBenchResults prices the distributed hop: the identical
+// two-dataset scatter-gather drained through two remote member lakes
+// (real HTTP servers, NDJSON streams, predicate pushdown) versus the
+// same datasets co-located in one lake. The pair makes the federation
+// tax — JSON framing, the network stack, per-member sub-queries —
+// visible in the perf trajectory next to the local baseline it rides
+// on.
+func FederationBenchResults() ([]BenchResult, error) {
+	ctx := context.Background()
+
+	// Local baseline: both datasets in one lake.
+	local, cleanupLocal, err := fedBenchLake([]string{"fed_a", "fed_b"})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanupLocal()
+
+	// Two member lakes, one dataset each, served over real HTTP.
+	east, cleanupEast, err := fedBenchLake([]string{"fed_a"})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanupEast()
+	eastSrv := httptest.NewServer(east.HTTPHandler())
+	defer eastSrv.Close()
+	west, cleanupWest, err := fedBenchLake([]string{"fed_b"})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanupWest()
+	westSrv := httptest.NewServer(west.HTTPHandler())
+	defer westSrv.Close()
+
+	fed, cleanupFed, err := fedBenchLake(nil,
+		core.WithRemoteStore("east", eastSrv.URL, remote.Options{Timeout: time.Minute}),
+		core.WithRemoteStore("west", westSrv.URL, remote.Options{Timeout: time.Minute}))
+	if err != nil {
+		return nil, err
+	}
+	defer cleanupFed()
+
+	localSQL := "SELECT id, v FROM rel:fed_a, rel:fed_b " + fedBenchSQL
+	remoteSQL := "SELECT id, v FROM east:fed_a, west:fed_b " + fedBenchSQL
+	wantRows, err := drainLakeQuery(ctx, local, localSQL, 8)
+	if err != nil {
+		return nil, err
+	}
+	if got, err := drainLakeQuery(ctx, fed, remoteSQL, 8); err != nil {
+		return nil, err
+	} else if got != wantRows {
+		return nil, fmt.Errorf("federation bench: remote drained %d rows, local %d", got, wantRows)
+	}
+
+	var out []BenchResult
+	// As elsewhere in this package, b.Fatal only kills the bench
+	// goroutine, so failures re-surface as errors instead of zero rows
+	// in the trajectory file.
+	var benchErr error
+	for _, cfg := range []struct {
+		name string
+		l    *core.Lake
+		sql  string
+	}{
+		{"local_federation/fanin=8", local, localSQL},
+		{"remote_scatter_gather/fanin=8", fed, remoteSQL},
+	} {
+		cfg := cfg
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := drainLakeQuery(ctx, cfg.l, cfg.sql, 8)
+				if err != nil {
+					benchErr = fmt.Errorf("%s: %w", cfg.name, err)
+					b.Fatal(err)
+				}
+				if n != wantRows {
+					benchErr = fmt.Errorf("%s: drained %d rows, want %d", cfg.name, n, wantRows)
+					b.Fatalf("drained %d rows, want %d", n, wantRows)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run", cfg.name)
+		}
+		out = append(out, benchResult(cfg.name, wantRows, r))
+	}
+	return out, nil
+}

@@ -23,12 +23,15 @@ import (
 
 // HTTPHandler exposes the lake over a versioned REST API, the
 // external-application interface Constance and CoreDB provide
-// (Sec. 7.2). The acting user comes from the X-Lake-User header; role
+// (Sec. 7.2). The acting user comes from bearer credentials when the
+// request carries "Authorization: Bearer <token>" (tokens registered
+// with AddToken; an unknown token is a typed unauthorized rejection,
+// never a fallthrough), and from the X-Lake-User header otherwise; role
 // checks apply as in the Go API. Every request runs through a
 // middleware chain (panic recovery, request logging via WithLogger,
-// user resolution), and every failure is rendered as the structured
-// envelope {"error":{"code","message"}} with the code drawn from the
-// lakeerr taxonomy.
+// bearer resolution, user resolution), and every failure is rendered as
+// the structured envelope {"error":{"code","message"}} with the code
+// drawn from the lakeerr taxonomy.
 //
 //	DELETE /v1/datasets?path=PATH        evict a dataset (curator/operations)
 //	GET  /v1/datasets?cursor=&limit=     paginated catalog entries
@@ -87,9 +90,47 @@ func (l *Lake) HTTPHandler() http.Handler {
 
 type ctxKey int
 
-// legacyKey marks requests arriving through a deprecated alias, so
-// writeErr keeps the pre-v1 flat error wire shape for them.
-const legacyKey ctxKey = iota
+const (
+	// legacyKey marks requests arriving through a deprecated alias, so
+	// writeErr keeps the pre-v1 flat error wire shape for them.
+	legacyKey ctxKey = iota
+	// authUserKey carries the bearer-token-resolved user; it outranks
+	// the spoofable X-Lake-User header in userOf.
+	authUserKey
+)
+
+// authMW resolves bearer credentials: a request carrying
+// "Authorization: Bearer <token>" acts as the token's registered user
+// (resolved through the hashed-token registry), an unknown or malformed
+// credential is rejected with a typed unauthorized error, and a request
+// without an Authorization header falls through to the X-Lake-User
+// convention unchanged. Sitting inside obsMW keeps rejected probes in
+// the metrics and access log.
+func (l *Lake) authMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		auth := r.Header.Get("Authorization")
+		if auth == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		// legacyKey is attached inside the mux, below this middleware —
+		// reject by path so alias routes keep their flat error shape.
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			r = r.WithContext(context.WithValue(r.Context(), legacyKey, true))
+		}
+		token, ok := strings.CutPrefix(auth, "Bearer ")
+		if !ok || strings.TrimSpace(token) == "" {
+			writeErr(w, r, lakeerr.Errorf(lakeerr.CodeUnauthorized, "auth: Authorization must be a bearer token"))
+			return
+		}
+		user, ok := l.userForToken(strings.TrimSpace(token))
+		if !ok {
+			writeErr(w, r, lakeerr.Errorf(lakeerr.CodeUnauthorized, "auth: unknown bearer token"))
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), authUserKey, user)))
+	})
+}
 
 // deprecated marks a legacy alias route with the Deprecation header
 // and a Link to its versioned successor.
@@ -191,7 +232,7 @@ func (l *Lake) obsMW(mux *http.ServeMux) http.Handler {
 			m.httpInFlight.Inc()
 			defer m.httpInFlight.Dec()
 		}
-		next := http.Handler(mux)
+		next := l.authMW(mux)
 		next.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
 		if m := l.metrics; m != nil {
@@ -253,6 +294,9 @@ func (l *Lake) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func userOf(r *http.Request) string {
+	if u, ok := r.Context().Value(authUserKey).(string); ok && u != "" {
+		return u
+	}
 	if u := r.Header.Get("X-Lake-User"); u != "" {
 		return u
 	}
@@ -674,6 +718,7 @@ const (
 	maxQueryFanIn      = 64
 	maxQueryBufferRows = 1 << 16
 	maxQueryBatchRows  = 1 << 16
+	maxQueryShards     = 64
 )
 
 // queryRequest is the POST /v1/query body: one statement plus the
@@ -681,7 +726,9 @@ const (
 // means the lake default (fan-in on, one puller per CPU, unless
 // WithFanIn pinned a width); fanin 1 forces the sequential union.
 // batch_rows sizes the columnar pipeline's batches (absent = the lake
-// default; ignored on queries that fall back to row mode). order
+// default; ignored on queries that fall back to row mode). shards
+// range-partitions each relational scan into that many cursors drained
+// through the same fan-in (absent or 1 = one cursor per table). order
 // entries sort the result ({"column": ..., "desc": ...}); explain
 // returns the typed plan instead of executing. timeout_ms bounds the
 // query's wall-clock time and memory_rows its buffered-row footprint —
@@ -699,6 +746,7 @@ type queryRequest struct {
 	FanIn      *int `json:"fanin"`
 	BufferRows *int `json:"buffer_rows"`
 	BatchRows  *int `json:"batch_rows"`
+	Shards     *int `json:"shards"`
 	TimeoutMS  *int `json:"timeout_ms"`
 	MemoryRows *int `json:"memory_rows"`
 }
@@ -733,6 +781,12 @@ func (b queryRequest) request() (query.Request, error) {
 			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: batch_rows must be 0..%d", maxQueryBatchRows)
 		}
 		req.BatchRows = *b.BatchRows
+	}
+	if b.Shards != nil {
+		if *b.Shards < 0 || *b.Shards > maxQueryShards {
+			return req, lakeerr.Errorf(lakeerr.CodeInvalidQuery, "query: shards must be 0..%d", maxQueryShards)
+		}
+		req.Shards = *b.Shards
 	}
 	if b.TimeoutMS != nil {
 		if *b.TimeoutMS < 0 {

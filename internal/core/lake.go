@@ -17,6 +17,8 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -38,6 +40,7 @@ import (
 	"golake/internal/persist"
 	"golake/internal/provenance"
 	"golake/internal/query"
+	"golake/internal/remote"
 	"golake/internal/storage/polystore"
 	"golake/internal/table"
 	"golake/lakeerr"
@@ -86,6 +89,15 @@ type options struct {
 	metricsOff    bool
 	admission     admission.Config
 	admissionSet  bool
+	remotes       []remoteSpec
+	routeRemotes  bool
+}
+
+// remoteSpec is one WithRemoteStore registration, resolved in Open.
+type remoteSpec struct {
+	name    string
+	baseURL string
+	opts    remote.Options
 }
 
 // WithClock substitutes the lake's time source (tests, replays).
@@ -175,6 +187,33 @@ func WithAdmission(cfg admission.Config) Option {
 	}
 }
 
+// WithRemoteStore federates another golake into this one as a member
+// store named name: queries addressing "name:dataset" open a streaming
+// POST /v1/query against baseURL, with predicates, projections, and
+// ORDER BY+LIMIT pushed down as an ordinary SELECT (pushdown follows
+// WithPushdown). To the fan-in machinery the remote lake is just a slow
+// member store — scatter-gather across N members is the same
+// ParallelUnion that drains local scans. Remote failures are typed: the
+// member's error envelope keeps its lakeerr code, connect failures
+// retry with capped backoff and then classify as unavailable, and a
+// connection dropped mid-stream is an unavailable error, never a silent
+// short result.
+func WithRemoteStore(name, baseURL string, opts remote.Options) Option {
+	return func(o *options) {
+		o.remotes = append(o.remotes, remoteSpec{name: name, baseURL: baseURL, opts: opts})
+	}
+}
+
+// WithRemoteRouting enables consistent-hash placement over the
+// registered remote members: a bare dataset name that resolves to no
+// local store is routed to the member a 64-vnode hash ring assigns it,
+// so "SELECT * FROM orders" finds the member holding orders without the
+// caller naming it. Placements are deterministic for a given member
+// set, and mostly stable when members are added or removed.
+func WithRemoteRouting(enabled bool) Option {
+	return func(o *options) { o.routeRemotes = enabled }
+}
+
 // WithAutoMaintain starts a background maintenance scheduler when the
 // lake opens: every interval it checks Stale and, when new data
 // arrived, runs an incremental pass — so ingested data becomes
@@ -200,6 +239,9 @@ type Lake struct {
 
 	mu    sync.RWMutex
 	users map[string]Role
+	// tokens maps sha256-hex bearer-token digests to user names; the
+	// plaintext token is never stored. Guarded by mu alongside users.
+	tokens map[string]string
 	// ingestGen counts ingests; maintainedGen records the ingest
 	// generation the last completed Maintain pass covered. Together
 	// they make Maintain safe under concurrent ingest: a racing ingest
@@ -285,6 +327,7 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 		planner:    maintain.NewPlanner(),
 		knn:        organize.NewDSKNN(),
 		users:      map[string]Role{},
+		tokens:     map[string]string{},
 		nameToPath: map[string]string{},
 		clock:      o.clock,
 		maxResults: o.maxResults,
@@ -308,6 +351,22 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 	l.Engine = query.NewEngine(poly)
 	l.Engine.PushDown = o.pushdown
 	l.Engine.FanIn = o.fanIn
+	if len(o.remotes) > 0 {
+		l.Engine.Remotes = make(map[string]query.RemoteOpener, len(o.remotes))
+		names := make([]string, 0, len(o.remotes))
+		for _, rs := range o.remotes {
+			c := remote.New(rs.name, rs.baseURL, rs.opts)
+			// The observer is nil-safe, so member clients stay wired even
+			// with WithMetrics(false).
+			c.SetObserver(remoteObserver{m: l.metrics})
+			l.Engine.Remotes[rs.name] = c
+			names = append(names, rs.name)
+		}
+		if o.routeRemotes {
+			ring := remote.NewRing(names, 0)
+			l.Engine.Locate = func(dataset string) (string, bool) { return ring.Locate(dataset) }
+		}
+	}
 	if o.backend != nil {
 		l.pers = &persister{backend: o.backend, threshold: o.snapshotEvery}
 		if err := l.pers.restore(l); err != nil {
@@ -346,6 +405,11 @@ func (l *Lake) Close() error {
 	if l.sched != nil {
 		l.sched.Stop()
 	}
+	for _, opener := range l.Engine.Remotes {
+		if c, ok := opener.(interface{ CloseIdle() }); ok {
+			c.CloseIdle()
+		}
+	}
 	if l.pers != nil {
 		l.maintMu.Lock()
 		defer l.maintMu.Unlock()
@@ -382,6 +446,42 @@ func (l *Lake) AddUser(name string, role Role) {
 	l.users[name] = role
 	l.mu.Unlock()
 	l.persistRecord(&walRecord{Kind: recUser, Name: name, Role: string(role)})
+}
+
+// AddToken registers a bearer token for an already-registered user.
+// Only the token's sha256 digest is kept (and persisted), so neither
+// the WAL nor a snapshot ever holds the plaintext. Requests carrying
+// "Authorization: Bearer <token>" authenticate as the user; a remote
+// member lake configured with the token authenticates federated hops
+// the same way, so the remote path is never an auth bypass.
+func (l *Lake) AddToken(user, token string) error {
+	if _, err := l.roleOf(user); err != nil {
+		return err
+	}
+	if token == "" {
+		return lakeerr.Errorf(lakeerr.CodeInvalidQuery, "core: empty bearer token")
+	}
+	h := hashToken(token)
+	l.mu.Lock()
+	l.tokens[h] = user
+	l.mu.Unlock()
+	l.persistRecord(&walRecord{Kind: recToken, Name: user, Token: h})
+	return nil
+}
+
+// userForToken resolves a bearer token to its registered user.
+func (l *Lake) userForToken(token string) (string, bool) {
+	h := hashToken(token)
+	l.mu.RLock()
+	u, ok := l.tokens[h]
+	l.mu.RUnlock()
+	return u, ok
+}
+
+// hashToken is the stored form of a bearer token.
+func hashToken(token string) string {
+	sum := sha256.Sum256([]byte(token))
+	return hex.EncodeToString(sum[:])
 }
 
 // roleOf returns the user's role.
@@ -932,6 +1032,9 @@ func (l *Lake) Query(ctx context.Context, user string, req query.Request) (*quer
 	if l.maxResults > 0 {
 		req.Limit = query.CombineLimit(req.Limit, l.maxResults)
 	}
+	// Stamp the caller's identity so remote hops forward it (X-Lake-User)
+	// and member lakes audit the originating user, not a proxy identity.
+	req.User = user
 	// Admission: acquire a slot (or get shed) before any engine work,
 	// and fold the controller's default/maximum deadline and memory
 	// budget into the request.
@@ -1005,6 +1108,13 @@ func (l *Lake) Query(ctx context.Context, user string, req query.Request) (*quer
 	// The engine already parsed the statement; the plan's source list
 	// drives the audit trail.
 	for _, sp := range st.Plan().Sources {
+		if sp.Store == "remote" {
+			// The member lake owns the dataset and records the access
+			// itself (the forwarded X-Lake-User keeps the audit on the
+			// originating user); a local provenance row would invent an
+			// entity this lake has never ingested.
+			continue
+		}
 		name := sp.Source
 		if _, rest, ok := strings.Cut(sp.Source, ":"); ok {
 			name = rest
@@ -1100,8 +1210,15 @@ func (l *Lake) QueryStreamFanIn(ctx context.Context, user, sql string, opts quer
 // classifyQueryErr maps engine failures onto the taxonomy: syntax
 // errors are invalid queries, missing sources/tables are not-found,
 // a blown memory budget is resource-exhausted, a missed deadline is
-// deadline-exceeded, and cancellation is unavailable.
+// deadline-exceeded, and cancellation is unavailable. An error already
+// carrying a classification — the remote client decodes member error
+// envelopes into typed errors — passes through so the member's verdict
+// (unauthorized, not_found, unavailable, ...) survives the hop.
 func classifyQueryErr(err error) error {
+	var typed *lakeerr.Error
+	if errors.As(err, &typed) {
+		return err
+	}
 	switch {
 	case errors.Is(err, query.ErrSyntax):
 		return lakeerr.Wrap(lakeerr.CodeInvalidQuery, err)

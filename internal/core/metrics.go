@@ -72,6 +72,13 @@ type lakeMetrics struct {
 	maintDatasets *obs.Counter
 	maintRetries  *obs.Counter
 
+	// Remote federation: per-member client telemetry, recorded through
+	// the remote.Observer the lake installs on each member client.
+	remoteRequests *obs.CounterVec // member, outcome
+	remoteRows     *obs.CounterVec // member
+	remoteRetries  *obs.CounterVec // member
+	remoteDuration *obs.HistogramVec
+
 	// Persistence.
 	walAppends      *obs.Counter
 	walAppendBytes  *obs.Counter
@@ -144,6 +151,16 @@ func newLakeMetrics() *lakeMetrics {
 			"Datasets (re)indexed by maintenance passes."),
 		maintRetries: r.Counter("golake_maintenance_retries_total",
 			"Scheduler retries after failed passes (backoff events)."),
+		remoteRequests: r.CounterVec("golake_remote_requests_total",
+			"Remote member-lake queries by member and outcome (ok, aborted, or the failure's error code).",
+			"member", "outcome"),
+		remoteRows: r.CounterVec("golake_remote_rows_total",
+			"Rows streamed in from each remote member lake.", "member"),
+		remoteRetries: r.CounterVec("golake_remote_retries_total",
+			"Connect retries against each remote member lake.", "member"),
+		remoteDuration: r.HistogramVec("golake_remote_request_duration_seconds",
+			"Remote query duration (open through stream end) in seconds, by member.",
+			nil, "member"),
 		walAppends: r.Counter("golake_wal_appends_total",
 			"Records appended to the write-ahead log."),
 		walAppendBytes: r.Counter("golake_wal_appended_bytes_total",
@@ -353,6 +370,33 @@ func (m *lakeMetrics) observeRetry() {
 		return
 	}
 	m.maintRetries.Inc()
+}
+
+// remoteObserver adapts the lake's metrics to the remote.Observer
+// contract; a nil receiver (metrics disabled) observes nothing, so the
+// member clients stay wired unconditionally.
+type remoteObserver struct{ m *lakeMetrics }
+
+func (o remoteObserver) RemoteRequest(member, outcome string, d time.Duration) {
+	if o.m == nil {
+		return
+	}
+	o.m.remoteRequests.With(member, outcome).Inc()
+	o.m.remoteDuration.With(member).Observe(d.Seconds())
+}
+
+func (o remoteObserver) RemoteRows(member string, n int64) {
+	if o.m == nil {
+		return
+	}
+	o.m.remoteRows.With(member).Add(float64(n))
+}
+
+func (o remoteObserver) RemoteRetry(member string) {
+	if o.m == nil {
+		return
+	}
+	o.m.remoteRetries.With(member).Inc()
 }
 
 // Metrics exposes the lake's metric registry, or nil when metrics are

@@ -25,6 +25,7 @@ import (
 // log truncation) skipped idempotently.
 const (
 	recUser     = "user"
+	recToken    = "token"
 	recIngest   = "ingest"
 	recDerive   = "derive"
 	recAudit    = "audit"
@@ -44,6 +45,9 @@ type walRecord struct {
 	// user: registered name + role.
 	Name string `json:"name,omitempty"`
 	Role string `json:"role,omitempty"`
+	// token: the sha256-hex digest of a bearer token registered for the
+	// user in Name (the plaintext never reaches the log).
+	Token string `json:"token,omitempty"`
 	// derive: the activity, its inputs, and the output table as CSV
 	// (Name is the output table name).
 	Activity string   `json:"activity,omitempty"`
@@ -66,6 +70,8 @@ type walRecord struct {
 type lakeSnapshot struct {
 	Version  int               `json:"version"`
 	Users    map[string]string `json:"users,omitempty"`
+	// Tokens maps bearer-token digests to user names.
+	Tokens   map[string]string `json:"tokens,omitempty"`
 	Datasets []snapDataset     `json:"datasets,omitempty"`
 	Derived  []snapDerived     `json:"derived,omitempty"`
 	// Zones records non-raw zone assignments (path -> zone).
@@ -274,6 +280,7 @@ func (l *Lake) buildSnapshot() (*lakeSnapshot, error) {
 	snap := &lakeSnapshot{
 		Version:       1,
 		Users:         make(map[string]string, len(l.users)),
+		Tokens:        make(map[string]string, len(l.tokens)),
 		Maintained:    l.maintained,
 		IngestGen:     l.ingestGen,
 		MaintainedGen: l.maintainedGen,
@@ -282,6 +289,9 @@ func (l *Lake) buildSnapshot() (*lakeSnapshot, error) {
 	}
 	for name, role := range l.users {
 		snap.Users[name] = string(role)
+	}
+	for digest, user := range l.tokens {
+		snap.Tokens[digest] = user
 	}
 	ingests := append([]ingestMeta(nil), l.ingestLog...)
 	derives := append([]deriveMeta(nil), l.deriveLog...)
@@ -392,6 +402,9 @@ func (l *Lake) applySnapshot(p *persister, snap *lakeSnapshot, rs *maintain.Repl
 	for name, role := range snap.Users {
 		l.users[name] = Role(role)
 	}
+	for digest, user := range snap.Tokens {
+		l.tokens[digest] = user
+	}
 	for _, d := range snap.Datasets {
 		if _, err := l.ingestApply(d.Path, d.Data, d.Source, d.User); err != nil {
 			p.warn(l, "persist: replay snapshot dataset", "path", d.Path, "error", err)
@@ -428,6 +441,9 @@ func (l *Lake) applyRecord(p *persister, rec *walRecord, snapMaxSeq int) bool {
 	switch rec.Kind {
 	case recUser:
 		l.users[rec.Name] = Role(rec.Role)
+		return true
+	case recToken:
+		l.tokens[rec.Token] = rec.Name
 		return true
 	case recIngest:
 		if _, err := l.ingestApply(rec.Path, rec.Data, rec.Source, rec.User); err != nil {

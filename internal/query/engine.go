@@ -54,6 +54,29 @@ type Engine struct {
 	// injected as that stage's failure. Nil in production — the check
 	// costs one pointer test per query.
 	Fault func(stage string) error
+	// Remotes maps member-lake names to their stream openers: a FROM
+	// item "east:orders" routes to Remotes["east"] as a pushed-down
+	// sub-query over the /v1/query NDJSON protocol, and the returned
+	// stream joins the union like any local scan — remote lakes are just
+	// slow member stores to the fan-in machinery. Nil for a purely local
+	// engine.
+	Remotes map[string]RemoteOpener
+	// Locate routes a bare FROM item that resolves to no local member
+	// store to a remote member by name (the consistent-hash placement
+	// helper); the returned member must exist in Remotes. Nil disables
+	// routing — unknown bare names stay errors.
+	Locate func(dataset string) (member string, ok bool)
+}
+
+// execEnv carries the per-request execution context the per-source
+// scans need beyond the statement: the effective order and limit (for
+// remote ORDER BY/LIMIT pushdown), the identity to forward to member
+// lakes, and the intra-source shard width for relational scans.
+type execEnv struct {
+	order  []OrderKey
+	limit  int
+	user   string
+	shards int
 }
 
 // NewEngine creates an engine with pushdown enabled.
@@ -83,7 +106,8 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 	// The memory budget is shared by every buffering stage of this one
 	// query: fan-in queues and the sort heap charge against it.
 	opts.Budget = NewMemBudget(req.MemoryRows)
-	plan, err := e.plan(q, order, limit, opts)
+	env := execEnv{order: order, limit: limit, user: req.User, shards: req.Shards}
+	plan, err := e.plan(q, order, limit, opts, env.shards)
 	if err != nil {
 		return nil, err
 	}
@@ -100,8 +124,10 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 	if (q.Explain || req.Explain) && !analyze {
 		// plan validated sort keys against an explicit projection; for
 		// SELECT * the header comes from the stores, so resolve it here
-		// — EXPLAIN must reject exactly what execution would.
-		if len(q.Columns) == 0 && len(order) > 0 {
+		// — EXPLAIN must reject exactly what execution would. Remote
+		// headers are unknowable without opening the stream, so a plan
+		// with a remote source defers the check to execution.
+		if len(q.Columns) == 0 && len(order) > 0 && !e.hasRemoteSource(q) {
 			if err := validateOrder(order, e.starColumns(q)); err != nil {
 				return nil, err
 			}
@@ -128,9 +154,9 @@ func (e *Engine) Query(ctx context.Context, req Request) (*RowStream, error) {
 	var bit BatchIterator
 	var bmeter *batchMeter
 	if useBatch {
-		it, bit, bmeter, counters, err = e.streamBatches(ctx, q, order, limit, opts, batchRows)
+		it, bit, bmeter, counters, err = e.streamBatches(ctx, q, env, opts, batchRows)
 	} else {
-		it, counters, err = e.stream(ctx, q, order, limit, opts, true)
+		it, counters, err = e.stream(ctx, q, env, opts, true)
 	}
 	if err != nil {
 		return nil, err
@@ -200,15 +226,18 @@ func (e *Engine) resolveBatchRows(req Request) int {
 
 // batchEligible reports whether the columnar pipeline can serve the
 // query: every FROM item must resolve to the relational store (the one
-// member store with a batch scan). Anything else — document, graph,
-// file, or mixed sources — falls back to the row pipeline unchanged.
+// member store with a batch scan) or a remote member lake (whose row
+// stream re-batches through the Batches adapter, keeping the central
+// filter/union/sort stages vectorized). Anything else — document,
+// graph, file, or mixed sources — falls back to the row pipeline
+// unchanged.
 func (e *Engine) batchEligible(q *Query) bool {
 	if e.DisableBatch || len(q.Sources) == 0 {
 		return false
 	}
 	for _, src := range q.Sources {
 		kind, _, err := e.resolveKind(src)
-		if err != nil || kind != "rel" {
+		if err != nil || (kind != "rel" && kind != "remote") {
 			return false
 		}
 	}
@@ -233,7 +262,7 @@ func CombineLimit(a, b int) int {
 // union width, and the sort strategy. Source resolution failures
 // surface here, so EXPLAIN of an unknown source errors like execution
 // would.
-func (e *Engine) plan(q *Query, order []OrderKey, limit int, opts FanInOptions) (*Plan, error) {
+func (e *Engine) plan(q *Query, order []OrderKey, limit int, opts FanInOptions, shards int) (*Plan, error) {
 	p := &Plan{Statement: q.String(), FanIn: 1, Sort: "none", Limit: limit}
 	// With an explicit projection the result header is known before any
 	// source opens; reject unsortable keys here so EXPLAIN reports the
@@ -254,10 +283,20 @@ func (e *Engine) plan(q *Query, order []OrderKey, limit int, opts FanInOptions) 
 			p.Sort = "full sort"
 		}
 	}
-	if !opts.sequential() && len(q.Sources) >= 2 {
+	// The effective union width counts shard cursors too: one rel source
+	// scanned in K shards feeds K iterators into the same fan-in.
+	effective := 0
+	for _, src := range q.Sources {
+		if kind, _, err := e.resolveKind(src); err == nil && kind == "rel" && shards > 1 {
+			effective += shards
+		} else {
+			effective++
+		}
+	}
+	if !opts.sequential() && effective >= 2 {
 		w := opts.Workers
-		if w > len(q.Sources) {
-			w = len(q.Sources)
+		if w > effective {
+			w = effective
 		}
 		p.FanIn = w
 		p.BufferRows = opts.bufferRows()
@@ -276,11 +315,23 @@ func (e *Engine) plan(q *Query, order []OrderKey, limit int, opts FanInOptions) 
 				return nil, fmt.Errorf("%w: %s", polystore.ErrNoTable, name)
 			}
 			sp.Access = "table " + name
+			if shards > 1 {
+				sp.Access = fmt.Sprintf("table %s (%d range shards)", name, shards)
+			}
 			if e.PushDown {
 				for _, pr := range q.Where {
 					sp.Pushdown = append(sp.Pushdown, pr.String())
 				}
 				sp.Project = pushableColumns(name, q, e)
+			}
+		case "remote":
+			member, ds := remoteMember(name)
+			sp.Access = "remote lake " + member + " (" + e.Remotes[member].Describe() + "), dataset " + ds
+			if e.PushDown {
+				for _, pr := range q.Where {
+					sp.Pushdown = append(sp.Pushdown, pr.String())
+				}
+				sp.Project = withPredicateColumns(q)
 			}
 		case "doc":
 			sp.Access = "collection " + name
@@ -338,7 +389,7 @@ func (e *Engine) StreamSQLFanIn(ctx context.Context, sql string, opts FanInOptio
 // table-shaped callers working. It honors the engine's configured
 // fan-in (sequential when unset), never the CPU-wide Request default.
 func (e *Engine) Execute(ctx context.Context, q *Query) (*table.Table, error) {
-	it, _, err := e.stream(ctx, q, q.Order, q.Limit, e.FanIn, false)
+	it, _, err := e.stream(ctx, q, execEnv{order: q.Order, limit: q.Limit}, e.FanIn, false)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +411,7 @@ func (e *Engine) Stream(ctx context.Context, q *Query) (RowIterator, error) {
 //
 // Deprecated: use Query with Request.FanIn/BufferRows.
 func (e *Engine) StreamFanIn(ctx context.Context, q *Query, opts FanInOptions) (RowIterator, error) {
-	it, _, err := e.stream(ctx, q, q.Order, q.Limit, opts, false)
+	it, _, err := e.stream(ctx, q, execEnv{order: q.Order, limit: q.Limit}, opts, false)
 	return it, err
 }
 
@@ -370,19 +421,21 @@ func (e *Engine) StreamFanIn(ctx context.Context, q *Query, opts FanInOptions) (
 // ORDER BY with a limit runs as a bounded top-K heap that subsumes the
 // LIMIT stage. Source resolution errors surface here, before any rows
 // flow; row-level failures (including cancellation) surface from Next.
-func (e *Engine) stream(ctx context.Context, q *Query, order []OrderKey, limit int, opts FanInOptions, collectStats bool) (RowIterator, []*sourceCounter, error) {
+func (e *Engine) stream(ctx context.Context, q *Query, env execEnv, opts FanInOptions, collectStats bool) (RowIterator, []*sourceCounter, error) {
 	if q.Explain {
 		// Row-shaped entry points have nothing to return for EXPLAIN —
 		// and silently executing the underlying SELECT would be worse.
 		// Query handles explain before reaching here.
 		return nil, nil, fmt.Errorf("%w: EXPLAIN has no row result on this entry point; use Query", ErrSyntax)
 	}
+	order, limit := env.order, env.limit
 	var sources []RowIterator
+	var labels []string
 	var err error
 	if opts.sequential() || len(q.Sources) < 2 {
-		sources, err = e.openSources(ctx, q)
+		sources, labels, err = e.openSources(ctx, q, env)
 	} else {
-		sources, err = e.openSourcesParallel(ctx, q, opts.Workers)
+		sources, labels, err = e.openSourcesParallel(ctx, q, env, opts.Workers)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -391,7 +444,7 @@ func (e *Engine) stream(ctx context.Context, q *Query, order []OrderKey, limit i
 	if collectStats {
 		counters = make([]*sourceCounter, len(sources))
 		for i, src := range sources {
-			c := &sourceCounter{source: q.Sources[i]}
+			c := &sourceCounter{source: labels[i]}
 			counters[i] = c
 			sources[i] = &meteredIterator{in: src, c: c}
 		}
@@ -424,7 +477,8 @@ func (e *Engine) stream(ctx context.Context, q *Query, order []OrderKey, limit i
 // serves the output. Output is byte-identical to the row pipeline
 // (modulo the arrival-order nondeterminism a parallel fan-in already
 // has).
-func (e *Engine) streamBatches(ctx context.Context, q *Query, order []OrderKey, limit int, opts FanInOptions, batchRows int) (RowIterator, BatchIterator, *batchMeter, []*sourceCounter, error) {
+func (e *Engine) streamBatches(ctx context.Context, q *Query, env execEnv, opts FanInOptions, batchRows int) (RowIterator, BatchIterator, *batchMeter, []*sourceCounter, error) {
+	order, limit := env.order, env.limit
 	sources := make([]BatchIterator, 0, len(q.Sources))
 	counters := make([]*sourceCounter, 0, len(q.Sources))
 	closeAll := func() {
@@ -432,30 +486,47 @@ func (e *Engine) streamBatches(ctx context.Context, q *Query, order []OrderKey, 
 			_ = s.Close()
 		}
 	}
+	addSource := func(bi BatchIterator, label string) {
+		bi = FilterBatches(bi, q.Where)
+		c := &sourceCounter{source: label}
+		counters = append(counters, c)
+		sources = append(sources, &meteredBatchIterator{in: bi, c: c})
+	}
 	for _, src := range q.Sources {
 		if err := ctx.Err(); err != nil {
 			closeAll()
 			return nil, nil, nil, nil, err
 		}
-		_, name, err := e.resolveKind(src) // kind is "rel" (batchEligible)
+		kind, name, err := e.resolveKind(src) // "rel" or "remote" (batchEligible)
 		if err != nil {
 			closeAll()
 			return nil, nil, nil, nil, err
+		}
+		if kind == "remote" {
+			// A member lake ships rows over NDJSON; re-batch them so the
+			// central filter/union/sort stages stay vectorized. The
+			// pushed projection includes predicate columns, so the
+			// central filter re-evaluates exactly what the member did.
+			it, err := e.openRemote(ctx, name, q, env)
+			if err != nil {
+				closeAll()
+				return nil, nil, nil, nil, err
+			}
+			addSource(Batches(it, batchRows), src)
+			continue
 		}
 		var proj []string
 		if e.PushDown {
 			proj = batchPushableColumns(name, q, e)
 		}
-		cur, err := e.Poly.Rel.ScanWhere(name, nil, proj)
+		curs, err := e.Poly.Rel.ScanWhereShards(name, nil, proj, env.shards)
 		if err != nil {
 			closeAll()
 			return nil, nil, nil, nil, err
 		}
-		var bi BatchIterator = &relBatchIterator{cur: cur, rows: batchRows}
-		bi = FilterBatches(bi, q.Where)
-		c := &sourceCounter{source: src}
-		counters = append(counters, c)
-		sources = append(sources, &meteredBatchIterator{in: bi, c: c})
+		for k, cur := range curs {
+			addSource(&relBatchIterator{cur: cur, rows: batchRows}, shardLabel(src, k, len(curs)))
+		}
 	}
 	u := ParallelUnionBatches(ctx, sources, q.Columns, opts, batchRows)
 	if len(order) > 0 {
@@ -549,6 +620,9 @@ func (e *Engine) starColumns(q *Query) []string {
 			continue
 		}
 		switch kind {
+		case "remote":
+			// A remote header is unknowable without opening the stream;
+			// callers with remote sources defer validation to execution.
 		case "rel":
 			if names, err := e.Poly.Rel.ColumnNames(name); err == nil {
 				add(names...)
@@ -583,9 +657,12 @@ func validateOrder(order []OrderKey, cols []string) error {
 	return nil
 }
 
-// openSources resolves and opens every FROM item in order.
-func (e *Engine) openSources(ctx context.Context, q *Query) ([]RowIterator, error) {
-	sources := make([]RowIterator, 0, len(q.Sources))
+// openSources resolves and opens every FROM item in order, returning
+// the opened iterators plus a per-iterator stats label (a relational
+// source scanned in K shards contributes K iterators).
+func (e *Engine) openSources(ctx context.Context, q *Query, env execEnv) ([]RowIterator, []string, error) {
+	var sources []RowIterator
+	var labels []string
 	closeAll := func() {
 		for _, s := range sources {
 			_ = s.Close()
@@ -594,29 +671,32 @@ func (e *Engine) openSources(ctx context.Context, q *Query) ([]RowIterator, erro
 	for _, src := range q.Sources {
 		if err := ctx.Err(); err != nil {
 			closeAll()
-			return nil, err
+			return nil, nil, err
 		}
-		it, err := e.streamSource(src, q)
+		its, ls, err := e.openSource(ctx, src, q, env)
 		if err != nil {
 			closeAll()
-			return nil, err
+			return nil, nil, err
 		}
-		sources = append(sources, it)
+		sources = append(sources, its...)
+		labels = append(labels, ls...)
 	}
-	return sources, nil
+	return sources, labels, nil
 }
 
 // openSourcesParallel opens the source scans concurrently, at most
 // workers at a time — member-store snapshots are taken under their
-// stores' read locks, so opening is safe to overlap, and a store that
-// is slow to open no longer delays the others. On failure every opened
-// iterator is closed and the error of the lowest-indexed failing source
-// is returned, matching the sequential open's first-error semantics.
-func (e *Engine) openSourcesParallel(ctx context.Context, q *Query, workers int) ([]RowIterator, error) {
+// stores' read locks and remote opens are network round-trips, so
+// opening is safe and worthwhile to overlap, and a store that is slow
+// to open no longer delays the others. On failure every opened iterator
+// is closed and the error of the lowest-indexed failing source is
+// returned, matching the sequential open's first-error semantics.
+func (e *Engine) openSourcesParallel(ctx context.Context, q *Query, env execEnv, workers int) ([]RowIterator, []string, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sources := make([]RowIterator, len(q.Sources))
+	sources := make([][]RowIterator, len(q.Sources))
+	labels := make([][]string, len(q.Sources))
 	errs := make([]error, len(q.Sources))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -626,40 +706,84 @@ func (e *Engine) openSourcesParallel(ctx context.Context, q *Query, workers int)
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			sources[i], errs[i] = e.streamSource(src, q)
+			sources[i], labels[i], errs[i] = e.openSource(ctx, src, q, env)
 		}(i, src)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			for _, s := range sources {
-				if s != nil {
+			for _, group := range sources {
+				for _, s := range group {
 					_ = s.Close()
 				}
 			}
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return sources, nil
+	var flatSources []RowIterator
+	var flatLabels []string
+	for i := range sources {
+		flatSources = append(flatSources, sources[i]...)
+		flatLabels = append(flatLabels, labels[i]...)
+	}
+	return flatSources, flatLabels, nil
 }
 
-// streamSource routes one FROM item to its member store's scan
-// iterator.
-func (e *Engine) streamSource(src string, q *Query) (RowIterator, error) {
+// openSource routes one FROM item to its member store's scan
+// iterator(s): most sources open exactly one, a relational source with
+// env.shards > 1 opens one per range shard of the same snapshot.
+func (e *Engine) openSource(ctx context.Context, src string, q *Query, env execEnv) ([]RowIterator, []string, error) {
 	kind, name, err := e.resolveKind(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	one := func(it RowIterator, err error) ([]RowIterator, []string, error) {
+		if err != nil {
+			return nil, nil, err
+		}
+		return []RowIterator{it}, []string{src}, nil
 	}
 	switch kind {
 	case "rel":
-		return e.scanRelational(name, q)
+		return e.scanRelationalShards(src, name, q, env.shards)
+	case "remote":
+		return one(e.openRemote(ctx, name, q, env))
 	case "doc":
-		return e.scanDocument(name, q)
+		return one(e.scanDocument(name, q))
 	case "graph":
-		return e.scanGraph(name, q)
+		return one(e.scanGraph(name, q))
 	default:
-		return e.scanFiles(name, q)
+		return one(e.scanFiles(name, q))
 	}
+}
+
+// openRemote opens the pushed-down sub-query stream against the member
+// lake a resolved "member:dataset" name addresses. With pushdown the
+// member already filtered and projected, so the stream joins the union
+// directly; without it the central stages wrap it like any other
+// unpushed scan.
+func (e *Engine) openRemote(ctx context.Context, name string, q *Query, env execEnv) (RowIterator, error) {
+	member, ds := remoteMember(name)
+	opener := e.Remotes[member]
+	if opener == nil {
+		return nil, fmt.Errorf("%w: no remote member %q", ErrUnknownSource, member)
+	}
+	it, err := opener.OpenStream(ctx, RemoteSpec{SQL: e.remoteStatement(ds, q, env), User: env.user})
+	if err != nil {
+		return nil, err
+	}
+	if e.PushDown {
+		return it, nil
+	}
+	return central(it, q), nil
+}
+
+// shardLabel names one shard's stats counter: "rel:big[shard 2/4]".
+func shardLabel(src string, k, of int) string {
+	if of <= 1 {
+		return src
+	}
+	return fmt.Sprintf("%s[shard %d/%d]", src, k+1, of)
 }
 
 // resolveKind resolves one FROM item to its member store without
@@ -683,8 +807,26 @@ func (e *Engine) resolveKind(src string) (kind, name string, err error) {
 		if len(e.Poly.Graph.NodesByLabel(name)) > 0 {
 			return "graph", name, nil
 		}
+		// Not local anywhere: consult the placement helper — a bare
+		// dataset name routes to the consistent-hash member that owns
+		// it, so callers need not know the topology.
+		if e.Locate != nil {
+			if m, ok := e.Locate(name); ok {
+				if _, exists := e.Remotes[m]; exists {
+					return "remote", m + ":" + name, nil
+				}
+			}
+		}
 		return "", name, fmt.Errorf("%w: %q", ErrUnknownSource, name)
 	default:
+		// An unrecognized prefix may name a configured remote member:
+		// "east:orders" scans dataset "orders" on member "east" (the
+		// dataset part may itself carry a store prefix, forwarded
+		// verbatim — "east:rel:orders"). The canonical remote name is
+		// "member:dataset" even when the member was ring-located.
+		if _, ok := e.Remotes[kind]; ok {
+			return "remote", kind + ":" + name, nil
+		}
 		return "", name, fmt.Errorf("%w: bad prefix %q", ErrUnknownSource, kind)
 	}
 }
@@ -727,23 +869,44 @@ func (r *relCursorIterator) Close() error { return r.cur.Close() }
 // evaluates compiled predicates and the projection during the scan;
 // without it, every row is pulled and filtered centrally.
 func (e *Engine) scanRelational(name string, q *Query) (RowIterator, error) {
+	its, _, err := e.scanRelationalShards(name, name, q, 1)
+	if err != nil {
+		return nil, err
+	}
+	return its[0], nil
+}
+
+// scanRelationalShards opens a relational scan as shards range-
+// partitioned cursors over one snapshot (one cursor when shards <= 1),
+// each wrapped for the pipeline and labeled for stats. Draining all
+// shards yields exactly the rows the single-cursor scan would — the
+// fan-in just overlaps the ranges in time.
+func (e *Engine) scanRelationalShards(src, name string, q *Query, shards int) ([]RowIterator, []string, error) {
+	var preds []polystore.CellPredicate
+	var proj []string
 	if e.PushDown {
-		preds := make([]polystore.CellPredicate, len(q.Where))
+		preds = make([]polystore.CellPredicate, len(q.Where))
 		for i, p := range q.Where {
 			pred := p
 			preds[i] = polystore.CellPredicate{Column: p.Column, Match: pred.Matches}
 		}
-		cur, err := e.Poly.Rel.ScanWhere(name, preds, pushableColumns(name, q, e))
-		if err != nil {
-			return nil, err
-		}
-		return &relCursorIterator{cur: cur}, nil
+		proj = pushableColumns(name, q, e)
 	}
-	cur, err := e.Poly.Rel.ScanWhere(name, nil, nil)
+	curs, err := e.Poly.Rel.ScanWhereShards(name, preds, proj, shards)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return central(&relCursorIterator{cur: cur}, q), nil
+	its := make([]RowIterator, len(curs))
+	labels := make([]string, len(curs))
+	for k, cur := range curs {
+		var it RowIterator = &relCursorIterator{cur: cur}
+		if !e.PushDown {
+			it = central(it, q)
+		}
+		its[k] = it
+		labels[k] = shardLabel(src, k, len(curs))
+	}
+	return its, labels, nil
 }
 
 // pushableColumns returns the projection to push into the store: the

@@ -43,6 +43,13 @@ import (
 //     0 means unlimited (again modulo admission defaults). Exceeding
 //     it fails the query fast with a typed resource_exhausted error
 //     instead of letting an unbounded ORDER BY grow the heap.
+//   - Shards range-partitions each relational scan into that many
+//     cursors over one snapshot, drained through the same fan-in —
+//     intra-source parallelism for one large table. 0/1 keeps the
+//     single-cursor scan; other store kinds ignore it.
+//   - User is the requesting identity, forwarded to remote member
+//     lakes so a federated hop authorizes as the original caller.
+//     Lake.Query stamps it; engine-only callers may set it directly.
 type Request struct {
 	SQL        string
 	Order      []OrderKey
@@ -54,6 +61,8 @@ type Request struct {
 	Analyze    bool
 	Timeout    time.Duration
 	MemoryRows int
+	Shards     int
+	User       string
 }
 
 // DefaultFanIn is the fan-in width used when neither the request nor

@@ -1,0 +1,169 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"golake/internal/query"
+	"golake/lakeerr"
+)
+
+// stream decodes one member lake's NDJSON response into a RowIterator.
+// The framing contract (objects are metadata, arrays are rows):
+//
+//	{"columns":["city","price"]}   header — read eagerly at open
+//	["ams","10"]                   one row per line
+//	{"stats":{...}}                clean-end trailer → io.EOF
+//	{"error":{"code","message"}}   in-band failure → typed sticky error
+//
+// Running out of bytes before either trailer means the connection
+// dropped mid-stream; that surfaces as a typed unavailable error, never
+// a silent short result.
+type stream struct {
+	client *Client
+	resp   *http.Response
+	cancel context.CancelFunc
+	dec    *json.Decoder
+	cols   []string
+	start  time.Time
+
+	rows int64
+	err  error // sticky terminal error
+	done bool  // clean end seen
+
+	reportOnce sync.Once
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+// frame is one decoded metadata object; exactly one field is set.
+type frame struct {
+	Columns []string        `json:"columns"`
+	Stats   json.RawMessage `json:"stats"`
+	Error   *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// readHeader consumes the header line so Columns answers before the
+// first Next — the union stage needs every source's header up front. A
+// member that fails before the body starts answers a non-200 handled by
+// OpenStream; a failure after the body started arrives as an in-band
+// error object, which may legally be the very first line.
+func (s *stream) readHeader(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		s.err = s.client.classify(err)
+		return s.err
+	}
+	var raw json.RawMessage
+	if err := s.dec.Decode(&raw); err != nil {
+		s.err = s.client.truncatedErr(err)
+		return s.err
+	}
+	var f frame
+	if err := json.Unmarshal(raw, &f); err != nil {
+		s.err = lakeerr.Errorf(lakeerr.CodeInternal, "remote %s: bad header frame: %v", s.client.member, err)
+		return s.err
+	}
+	if f.Error != nil {
+		s.err = lakeerr.Errorf(knownCode(f.Error.Code), "remote %s: %s", s.client.member, f.Error.Message)
+		return s.err
+	}
+	if f.Columns == nil {
+		s.err = lakeerr.Errorf(lakeerr.CodeInternal, "remote %s: stream did not start with a columns header", s.client.member)
+		return s.err
+	}
+	s.cols = f.Columns
+	return nil
+}
+
+// Columns implements query.RowIterator.
+func (s *stream) Columns() []string { return s.cols }
+
+// Next implements query.RowIterator: arrays are rows; an object is the
+// stats trailer (clean io.EOF) or the typed in-band error. Errors are
+// sticky; a clean end is terminal.
+func (s *stream) Next(ctx context.Context) (query.Row, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.done {
+		return nil, io.EOF
+	}
+	if err := ctx.Err(); err != nil {
+		// Transient (the stream may be resumed with a live context), so
+		// not sticky — mirroring the local iterators' contract.
+		return nil, err
+	}
+	var raw json.RawMessage
+	if err := s.dec.Decode(&raw); err != nil {
+		s.fail(s.client.truncatedErr(err))
+		return nil, s.err
+	}
+	if len(raw) > 0 && raw[0] == '[' {
+		var row []string
+		if err := json.Unmarshal(raw, &row); err != nil {
+			s.fail(lakeerr.Errorf(lakeerr.CodeInternal, "remote %s: bad row frame: %v", s.client.member, err))
+			return nil, s.err
+		}
+		s.rows++
+		return row, nil
+	}
+	var f frame
+	if err := json.Unmarshal(raw, &f); err != nil {
+		s.fail(lakeerr.Errorf(lakeerr.CodeInternal, "remote %s: bad metadata frame: %v", s.client.member, err))
+		return nil, s.err
+	}
+	switch {
+	case f.Error != nil:
+		s.fail(lakeerr.Errorf(knownCode(f.Error.Code), "remote %s: %s", s.client.member, f.Error.Message))
+		return nil, s.err
+	case f.Stats != nil:
+		s.done = true
+		s.report("ok")
+		return nil, io.EOF
+	default:
+		s.fail(lakeerr.Errorf(lakeerr.CodeInternal, "remote %s: unexpected metadata frame %s", s.client.member, raw))
+		return nil, s.err
+	}
+}
+
+// fail records the sticky terminal error and its telemetry.
+func (s *stream) fail(err error) {
+	s.err = err
+	s.report(string(lakeerr.CodeOf(err)))
+}
+
+// report emits the request telemetry exactly once per stream.
+func (s *stream) report(outcome string) {
+	s.reportOnce.Do(func() {
+		label := lakeerr.Code(outcome)
+		if outcome == "ok" {
+			label = ""
+		}
+		s.client.finish(label, s.rows, s.start)
+	})
+}
+
+// Close implements query.RowIterator: it cancels the request context
+// (aborting the member's handler mid-stream), drains a little so the
+// connection can be reused on clean ends, and closes the body.
+// Idempotent; an early Close reports the "aborted" outcome.
+func (s *stream) Close() error {
+	s.closeOnce.Do(func() {
+		s.report("aborted")
+		if s.done {
+			// Clean end: the body is at EOF (or nearly), drain the tail
+			// so the transport can reuse the connection.
+			_, _ = io.Copy(io.Discard, io.LimitReader(s.resp.Body, 1<<12))
+		}
+		s.cancel()
+		s.closeErr = s.resp.Body.Close()
+	})
+	return s.closeErr
+}
